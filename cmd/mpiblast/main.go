@@ -1,0 +1,319 @@
+// Command mpiblast runs the parallel BLAST of the paper in one of its
+// three I/O configurations:
+//
+//	-io local      conventional I/O: every worker reads the fragments
+//	               from -root (optionally copying to -scratch first,
+//	               like the original mpiBLAST)
+//	-io pvfs       workers read through PVFS clients; give the
+//	               metadata server with -mgr and data servers with
+//	               -servers host:port,host:port,...
+//	-io ceft       workers read through CEFT-PVFS clients; give -mgr,
+//	               -primary and -mirror server lists
+//
+// Workers run as in-process ranks over the mpi substrate (the same
+// code runs across machines via the TCP transport; see package mpi).
+//
+// Examples:
+//
+//	mpiblast -db nt -query q.fasta -workers 8 -io local -root /data
+//	mpiblast -db nt -query q.fasta -workers 8 -io pvfs \
+//	    -mgr 10.0.0.1:7000 -servers 10.0.0.2:7001,10.0.0.3:7001
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pario/internal/blast"
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/core"
+	"pario/internal/iotrace"
+	"pario/internal/mpi"
+	"pario/internal/pblast"
+	"pario/internal/pvfs"
+	"pario/internal/seq"
+)
+
+func main() {
+	var (
+		db       = flag.String("db", "", "database name (required)")
+		queryF   = flag.String("query", "", "query FASTA file (required)")
+		workers  = flag.Int("workers", 4, "number of worker ranks")
+		ioMode   = flag.String("io", "local", "local|pvfs|ceft")
+		root     = flag.String("root", ".", "shared store directory (local mode)")
+		scratch  = flag.String("scratch", "", "per-worker scratch directory; enables copy-to-local")
+		mgr      = flag.String("mgr", "", "metadata server address (pvfs/ceft)")
+		servers  = flag.String("servers", "", "comma-separated data servers (pvfs)")
+		primary  = flag.String("primary", "", "comma-separated primary group (ceft)")
+		mirror   = flag.String("mirror", "", "comma-separated mirror group (ceft)")
+		program  = flag.String("program", "blastn", "BLAST program")
+		evalue   = flag.Float64("evalue", 10, "e-value cutoff")
+		querySeg = flag.Bool("query-segmentation", false, "split the query instead of the database")
+		mega     = flag.Bool("megablast", false, "megablast mode (blastn only)")
+		filterLC = flag.Bool("F", false, "mask low-complexity query regions")
+		traceOut = flag.String("trace", "", "write a Figure 4 style I/O trace to this file")
+		outfmt   = flag.String("outfmt", "report", "report|tabular")
+
+		// Distributed mode: run this process as one rank of a
+		// multi-process (multi-machine) job over the TCP transport.
+		router      = flag.String("router", "", "message router address; enables distributed mode")
+		startRouter = flag.Bool("start-router", false, "rank 0 also starts the router at -router")
+		rank        = flag.Int("rank", 0, "this process's rank (0 = master)")
+		size        = flag.Int("size", 0, "total ranks including the master (distributed mode)")
+	)
+	flag.Parse()
+	if *db == "" || *queryF == "" {
+		fmt.Fprintln(os.Stderr, "mpiblast: -db and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	prog, err := blast.ParseProgram(*program)
+	if err != nil {
+		fatal(err)
+	}
+
+	var masterFS chio.FileSystem
+	var workerFS func(rank int) chio.FileSystem
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+
+	switch *ioMode {
+	case "local":
+		fs, err := chio.NewLocalFS(*root)
+		if err != nil {
+			fatal(err)
+		}
+		masterFS = fs
+		workerFS = func(int) chio.FileSystem { return fs }
+	case "pvfs":
+		if *mgr == "" || *servers == "" {
+			fatal(fmt.Errorf("pvfs mode needs -mgr and -servers"))
+		}
+		addrs := strings.Split(*servers, ",")
+		mk := func() (chio.FileSystem, error) {
+			cl, err := pvfs.DialClient(*mgr, addrs)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, cl.Close)
+			return cl, nil
+		}
+		m, err := mk()
+		if err != nil {
+			fatal(err)
+		}
+		masterFS = m
+		workerFS = func(int) chio.FileSystem {
+			fs, err := mk()
+			if err != nil {
+				fatal(err)
+			}
+			return fs
+		}
+	case "ceft":
+		if *mgr == "" || *primary == "" || *mirror == "" {
+			fatal(fmt.Errorf("ceft mode needs -mgr, -primary and -mirror"))
+		}
+		prim := strings.Split(*primary, ",")
+		mirr := strings.Split(*mirror, ",")
+		mk := func() (chio.FileSystem, error) {
+			cl, err := ceft.DialClient(*mgr, prim, mirr, ceft.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, cl.Close)
+			return cl, nil
+		}
+		m, err := mk()
+		if err != nil {
+			fatal(err)
+		}
+		masterFS = m
+		workerFS = func(int) chio.FileSystem {
+			fs, err := mk()
+			if err != nil {
+				fatal(err)
+			}
+			return fs
+		}
+	default:
+		fatal(fmt.Errorf("unknown -io mode %q", *ioMode))
+	}
+
+	// Distributed mode: each process is one rank over TCP.
+	if *router != "" {
+		if *size < 2 {
+			fatal(fmt.Errorf("distributed mode needs -size >= 2"))
+		}
+		if *rank > 0 {
+			// Worker rank: serve tasks and exit. Retry the dial so
+			// workers may start before the master's router is up.
+			comm, err := mpi.DialRetry(*router, *rank, *size, 30*time.Second)
+			if err != nil {
+				fatal(err)
+			}
+			defer comm.Close()
+			var scratchFS chio.FileSystem
+			if *scratch != "" {
+				scratchFS, err = chio.NewLocalFS(fmt.Sprintf("%s/worker%d", *scratch, *rank))
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if err := pblast.RunWorker(comm, workerFS(*rank), scratchFS); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		// Master rank: optionally start the router, then drive the job.
+		if *startRouter {
+			r, err := mpi.StartRouter(*router, *size)
+			if err != nil {
+				fatal(err)
+			}
+			defer r.Close()
+		}
+		comm, err := mpi.Dial(*router, 0, *size)
+		if err != nil {
+			fatal(err)
+		}
+		defer comm.Close()
+		queries := loadQueries(*queryF, prog)
+		cfg := pblast.Config{
+			DBName: *db,
+			Params: blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+		}
+		if *querySeg {
+			cfg.Mode = pblast.QuerySegmentation
+		}
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		for _, q := range queries {
+			res, err := pblast.RunMaster(comm, masterFS, q, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			writeResult(out, *outfmt, res, q)
+		}
+		return
+	}
+
+	queries := loadQueries(*queryF, prog)
+
+	cfg := core.SearchConfig{
+		DBName:   *db,
+		Workers:  *workers,
+		Params:   blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+		MasterFS: masterFS,
+		WorkerFS: workerFS,
+	}
+	if *querySeg {
+		cfg.Mode = pblast.QuerySegmentation
+	}
+	if *scratch != "" {
+		cfg.CopyToLocal = true
+		cfg.Scratch = func(rank int) chio.FileSystem {
+			fs, err := chio.NewLocalFS(fmt.Sprintf("%s/worker%d", *scratch, rank))
+			if err != nil {
+				fatal(err)
+			}
+			return fs
+		}
+	}
+	var trace *iotrace.Trace
+	if *traceOut != "" {
+		trace = iotrace.NewTrace()
+		cfg.Trace = trace
+	}
+
+	start := time.Now()
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if len(queries) > 1 && cfg.Mode == pblast.DatabaseSegmentation && !cfg.CopyToLocal {
+		// Multi-query batch: one (query x fragment) scheduling pass.
+		batch, err := core.ParallelSearchBatch(queries, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for qi, res := range batch.Results {
+			single := &pblast.Outcome{
+				Result:     res,
+				WallTime:   batch.WallTime,
+				CopyTime:   batch.CopyTime,
+				SearchTime: batch.SearchTime,
+			}
+			writeResult(out, *outfmt, single, queries[qi])
+		}
+	} else {
+		for _, q := range queries {
+			res, err := core.ParallelSearch(q, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			writeResult(out, *outfmt, res, q)
+		}
+	}
+	fmt.Fprintf(out, "# total elapsed %.2fs over %s backend\n",
+		time.Since(start).Seconds(), masterFS.BackendName())
+
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteScatter(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "# %s\n# trace written to %s\n", trace.Summarize().Format(), *traceOut)
+	}
+}
+
+// loadQueries reads the query FASTA file.
+func loadQueries(path string, prog blast.Program) []*seq.Sequence {
+	qf, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	queries, err := seq.NewFastaReader(qf, prog.QueryKind()).ReadAll()
+	qf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(queries) == 0 {
+		fatal(fmt.Errorf("no queries in %s", path))
+	}
+	return queries
+}
+
+// writeResult renders one query's merged outcome.
+func writeResult(out *bufio.Writer, outfmt string, res *pblast.Outcome, q *seq.Sequence) {
+	var err error
+	switch outfmt {
+	case "tabular":
+		err = blast.WriteTabular(out, res.Result)
+	default:
+		err = blast.WriteReport(out, res.Result, q, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "# wall %.2fs, worker search time %.2fs, copy time %.2fs\n",
+		res.WallTime.Seconds(), res.SearchTime.Seconds(), res.CopyTime.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpiblast:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command pvfsd runs one PVFS / CEFT-PVFS data server (I/O daemon):
+// it stores stripe pieces in a local directory and, when -mgr is
+// given, heartbeats its load to the metadata server (the signal
+// CEFT-PVFS clients use to skip hot spots).
+//
+// Usage:
+//
+//	pvfsd -id 0 -listen :7001 -store /local/pvfs0 [-mgr host:7000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pario/internal/chio"
+	"pario/internal/pvfs"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "data server index (CEFT: 0..G-1 primary, G..2G-1 mirror)")
+		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
+		store    = flag.String("store", "", "directory holding stripe pieces (required)")
+		mgr      = flag.String("mgr", "", "metadata server address for load heartbeats")
+		throttle = flag.Duration("throttle", 0, "artificial service delay per KiB (emulates a loaded disk)")
+	)
+	flag.Parse()
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "pvfsd: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := chio.NewLocalFS(*store)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{
+		ID:              *id,
+		Addr:            *listen,
+		Store:           st,
+		MgrAddr:         *mgr,
+		HeartbeatPeriod: 250 * time.Millisecond,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *throttle > 0 {
+		ds.SetThrottle(*throttle)
+	}
+	fmt.Printf("pvfsd: iod %d serving on %s, store %s\n", *id, ds.Addr(), *store)
+	wait()
+	ds.Close()
+}
+
+func wait() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pvfsd:", err)
+	os.Exit(1)
+}

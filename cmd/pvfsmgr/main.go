@@ -1,0 +1,55 @@
+// Command pvfsmgr runs the PVFS / CEFT-PVFS metadata server: the
+// namespace owner and (for CEFT) the collector of data-server load
+// heartbeats used for hot-spot skipping.
+//
+// Usage:
+//
+//	pvfsmgr -listen :7000 -servers 8 [-stripe 64KB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pario/internal/pvfs"
+	"pario/internal/util"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
+		servers = flag.Int("servers", 1, "number of data servers files are striped over")
+		stripe  = flag.String("stripe", "64KB", "stripe size")
+	)
+	flag.Parse()
+	stripeBytes, err := util.ParseBytes(*stripe)
+	if err != nil {
+		fatal(err)
+	}
+	ms, err := pvfs.StartMetaServer(pvfs.MetaConfig{
+		Addr:       *listen,
+		NumServers: *servers,
+		StripeSize: stripeBytes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pvfsmgr: serving on %s (%d data servers, %s stripes)\n",
+		ms.Addr(), *servers, util.FormatBytes(stripeBytes))
+	wait()
+	ms.Close()
+}
+
+func wait() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pvfsmgr:", err)
+	os.Exit(1)
+}

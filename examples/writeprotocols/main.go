@@ -1,0 +1,64 @@
+// writeprotocols compares CEFT-PVFS's four write-duplication
+// protocols (client/server x sync/async) on a live deployment whose
+// mirror group sits behind a slow "disk": the asynchronous protocols
+// hide the mirror's latency from the writer, the synchronous ones pay
+// it — the trade-off studied in the companion CEFT-PVFS write-
+// performance work the paper cites as [7].
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pario/internal/ceft"
+	"pario/internal/core"
+	"pario/internal/util"
+)
+
+func main() {
+	dep, err := core.StartCEFT(2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	// Slow the mirror group down: 200us per KiB served (a busy or
+	// degraded disk). Servers g..2g-1 are the mirrors.
+	for _, s := range dep.Servers[2:] {
+		s.SetThrottle(200 * time.Microsecond)
+	}
+	fmt.Println("CEFT-PVFS 2+2 up; mirror group throttled to emulate slow disks")
+	fmt.Println()
+
+	payload := make([]byte, 8<<20)
+	for _, proto := range []ceft.WriteProtocol{
+		ceft.ClientSync, ceft.ClientAsync, ceft.ServerSync, ceft.ServerAsync,
+	} {
+		opts := ceft.DefaultOptions()
+		opts.WriteProtocol = proto
+		cl, err := dep.Client(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := cl.Create("bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := f.Write(payload); err != nil {
+			log.Fatal(err)
+		}
+		ack := time.Since(start) // when the application sees the write done
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		settled := time.Since(start) // when both replicas exist
+		cl.Close()
+		fmt.Printf("%-13s  write acknowledged in %7.0f ms   fully mirrored in %7.0f ms  (%s/s app-visible)\n",
+			proto, ack.Seconds()*1000, settled.Seconds()*1000,
+			util.FormatBytes(int64(float64(len(payload))/ack.Seconds())))
+	}
+	fmt.Println()
+	fmt.Println("async protocols acknowledge before the slow mirror finishes;")
+	fmt.Println("sync protocols guarantee both replicas before returning.")
+}

@@ -1,0 +1,149 @@
+package blast
+
+import (
+	"pario/internal/align"
+)
+
+// Word lookup tables map fixed-length words of the subject stream to
+// query positions where a seed hit should be investigated.
+
+// nucLookup indexes a nucleotide query's exact W-mers by their 2W-bit
+// packed value (W up to 31, covering megablast's 28-mers).
+type nucLookup struct {
+	w    int
+	mask uint64
+	pos  map[uint64][]int32
+}
+
+// buildNucLookup indexes every word of the dense-coded query whose
+// positions are all unmasked (masked = nil disables filtering).
+func buildNucLookup(query []byte, w int, masked []bool) *nucLookup {
+	lt := &nucLookup{
+		w:    w,
+		mask: (1 << (2 * uint(w))) - 1,
+		pos:  make(map[uint64][]int32),
+	}
+	if len(query) < w {
+		return lt
+	}
+	var word uint64
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			lt.pos[word] = append(lt.pos[word], int32(i-w+1))
+		}
+	}
+	return lt
+}
+
+// scan streams the subject's words and calls hit(queryPos, subjectPos)
+// for each seed match. subjectPos is the word's start offset.
+func (lt *nucLookup) scan(subject []byte, hit func(qpos, spos int)) {
+	if len(subject) < lt.w {
+		return
+	}
+	var word uint64
+	for i := 0; i < len(subject); i++ {
+		word = (word<<2 | uint64(subject[i])) & lt.mask
+		if i >= lt.w-1 {
+			if positions, ok := lt.pos[word]; ok {
+				spos := i - lt.w + 1
+				for _, qpos := range positions {
+					hit(int(qpos), spos)
+				}
+			}
+		}
+	}
+}
+
+// protLookup indexes a protein query's neighborhood words: every
+// possible W-mer scoring >= threshold against some query word, under
+// the scheme's substitution matrix.
+type protLookup struct {
+	w        int
+	alphabet int
+	buckets  [][]int32 // word index -> query positions
+}
+
+// buildProtLookup enumerates neighborhood words for each unmasked
+// query position. alphabet is the dense protein alphabet size.
+func buildProtLookup(query []byte, w, threshold, alphabet int, s *align.Scheme, masked []bool) *protLookup {
+	size := 1
+	for i := 0; i < w; i++ {
+		size *= alphabet
+	}
+	lt := &protLookup{w: w, alphabet: alphabet, buckets: make([][]int32, size)}
+	if len(query) < w {
+		return lt
+	}
+	// For each query word, enumerate candidate words with branch and
+	// bound: at depth d, the best achievable remainder is the sum of
+	// per-position maxima.
+	maxRemain := make([]int, w+1) // maxRemain[d] = max achievable score from positions d..w-1
+	word := make([]byte, w)
+	for qpos := 0; qpos+w <= len(query); qpos++ {
+		if !wordAllowed(masked, qpos, w) {
+			continue
+		}
+		qw := query[qpos : qpos+w]
+		maxRemain[w] = 0
+		for d := w - 1; d >= 0; d-- {
+			best := -(1 << 30)
+			for c := 0; c < alphabet; c++ {
+				if sc := s.Table[qw[d]][c]; sc > best {
+					best = sc
+				}
+			}
+			maxRemain[d] = maxRemain[d+1] + best
+		}
+		lt.enumerate(qw, word, 0, 0, threshold, maxRemain, int32(qpos), s)
+	}
+	return lt
+}
+
+func (lt *protLookup) enumerate(qw, word []byte, depth, score, threshold int, maxRemain []int, qpos int32, s *align.Scheme) {
+	if depth == lt.w {
+		if score >= threshold {
+			idx := lt.wordIndex(word)
+			lt.buckets[idx] = append(lt.buckets[idx], qpos)
+		}
+		return
+	}
+	if score+maxRemain[depth] < threshold {
+		return // prune: cannot reach threshold
+	}
+	row := s.Table[qw[depth]]
+	for c := 0; c < lt.alphabet; c++ {
+		word[depth] = byte(c)
+		lt.enumerate(qw, word, depth+1, score+row[c], threshold, maxRemain, qpos, s)
+	}
+}
+
+func (lt *protLookup) wordIndex(word []byte) int {
+	idx := 0
+	for _, c := range word {
+		idx = idx*lt.alphabet + int(c)
+	}
+	return idx
+}
+
+// scan streams the subject's words and reports seed hits.
+func (lt *protLookup) scan(subject []byte, hit func(qpos, spos int)) {
+	if len(subject) < lt.w {
+		return
+	}
+	// Rolling index: idx = idx*alphabet + next, modulo alphabet^w.
+	modulo := len(lt.buckets)
+	idx := 0
+	for i := 0; i < len(subject); i++ {
+		idx = (idx*lt.alphabet + int(subject[i])) % modulo
+		if i >= lt.w-1 {
+			if positions := lt.buckets[idx]; positions != nil {
+				spos := i - lt.w + 1
+				for _, qpos := range positions {
+					hit(int(qpos), spos)
+				}
+			}
+		}
+	}
+}

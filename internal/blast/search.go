@@ -1,0 +1,581 @@
+package blast
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"pario/internal/align"
+	"pario/internal/seq"
+)
+
+// HSP is a high-scoring segment pair: one local alignment between the
+// query and a subject. Coordinates are 0-based half-open offsets into
+// the original (untranslated) sequences' forward strands.
+type HSP struct {
+	Score    int
+	BitScore float64
+	EValue   float64
+
+	QueryFrom, QueryTo     int
+	SubjectFrom, SubjectTo int
+
+	// QueryFrame/SubjectFrame are translation frames for translated
+	// programs; +1/-1 mark strands for blastn; 0 means untranslated
+	// forward.
+	QueryFrame   seq.Frame
+	SubjectFrame seq.Frame
+
+	// Alignment is the traceback over the compared (possibly
+	// translated) letter data; coordinates inside it are in
+	// comparison space, not original space.
+	Alignment *align.Alignment
+
+	Identities int
+	AlignLen   int
+	Gaps       int
+}
+
+// Hit groups the HSPs found in one subject sequence, best first.
+type Hit struct {
+	SubjectID   string
+	SubjectDesc string
+	SubjectLen  int
+	HSPs        []HSP
+}
+
+// BestEValue returns the e-value of the hit's best HSP.
+func (h *Hit) BestEValue() float64 {
+	if len(h.HSPs) == 0 {
+		return math.Inf(1)
+	}
+	return h.HSPs[0].EValue
+}
+
+// SearchStats summarizes the work a search performed.
+type SearchStats struct {
+	DBSequences   int64
+	DBLetters     int64
+	SeedHits      int64
+	UngappedExts  int64
+	GappedExts    int64
+	ReportedHSPs  int64
+	EffSearchLen  int64
+	Lambda, K, H  float64
+	LengthAdjust  int
+	RawScoreCut   int
+	GapTriggerRaw int
+	// MaskedLetters counts query letters hidden from seeding by the
+	// low-complexity filter, summed over query views.
+	MaskedLetters int64
+}
+
+// Result is the outcome of searching one query against a database.
+type Result struct {
+	Program  Program
+	QueryID  string
+	QueryLen int
+	Hits     []Hit
+	Stats    SearchStats
+}
+
+// SubjectSource streams database sequences; Next returns io.EOF after
+// the last one.
+type SubjectSource interface {
+	Next() (*seq.Sequence, error)
+}
+
+// SliceSource adapts an in-memory sequence slice to SubjectSource.
+type SliceSource struct {
+	Seqs []*seq.Sequence
+	i    int
+}
+
+// Next returns the next sequence or io.EOF.
+func (s *SliceSource) Next() (*seq.Sequence, error) {
+	if s.i >= len(s.Seqs) {
+		return nil, io.EOF
+	}
+	sq := s.Seqs[s.i]
+	s.i++
+	return sq, nil
+}
+
+// DBInfo carries the database-wide totals needed for statistics. If
+// the caller leaves it zero, Search falls back to per-stream counting
+// (two-pass semantics are avoided by computing e-values at the end).
+type DBInfo struct {
+	Letters   int64
+	Sequences int64
+}
+
+// Search runs a BLAST search of query against the subjects under p.
+// DBInfo supplies database-wide totals for e-value statistics; when
+// zero they are accumulated from the stream itself.
+func Search(query *seq.Sequence, subjects SubjectSource, info DBInfo, p Params) (*Result, error) {
+	p = p.Defaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if query.Kind != p.Program.QueryKind() {
+		return nil, fmt.Errorf("blast: %s expects a %s query, got %s",
+			p.Program, p.Program.QueryKind(), query.Kind)
+	}
+	eng, err := newEngine(query, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Program: p.Program, QueryID: query.ID, QueryLen: query.Len()}
+
+	var raw []rawHit
+	var dbLetters, dbSeqs int64
+	for {
+		subj, err := subjects.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if subj.Kind != p.Program.DBKind() {
+			return nil, fmt.Errorf("blast: %s expects a %s database, got %s in %s",
+				p.Program, p.Program.DBKind(), subj.Kind, subj.ID)
+		}
+		dbLetters += int64(subj.Len())
+		dbSeqs++
+		hsps := eng.searchSubject(subj)
+		if len(hsps) > 0 {
+			raw = append(raw, rawHit{subject: subj, hsps: hsps})
+		}
+	}
+	if info.Letters == 0 {
+		info.Letters = dbLetters
+	}
+	if info.Sequences == 0 {
+		info.Sequences = dbSeqs
+	}
+	res.Stats = eng.stats
+	res.Stats.DBLetters = dbLetters
+	res.Stats.DBSequences = dbSeqs
+	eng.finalize(res, raw, info)
+	return res, nil
+}
+
+type rawHit struct {
+	subject *seq.Sequence
+	hsps    []rawHSP
+}
+
+// rawHSP is an HSP before statistics: comparison-space coordinates.
+type rawHSP struct {
+	score                  int
+	qFrom, qTo, sFrom, sTo int // comparison space
+	qFrame, sFrame         seq.Frame
+	alignment              *align.Alignment
+}
+
+// engine holds per-query immutable search state.
+type engine struct {
+	p     Params
+	stats SearchStats
+
+	// Comparison-space query views: for blastn, the forward and
+	// reverse-complement strands; for blastx/tblastx, six frames; for
+	// blastp/tblastn, the query itself.
+	views []queryView
+
+	gapTriggerRaw int
+	kpGap         KarlinParams
+	freqs         []float64
+
+	// megablast mode
+	greedy      align.GreedyScheme
+	greedyScale int // divide greedy scores by this to match the scheme's units
+}
+
+// queryView is one comparison-space rendering of the query.
+type queryView struct {
+	frame  seq.Frame
+	codes  []byte
+	lookup interface {
+		scan(subject []byte, hit func(qpos, spos int))
+	}
+	origLen int // original query length (for coordinate mapping)
+}
+
+func newEngine(query *seq.Sequence, p Params) (*engine, error) {
+	eng := &engine{p: p}
+	if p.Program.comparisonIsProtein() {
+		eng.freqs = RobinsonFreqs
+	} else {
+		eng.freqs = UniformNucFreqs
+	}
+	kpU, err := ComputeUngappedParams(p.Scheme, eng.freqs)
+	if err != nil {
+		return nil, err
+	}
+	eng.kpGap, err = GappedParams(p.Scheme, eng.freqs)
+	if err != nil {
+		return nil, err
+	}
+	eng.stats.Lambda, eng.stats.K, eng.stats.H = eng.kpGap.Lambda, eng.kpGap.K, eng.kpGap.H
+	eng.gapTriggerRaw = int(math.Ceil((p.GapTriggerBits*math.Ln2 + math.Log(kpU.K)) / kpU.Lambda))
+	if eng.gapTriggerRaw < 1 {
+		eng.gapTriggerRaw = 1
+	}
+	eng.stats.GapTriggerRaw = eng.gapTriggerRaw
+	if p.Greedy {
+		match := p.Scheme.Table[0][0]
+		mismatch := p.Scheme.Table[0][1]
+		eng.greedy = align.NewGreedyScheme(match, mismatch)
+		eng.greedyScale = eng.greedy.Match / match
+	}
+
+	addNucView := func(s *seq.Sequence, frame seq.Frame) {
+		codes := s.Codes()
+		var masked []bool
+		if p.Filter {
+			ivs := DustMask(s, p.Dust)
+			masked = maskFlags(len(codes), ivs)
+			eng.stats.MaskedLetters += int64(TotalMasked(ivs))
+		}
+		eng.views = append(eng.views, queryView{
+			frame:   frame,
+			codes:   codes,
+			lookup:  buildNucLookup(codes, p.WordSize, masked),
+			origLen: query.Len(),
+		})
+	}
+	addProtView := func(s *seq.Sequence, frame seq.Frame) {
+		codes := s.Codes()
+		var masked []bool
+		if p.Filter {
+			ivs := SegMask(s, p.Seg)
+			masked = maskFlags(len(codes), ivs)
+			eng.stats.MaskedLetters += int64(TotalMasked(ivs))
+		}
+		eng.views = append(eng.views, queryView{
+			frame:   frame,
+			codes:   codes,
+			lookup:  buildProtLookup(codes, p.WordSize, p.Threshold, seq.NumAA, p.Scheme, masked),
+			origLen: query.Len(),
+		})
+	}
+
+	switch p.Program {
+	case BlastN:
+		addNucView(query, 1)
+		if p.BothStrands {
+			addNucView(query.ReverseComplement(), -1)
+		}
+	case BlastP, TBlastN:
+		addProtView(query, 0)
+	case BlastX, TBlastX:
+		for _, f := range seq.Frames {
+			addProtView(seq.Translate(query, f), f)
+		}
+	}
+	return eng, nil
+}
+
+// subjectView renders a subject into comparison space.
+type subjectView struct {
+	frame   seq.Frame
+	codes   []byte
+	origLen int
+}
+
+func (eng *engine) subjectViews(subj *seq.Sequence) []subjectView {
+	switch eng.p.Program {
+	case BlastN, BlastP, BlastX:
+		return []subjectView{{frame: frameFor(eng.p.Program, subj), codes: subj.Codes(), origLen: subj.Len()}}
+	default: // TBlastN, TBlastX: translate the subject
+		out := make([]subjectView, 0, 6)
+		for _, f := range seq.Frames {
+			tr := seq.Translate(subj, f)
+			out = append(out, subjectView{frame: f, codes: tr.Codes(), origLen: subj.Len()})
+		}
+		return out
+	}
+}
+
+func frameFor(p Program, subj *seq.Sequence) seq.Frame {
+	if p == BlastN {
+		return 1
+	}
+	return 0
+}
+
+// searchSubject runs the seeded search of every query view against
+// every subject view and returns comparison-space HSPs.
+func (eng *engine) searchSubject(subj *seq.Sequence) []rawHSP {
+	var out []rawHSP
+	for _, sv := range eng.subjectViews(subj) {
+		for vi := range eng.views {
+			qv := &eng.views[vi]
+			out = append(out, eng.searchPair(qv, &sv, subj)...)
+		}
+	}
+	return out
+}
+
+// diagState tracks per-diagonal progress: the end of the last
+// extension (to suppress redundant seeds) and the last seed position
+// (for the two-hit rule).
+type diagState struct {
+	lastExtEnd int32 // subject offset up to which the diagonal is covered
+	lastSeed   int32 // subject offset of the previous unextended seed + 1 (0 = none)
+}
+
+func (eng *engine) searchPair(qv *queryView, sv *subjectView, subj *seq.Sequence) []rawHSP {
+	q, s := qv.codes, sv.codes
+	if len(q) < eng.p.WordSize || len(s) < eng.p.WordSize {
+		return nil
+	}
+	nDiags := len(q) + len(s)
+	diags := make([]diagState, nDiags)
+	offset := len(q) // diagonal index = spos - qpos + len(q)
+	twoHit := eng.p.TwoHitWindow > 0
+	var hsps []rawHSP
+
+	handleSeed := func(qpos, spos int) {
+		eng.stats.SeedHits++
+		d := spos - qpos + offset
+		ds := &diags[d]
+		if int32(spos) < ds.lastExtEnd {
+			return // already inside an extension on this diagonal
+		}
+		if twoHit {
+			last := ds.lastSeed
+			ds.lastSeed = int32(spos) + 1
+			if last == 0 {
+				return // first hit on this diagonal: remember and wait
+			}
+			gap := spos - int(last-1)
+			if gap <= 0 || gap > eng.p.TwoHitWindow {
+				return // overlapping or too far apart: keep waiting
+			}
+		}
+		var gscore, qFrom, qTo, sFrom, sTo int
+		if eng.p.Greedy {
+			// Megablast: greedy gapped extension straight from the
+			// seed midpoint (seeds are long exact matches, so the
+			// midpoint pair is guaranteed aligned).
+			eng.stats.GappedExts++
+			mid := eng.p.WordSize / 2
+			raw, a0, a1, b0, b1 := align.GreedyExtend(q, s, qpos+mid, spos+mid,
+				eng.greedy, eng.p.XDropGapped*eng.greedyScale)
+			gscore, qFrom, qTo, sFrom, sTo = raw/eng.greedyScale, a0, a1, b0, b1
+			ds.lastExtEnd = int32(sTo)
+			if gscore < eng.gapTriggerRaw {
+				return
+			}
+		} else {
+			eng.stats.UngappedExts++
+			score, _, aTo, _, bTo := align.ExtendUngapped(q, s, qpos, spos, eng.p.WordSize, eng.p.Scheme, eng.p.XDropUngapped)
+			ds.lastExtEnd = int32(bTo)
+			if score < eng.gapTriggerRaw {
+				return
+			}
+			eng.stats.GappedExts++
+			// Anchor the gapped extension at the middle of the ungapped
+			// HSP's diagonal run.
+			mid := (aTo - qpos) / 2
+			ai := qpos + mid
+			bi := spos + mid
+			if ai >= len(q) || bi >= len(s) {
+				ai, bi = qpos, spos
+			}
+			gscore, qFrom, qTo, sFrom, sTo = align.ExtendGapped(q, s, ai, bi, eng.p.Scheme, eng.p.XDropGapped)
+			if gscore < eng.gapTriggerRaw {
+				return
+			}
+		}
+		ds.lastExtEnd = int32(sTo)
+		hsps = append(hsps, rawHSP{
+			score: gscore,
+			qFrom: qFrom, qTo: qTo, sFrom: sFrom, sTo: sTo,
+			qFrame: qv.frame, sFrame: sv.frame,
+		})
+	}
+
+	qv.lookup.scan(s, handleSeed)
+	return cullHSPs(hsps)
+}
+
+// cullHSPs removes HSPs contained inside a higher-scoring HSP in both
+// coordinates (redundant extensions of the same alignment).
+func cullHSPs(hsps []rawHSP) []rawHSP {
+	if len(hsps) <= 1 {
+		return hsps
+	}
+	sort.Slice(hsps, func(i, j int) bool { return hsps[i].score > hsps[j].score })
+	var kept []rawHSP
+	for _, h := range hsps {
+		contained := false
+		for _, k := range kept {
+			if h.qFrame == k.qFrame && h.sFrame == k.sFrame &&
+				h.qFrom >= k.qFrom && h.qTo <= k.qTo &&
+				h.sFrom >= k.sFrom && h.sTo <= k.sTo {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, h)
+		}
+	}
+	return kept
+}
+
+// finalize computes statistics, tracebacks and report ordering.
+func (eng *engine) finalize(res *Result, raw []rawHit, info DBInfo) {
+	p := eng.p
+	kp := eng.kpGap
+	// Translated comparisons run in residue space: a nucleotide query
+	// or database contributes length/3 residues per frame to the
+	// effective search space (NCBI's convention).
+	queryLen := res.QueryLen
+	if p.Program == BlastX || p.Program == TBlastX {
+		queryLen /= 3
+	}
+	dbLetters := info.Letters
+	if p.Program == TBlastN || p.Program == TBlastX {
+		dbLetters /= 3
+	}
+	if queryLen < 1 {
+		queryLen = 1
+	}
+	if dbLetters < 1 {
+		dbLetters = 1
+	}
+	la := LengthAdjustment(kp, queryLen, dbLetters, info.Sequences)
+	effQuery := int64(queryLen - la)
+	if effQuery < 1 {
+		effQuery = 1
+	}
+	effDB := dbLetters - int64(info.Sequences)*int64(la)
+	if effDB < 1 {
+		effDB = 1
+	}
+	res.Stats.LengthAdjust = la
+	res.Stats.EffSearchLen = effQuery * effDB
+	res.Stats.RawScoreCut = kp.RawCutoff(p.EValue, effQuery, effDB)
+
+	for _, rh := range raw {
+		hit := Hit{
+			SubjectID:   rh.subject.ID,
+			SubjectDesc: rh.subject.Desc,
+			SubjectLen:  rh.subject.Len(),
+		}
+		for _, r := range rh.hsps {
+			ev := kp.EValue(r.score, effQuery, effDB)
+			if ev > p.EValue {
+				continue
+			}
+			h := eng.traceback(r, rh.subject)
+			h.BitScore = kp.BitScore(r.score)
+			h.EValue = ev
+			hit.HSPs = append(hit.HSPs, h)
+		}
+		if len(hit.HSPs) == 0 {
+			continue
+		}
+		sort.Slice(hit.HSPs, func(i, j int) bool { return hit.HSPs[i].Score > hit.HSPs[j].Score })
+		res.Hits = append(res.Hits, hit)
+		res.Stats.ReportedHSPs += int64(len(hit.HSPs))
+	}
+	sort.Slice(res.Hits, func(i, j int) bool {
+		ei, ej := res.Hits[i].BestEValue(), res.Hits[j].BestEValue()
+		if ei != ej {
+			return ei < ej
+		}
+		return res.Hits[i].SubjectID < res.Hits[j].SubjectID
+	})
+	if p.MaxTargetSeqs > 0 && len(res.Hits) > p.MaxTargetSeqs {
+		res.Hits = res.Hits[:p.MaxTargetSeqs]
+	}
+}
+
+// traceback recomputes the exact alignment of a raw HSP region and
+// maps the coordinates back to the original sequences.
+func (eng *engine) traceback(r rawHSP, subj *seq.Sequence) HSP {
+	qCodes := eng.viewCodes(r.qFrame)
+	sCodes := eng.subjectCodes(subj, r.sFrame)
+	qRegion := qCodes[r.qFrom:r.qTo]
+	sRegion := sCodes[r.sFrom:r.sTo]
+	al := align.SmithWaterman(qRegion, sRegion, eng.p.Scheme)
+	// Shift the alignment into view coordinates.
+	al.AStart += r.qFrom
+	al.AEnd += r.qFrom
+	al.BStart += r.sFrom
+	al.BEnd += r.sFrom
+	matches, cols := al.Identity(qCodes, sCodes)
+	h := HSP{
+		Score:      r.score,
+		QueryFrame: r.qFrame, SubjectFrame: r.sFrame,
+		Alignment:  al,
+		Identities: matches,
+		AlignLen:   cols,
+		Gaps:       al.Gaps(),
+	}
+	// The traceback alignment may score differently from the X-drop
+	// estimate; prefer the exact score when it is higher.
+	if al.Score > h.Score {
+		h.Score = al.Score
+	}
+	qTrans := eng.p.Program == BlastX || eng.p.Program == TBlastX
+	sTrans := eng.p.Program == TBlastN || eng.p.Program == TBlastX
+	h.QueryFrom, h.QueryTo = mapToOriginal(al.AStart, al.AEnd, r.qFrame, eng.queryOrigLen(), qTrans)
+	h.SubjectFrom, h.SubjectTo = mapToOriginal(al.BStart, al.BEnd, r.sFrame, subj.Len(), sTrans)
+	return h
+}
+
+func (eng *engine) queryOrigLen() int { return eng.views[0].origLen }
+
+func (eng *engine) viewCodes(frame seq.Frame) []byte {
+	for i := range eng.views {
+		if eng.views[i].frame == frame {
+			return eng.views[i].codes
+		}
+	}
+	return eng.views[0].codes
+}
+
+func (eng *engine) subjectCodes(subj *seq.Sequence, frame seq.Frame) []byte {
+	switch eng.p.Program {
+	case TBlastN, TBlastX:
+		return seq.Translate(subj, frame).Codes()
+	default:
+		return subj.Codes()
+	}
+}
+
+// mapToOriginal converts comparison-space extents [from,to) into
+// forward-strand coordinates of the original sequence of length n.
+// For untranslated views, frame +1 is the forward strand and frame -1
+// the reverse complement; for translated views the protein positions
+// map back through their codons.
+func mapToOriginal(from, to int, frame seq.Frame, n int, translated bool) (int, int) {
+	if frame == 0 {
+		return from, to
+	}
+	if !translated {
+		if frame == 1 {
+			return from, to
+		}
+		// Reverse strand: position i of the RC maps to n-1-i forward.
+		return n - to, n - from
+	}
+	if frame > 0 {
+		start := seq.ProteinToNucPos(from, frame, n)
+		end := seq.ProteinToNucPos(to-1, frame, n) + 3
+		return start, end
+	}
+	// Negative translated frames: protein positions increase as
+	// forward coordinates decrease.
+	start := seq.ProteinToNucPos(to-1, frame, n)
+	end := seq.ProteinToNucPos(from, frame, n) + 3
+	return start, end
+}

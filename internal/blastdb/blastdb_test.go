@@ -1,0 +1,442 @@
+package blastdb
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pario/internal/chio"
+	"pario/internal/seq"
+	"pario/internal/util"
+)
+
+func randomSeqs(rng *util.RNG, n, minLen, maxLen int) []*seq.Sequence {
+	out := make([]*seq.Sequence, n)
+	for i := range out {
+		ln := minLen + rng.Intn(maxLen-minLen+1)
+		data := make([]byte, ln)
+		for j := range data {
+			data[j] = seq.NucLetter[rng.Intn(4)]
+		}
+		out[i] = &seq.Sequence{
+			ID:   "seq" + string(rune('A'+i%26)) + string(rune('0'+i/26)),
+			Desc: "synthetic",
+			Kind: seq.Nucleotide,
+			Data: data,
+		}
+	}
+	return out
+}
+
+func fastaOf(t *testing.T, seqs []*seq.Sequence) *seq.FastaReader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := seq.WriteFasta(&buf, 70, seqs...); err != nil {
+		t.Fatal(err)
+	}
+	return seq.NewFastaReader(&buf, seq.Nucleotide)
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(21)
+	seqs := randomSeqs(rng, 10, 50, 500)
+
+	f, err := fs.Create("frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFragmentWriter(f, seq.Nucleotide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seqs {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := OpenFragment(fs, "frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if fr.NumSequences() != len(seqs) {
+		t.Fatalf("count = %d, want %d", fr.NumSequences(), len(seqs))
+	}
+	var wantLetters int64
+	for i, want := range seqs {
+		got, err := fr.Sequence(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Desc != want.Desc {
+			t.Errorf("seq %d defline: %q %q", i, got.ID, got.Desc)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("seq %d data mismatch", i)
+		}
+		wantLetters += int64(want.Len())
+	}
+	if fr.Letters() != wantLetters {
+		t.Errorf("letters = %d, want %d", fr.Letters(), wantLetters)
+	}
+}
+
+func TestFragmentProteinRoundTrip(t *testing.T) {
+	fs := chio.NewMemFS()
+	prot := &seq.Sequence{ID: "p1", Desc: "test", Kind: seq.Protein,
+		Data: []byte("MKWVTFISLLLLFSSAYS")}
+	f, _ := fs.Create("frag")
+	w, err := NewFragmentWriter(f, seq.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(prot); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenFragment(fs, "frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	got, err := fr.Sequence(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, prot.Data) || got.Kind != seq.Protein {
+		t.Errorf("protein round trip: %+v", got)
+	}
+}
+
+func TestFragmentWriterRejectsWrongKind(t *testing.T) {
+	fs := chio.NewMemFS()
+	f, _ := fs.Create("frag")
+	w, err := NewFragmentWriter(f, seq.Nucleotide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	prot := &seq.Sequence{ID: "p", Kind: seq.Protein, Data: []byte("MKV")}
+	if err := w.Append(prot); err == nil {
+		t.Error("protein accepted into nucleotide fragment")
+	}
+}
+
+func TestOpenFragmentBadMagic(t *testing.T) {
+	fs := chio.NewMemFS()
+	if err := chio.WriteFull(fs, "junk", bytes.Repeat([]byte("x"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFragment(fs, "junk"); err == nil {
+		t.Error("junk file opened as fragment")
+	}
+	if _, err := OpenFragment(fs, "missing"); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+func TestFormatBalancesFragments(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(22)
+	seqs := randomSeqs(rng, 64, 100, 2000)
+	a, err := Format(fs, "nt", seq.Nucleotide, 4, fastaOf(t, seqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fragments) != 4 {
+		t.Fatalf("fragments = %d", len(a.Fragments))
+	}
+	var total int64
+	min, max := int64(1<<60), int64(0)
+	for _, fi := range a.Fragments {
+		total += fi.Letters
+		if fi.Letters < min {
+			min = fi.Letters
+		}
+		if fi.Letters > max {
+			max = fi.Letters
+		}
+	}
+	if total != a.Letters {
+		t.Errorf("fragment letters %d != alias letters %d", total, a.Letters)
+	}
+	// Greedy balancing should keep fragments within ~1 max-sequence
+	// of each other.
+	if max-min > 2000 {
+		t.Errorf("imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func TestFormatAndReadBack(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(23)
+	seqs := randomSeqs(rng, 30, 50, 300)
+	if _, err := Format(fs, "db", seq.Nucleotide, 3, fastaOf(t, seqs)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadAlias(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seqs != 30 || a.Kind != seq.Nucleotide || a.Title != "db" {
+		t.Errorf("alias: %+v", a)
+	}
+	frags, err := OpenAll(fs, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]byte{}
+	for _, fr := range frags {
+		for i := 0; i < fr.NumSequences(); i++ {
+			s, err := fr.Sequence(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[s.ID] = s.Data
+		}
+		fr.Close()
+	}
+	if len(got) != len(seqs) {
+		t.Fatalf("read back %d sequences, want %d", len(got), len(seqs))
+	}
+	for _, want := range seqs {
+		if !bytes.Equal(got[want.ID], want.Data) {
+			t.Errorf("sequence %s corrupted", want.ID)
+		}
+	}
+}
+
+func TestFragmentSourceStreamsAll(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(24)
+	seqs := randomSeqs(rng, 25, 200, 900)
+	if _, err := Format(fs, "db", seq.Nucleotide, 1, fastaOf(t, seqs)); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenFragment(fs, FragmentPath("db", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	// A tiny chunk size forces multiple refills.
+	src := fr.Source(512)
+	var count int
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Data) == 0 {
+			t.Errorf("empty sequence %s", s.ID)
+		}
+		count++
+	}
+	if count != 25 {
+		t.Errorf("streamed %d sequences, want 25", count)
+	}
+}
+
+func TestFragmentSourceMatchesRandomAccess(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(25)
+	seqs := randomSeqs(rng, 12, 50, 400)
+	if _, err := Format(fs, "db", seq.Nucleotide, 1, fastaOf(t, seqs)); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenFragment(fs, FragmentPath("db", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	src := fr.Source(0)
+	for i := 0; ; i++ {
+		streamed, err := src.Next()
+		if err == io.EOF {
+			if i != fr.NumSequences() {
+				t.Fatalf("stream ended at %d of %d", i, fr.NumSequences())
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := fr.Sequence(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamed.ID != direct.ID || !bytes.Equal(streamed.Data, direct.Data) {
+			t.Errorf("sequence %d differs between stream and random access", i)
+		}
+	}
+}
+
+func TestAliasRoundTrip(t *testing.T) {
+	a := &Alias{
+		Title: "nt", Kind: seq.Nucleotide, Seqs: 100, Letters: 54321,
+		Fragments: []FragmentInfo{
+			{Path: "nt.000.pfr", Seqs: 50, Letters: 30000},
+			{Path: "nt.001.pfr", Seqs: 50, Letters: 24321},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAlias(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != a.Title || back.Seqs != a.Seqs || back.Letters != a.Letters {
+		t.Errorf("round trip: %+v", back)
+	}
+	if len(back.Fragments) != 2 || back.Fragments[1].Letters != 24321 {
+		t.Errorf("fragments: %+v", back.Fragments)
+	}
+}
+
+func TestParseAliasErrors(t *testing.T) {
+	cases := []string{
+		"", // no fragments
+		"KIND alien\nFRAGMENT f 1 1\n",
+		"BOGUS x\n",
+		"FRAGMENT onlypath\n",
+		"SEQS notanumber\nFRAGMENT f 1 1\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseAlias(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseAlias(%q) should fail", c)
+		}
+	}
+}
+
+func TestFormatZeroFragments(t *testing.T) {
+	fs := chio.NewMemFS()
+	if _, err := Format(fs, "x", seq.Nucleotide, 0, fastaOf(t, nil)); err == nil {
+		t.Error("zero fragments accepted")
+	}
+}
+
+func TestFragmentPathNames(t *testing.T) {
+	if FragmentPath("nt", 7) != "nt.007.pfr" {
+		t.Errorf("FragmentPath = %s", FragmentPath("nt", 7))
+	}
+	if AliasPath("nt") != "nt.pal" {
+		t.Errorf("AliasPath = %s", AliasPath("nt"))
+	}
+}
+
+func TestChecksumVerification(t *testing.T) {
+	fs := chio.NewMemFS()
+	rng := util.NewRNG(26)
+	seqs := randomSeqs(rng, 8, 100, 600)
+	if _, err := Format(fs, "db", seq.Nucleotide, 1, fastaOf(t, seqs)); err != nil {
+		t.Fatal(err)
+	}
+	path := FragmentPath("db", 0)
+	fr, err := OpenFragment(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.VerifyChecksum(); err != nil {
+		t.Fatalf("clean fragment failed verification: %v", err)
+	}
+	fr.Close()
+
+	// Flip one byte in the data region: verification must fail.
+	raw, err := chio.ReadFull(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+10] ^= 0xFF
+	if err := chio.WriteFull(fs, path, raw); err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := OpenFragment(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr2.Close()
+	if err := fr2.VerifyChecksum(); err == nil {
+		t.Fatal("corrupted fragment passed verification")
+	}
+}
+
+func TestFragmentRoundTripQuick(t *testing.T) {
+	// Property: any set of valid DNA sequences written to a fragment
+	// reads back identically (IDs, deflines, letters), in order.
+	fs := chio.NewMemFS()
+	counter := 0
+	f := func(raw [][]byte, descSel []bool) bool {
+		counter++
+		name := "q" + string(rune('0'+counter%10)) + string(rune('0'+(counter/10)%10))
+		var seqs []*seq.Sequence
+		for i, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			data := make([]byte, len(r))
+			for j, b := range r {
+				data[j] = seq.NucLetter[b&3]
+			}
+			desc := ""
+			if i < len(descSel) && descSel[i] {
+				desc = "described"
+			}
+			seqs = append(seqs, &seq.Sequence{
+				ID:   "s" + string(rune('A'+i%26)),
+				Desc: desc,
+				Kind: seq.Nucleotide,
+				Data: data,
+			})
+		}
+		fh, err := fs.Create(name)
+		if err != nil {
+			return false
+		}
+		w, err := NewFragmentWriter(fh, seq.Nucleotide)
+		if err != nil {
+			return false
+		}
+		for _, s := range seqs {
+			if err := w.Append(s); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		fr, err := OpenFragment(fs, name)
+		if err != nil {
+			return false
+		}
+		defer fr.Close()
+		if fr.NumSequences() != len(seqs) {
+			return false
+		}
+		if err := fr.VerifyChecksum(); err != nil {
+			return false
+		}
+		for i, want := range seqs {
+			got, err := fr.Sequence(i)
+			if err != nil || got.ID != want.ID || got.Desc != want.Desc || !bytes.Equal(got.Data, want.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

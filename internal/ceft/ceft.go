@@ -1,0 +1,700 @@
+// Package ceft implements CEFT-PVFS, the Cost-Effective Fault-
+// Tolerant Parallel Virtual File System of Zhu et al.: a RAID-10
+// extension of PVFS. Files are striped across a primary group of data
+// servers and every stripe is duplicated onto a mirror group. The two
+// read optimizations the paper evaluates are implemented here:
+//
+//  1. Doubled read parallelism — a read fetches the first half of the
+//     requested range from one group and the second half from the
+//     other, so all 2G servers serve data for a single large read.
+//  2. Hot-spot skipping — the metadata server aggregates the load
+//     heartbeats of all data servers; the client skips servers whose
+//     load is far above their group's and reads the affected stripes
+//     from the mirror partner instead.
+//
+// The client implements chio.FileSystem, so the parallel BLAST code
+// runs over CEFT-PVFS unchanged.
+package ceft
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pario/internal/chio"
+	"pario/internal/pvfs"
+)
+
+// WriteProtocol selects how writes are duplicated onto the mirror
+// group — the four protocols of the CEFT-PVFS write-performance study
+// (Zhu et al., ClusterWorld 2003), trading reliability guarantees for
+// write latency.
+type WriteProtocol int
+
+const (
+	// ClientSync: the client writes both groups and waits for both
+	// (strongest guarantee, doubles client network traffic).
+	ClientSync WriteProtocol = iota
+	// ClientAsync: the client writes the primary group synchronously
+	// and duplicates to the mirror group in the background; Close
+	// flushes.
+	ClientAsync
+	// ServerSync: the client writes only the primary group; each
+	// primary server forwards to its mirror partner and acknowledges
+	// after the mirror confirms (halves client traffic, server pays).
+	ServerSync
+	// ServerAsync: like ServerSync but the primary acknowledges
+	// before forwarding; Close flushes the servers' forward queues
+	// (fastest, weakest window).
+	ServerAsync
+)
+
+// String names the protocol.
+func (w WriteProtocol) String() string {
+	switch w {
+	case ClientSync:
+		return "client-sync"
+	case ClientAsync:
+		return "client-async"
+	case ServerSync:
+		return "server-sync"
+	case ServerAsync:
+		return "server-async"
+	}
+	return fmt.Sprintf("WriteProtocol(%d)", int(w))
+}
+
+// Options tune the CEFT client.
+type Options struct {
+	// DoubledReads enables the split-range doubled-parallelism read
+	// path (§4.4 of the paper). Default true.
+	DoubledReads bool
+	// SkipHotSpots enables hot-spot avoidance (§4.5). Default true.
+	SkipHotSpots bool
+	// HotFactor: a server is hot when its load exceeds HotFactor x
+	// the median load of all servers (and MinHotLoad).
+	HotFactor float64
+	// MinHotLoad is an absolute load floor below which no server is
+	// considered hot, so idle systems never skip.
+	MinHotLoad float64
+	// LoadCacheTTL bounds how often the client polls the metadata
+	// server for load reports.
+	LoadCacheTTL time.Duration
+	// WriteProtocol selects the duplication protocol. The server-side
+	// protocols require the primary data servers to be started with
+	// their MirrorAddr configured.
+	WriteProtocol WriteProtocol
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		DoubledReads:  true,
+		SkipHotSpots:  true,
+		HotFactor:     4.0,
+		MinHotLoad:    0.75,
+		LoadCacheTTL:  250 * time.Millisecond,
+		WriteProtocol: ClientSync,
+	}
+}
+
+// Client is a CEFT-PVFS client over one metadata server, G primary
+// data servers and G mirror data servers. Data server IDs are
+// 0..G-1 (primary) and G..2G-1 (mirror): the mirror partner of
+// primary server i is server G+i.
+type Client struct {
+	opts    Options
+	meta    *pvfs.MetaConn
+	primary []*pvfs.DataConn
+	mirror  []*pvfs.DataConn
+
+	loadMu      sync.Mutex
+	loadFetched time.Time
+	hotPrimary  []bool
+	hotMirror   []bool
+
+	asyncWG  sync.WaitGroup
+	asyncMu  sync.Mutex
+	asyncErr error
+
+	failMu    sync.Mutex
+	failovers int64
+}
+
+// Failovers reports how many sub-reads were served by a mirror
+// partner after the preferred server failed (degraded-mode reads).
+func (cl *Client) Failovers() int64 {
+	cl.failMu.Lock()
+	defer cl.failMu.Unlock()
+	return cl.failovers
+}
+
+func (cl *Client) addFailovers(n int64) {
+	if n == 0 {
+		return
+	}
+	cl.failMu.Lock()
+	cl.failovers += n
+	cl.failMu.Unlock()
+}
+
+// partners returns, for each chosen connection, its mirror-pair
+// counterpart (the degraded-mode fallback).
+func (cl *Client) partners(conns []*pvfs.DataConn) []*pvfs.DataConn {
+	out := make([]*pvfs.DataConn, len(conns))
+	for i, d := range conns {
+		if d == cl.primary[i] {
+			out[i] = cl.mirror[i]
+		} else {
+			out[i] = cl.primary[i]
+		}
+	}
+	return out
+}
+
+// DialClient connects to the manager and both server groups.
+// primaryAddrs and mirrorAddrs must have equal length.
+func DialClient(mgrAddr string, primaryAddrs, mirrorAddrs []string, opts Options) (*Client, error) {
+	if len(primaryAddrs) == 0 || len(primaryAddrs) != len(mirrorAddrs) {
+		return nil, fmt.Errorf("ceft: need equal non-empty primary and mirror groups (got %d and %d)",
+			len(primaryAddrs), len(mirrorAddrs))
+	}
+	meta, err := pvfs.DialMeta(mgrAddr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{opts: opts, meta: meta}
+	for _, a := range primaryAddrs {
+		d, err := pvfs.DialData(a)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.primary = append(cl.primary, d)
+	}
+	for _, a := range mirrorAddrs {
+		d, err := pvfs.DialData(a)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.mirror = append(cl.mirror, d)
+	}
+	cl.hotPrimary = make([]bool, len(cl.primary))
+	cl.hotMirror = make([]bool, len(cl.mirror))
+	return cl, nil
+}
+
+// BackendName returns "ceft-pvfs".
+func (cl *Client) BackendName() string { return "ceft-pvfs" }
+
+// GroupSize returns the number of servers per group.
+func (cl *Client) GroupSize() int { return len(cl.primary) }
+
+// Close flushes asynchronous mirror writes and drops all connections.
+func (cl *Client) Close() error {
+	cl.asyncWG.Wait()
+	var first error
+	if cl.meta != nil {
+		first = cl.meta.Close()
+	}
+	for _, d := range cl.primary {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, d := range cl.mirror {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// refreshHotSet polls the manager's load map (rate-limited by the
+// TTL) and recomputes which servers are hot. A server is hot when its
+// load exceeds HotFactor x the median of all reported loads and the
+// MinHotLoad floor, and its mirror partner is not itself hot (the
+// paper's constraint: skipping works as long as no mirroring pair is
+// entirely hot).
+func (cl *Client) refreshHotSet() {
+	cl.loadMu.Lock()
+	defer cl.loadMu.Unlock()
+	if time.Since(cl.loadFetched) < cl.opts.LoadCacheTTL {
+		return
+	}
+	cl.loadFetched = time.Now()
+	loads, err := cl.meta.LoadQuery()
+	if err != nil {
+		return // keep the previous hot set
+	}
+	g := len(cl.primary)
+	all := make([]float64, 0, len(loads))
+	for _, v := range loads {
+		all = append(all, v)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Float64s(all)
+	median := all[len(all)/2]
+	cutoff := cl.opts.HotFactor * median
+	if cutoff < cl.opts.MinHotLoad {
+		cutoff = cl.opts.MinHotLoad
+	}
+	isHot := func(id int) bool {
+		v, ok := loads[id]
+		return ok && v > cutoff
+	}
+	for i := 0; i < g; i++ {
+		hp, hm := isHot(i), isHot(g+i)
+		// Never mark both sides of a pair: prefer skipping the hotter.
+		if hp && hm {
+			if loads[i] >= loads[g+i] {
+				hm = false
+			} else {
+				hp = false
+			}
+		}
+		cl.hotPrimary[i] = hp
+		cl.hotMirror[i] = hm
+	}
+}
+
+// pickConns returns, for each server index, the connection to use
+// when the preferred group is primary (or mirror), honoring hot-spot
+// skipping. skipped reports how many servers were redirected.
+func (cl *Client) pickConns(preferPrimary bool) (conns []*pvfs.DataConn, skipped int) {
+	g := len(cl.primary)
+	conns = make([]*pvfs.DataConn, g)
+	if cl.opts.SkipHotSpots {
+		cl.refreshHotSet()
+	}
+	cl.loadMu.Lock()
+	defer cl.loadMu.Unlock()
+	for i := 0; i < g; i++ {
+		usePrimary := preferPrimary
+		if cl.opts.SkipHotSpots {
+			if usePrimary && cl.hotPrimary[i] {
+				usePrimary = false
+				skipped++
+			} else if !usePrimary && cl.hotMirror[i] {
+				usePrimary = true
+				skipped++
+			}
+		}
+		if usePrimary {
+			conns[i] = cl.primary[i]
+		} else {
+			conns[i] = cl.mirror[i]
+		}
+	}
+	return conns, skipped
+}
+
+// Create implements chio.FileSystem.
+func (cl *Client) Create(name string) (chio.File, error) {
+	m, err := cl.meta.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	// Clear stale pieces on both groups.
+	g := len(cl.primary)
+	errs := make([]error, 2*g)
+	var wg sync.WaitGroup
+	clear := func(idx int, d *pvfs.DataConn) {
+		defer wg.Done()
+		errs[idx] = d.RemovePiece(m.Handle)
+	}
+	for i, d := range cl.primary {
+		wg.Add(1)
+		go clear(i, d)
+	}
+	for i, d := range cl.mirror {
+		wg.Add(1)
+		go clear(g+i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &file{cl: cl, meta: m}, nil
+}
+
+// Open implements chio.FileSystem.
+func (cl *Client) Open(name string) (chio.File, error) {
+	m, err := cl.meta.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{cl: cl, meta: m}, nil
+}
+
+// Stat implements chio.FileSystem.
+func (cl *Client) Stat(name string) (chio.FileInfo, error) {
+	m, err := cl.meta.Stat(name)
+	if err != nil {
+		return chio.FileInfo{}, err
+	}
+	return chio.FileInfo{Name: name, Size: m.Size}, nil
+}
+
+// Remove implements chio.FileSystem.
+func (cl *Client) Remove(name string) error {
+	m, err := cl.meta.Remove(name)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	rm := func(d *pvfs.DataConn) {
+		defer wg.Done()
+		d.RemovePiece(m.Handle)
+	}
+	for _, d := range cl.primary {
+		wg.Add(1)
+		go rm(d)
+	}
+	for _, d := range cl.mirror {
+		wg.Add(1)
+		go rm(d)
+	}
+	wg.Wait()
+	return nil
+}
+
+// List implements chio.FileSystem.
+func (cl *Client) List(prefix string) ([]chio.FileInfo, error) {
+	metas, err := cl.meta.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chio.FileInfo, 0, len(metas))
+	for _, m := range metas {
+		out = append(out, chio.FileInfo{Name: m.Name, Size: m.Size})
+	}
+	return out, nil
+}
+
+func (cl *Client) recordAsyncErr(err error) {
+	if err == nil {
+		return
+	}
+	cl.asyncMu.Lock()
+	if cl.asyncErr == nil {
+		cl.asyncErr = err
+	}
+	cl.asyncMu.Unlock()
+}
+
+// AsyncErr returns the first error from background mirror writes, if
+// any (only relevant with the ClientAsync protocol).
+func (cl *Client) AsyncErr() error {
+	cl.asyncMu.Lock()
+	defer cl.asyncMu.Unlock()
+	return cl.asyncErr
+}
+
+// file is an open CEFT file handle.
+type file struct {
+	cl   *Client
+	meta pvfs.Meta
+	mu   sync.Mutex
+	off  int64
+}
+
+func (f *file) Name() string { return f.meta.Name }
+
+func (f *file) refreshSize() error {
+	m, err := f.cl.meta.Stat(f.meta.Name)
+	if err != nil {
+		return err
+	}
+	f.meta.Size = m.Size
+	return nil
+}
+
+// pieceWriter issues one stripe-run write to a data server.
+type pieceWriter func(d *pvfs.DataConn, handle uint64, off int64, data []byte) error
+
+func plainWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePiece(handle, off, data)
+}
+
+func dupSyncWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePieceDup(handle, off, data, true)
+}
+
+func dupAsyncWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePieceDup(handle, off, data, false)
+}
+
+// writeRuns issues the per-server runs of one group using write.
+func writeRuns(conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for server, list := range runs {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(server int, list []pvfs.StripeRun) {
+			defer wg.Done()
+			d := conns[server]
+			for _, r := range list {
+				if err := write(d, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
+					errs[server] = err
+					return
+				}
+			}
+		}(server, list)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAt duplicates the write onto both groups (RAID-10) using the
+// configured duplication protocol.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ceft: negative write offset")
+	}
+	n := int64(len(p))
+	if n == 0 {
+		return 0, nil
+	}
+	runs := pvfs.Decompose(off, n, f.meta.StripeSize, len(f.cl.primary))
+	switch f.cl.opts.WriteProtocol {
+	case ClientSync:
+		var wg sync.WaitGroup
+		var perr, merr error
+		wg.Add(2)
+		go func() { defer wg.Done(); perr = writeRuns(f.cl.primary, runs, f.meta.Handle, p, plainWrite) }()
+		go func() { defer wg.Done(); merr = writeRuns(f.cl.mirror, runs, f.meta.Handle, p, plainWrite) }()
+		wg.Wait()
+		if perr != nil {
+			return 0, perr
+		}
+		if merr != nil {
+			return 0, merr
+		}
+	case ClientAsync:
+		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, plainWrite); err != nil {
+			return 0, err
+		}
+		dup := append([]byte(nil), p...)
+		f.cl.asyncWG.Add(1)
+		go func() {
+			defer f.cl.asyncWG.Done()
+			f.cl.recordAsyncErr(writeRuns(f.cl.mirror, runs, f.meta.Handle, dup, plainWrite))
+		}()
+	case ServerSync:
+		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, dupSyncWrite); err != nil {
+			return 0, err
+		}
+	case ServerAsync:
+		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, dupAsyncWrite); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("ceft: unknown write protocol %v", f.cl.opts.WriteProtocol)
+	}
+	if err := f.cl.meta.GrowSize(f.meta.Name, off+n); err != nil {
+		return 0, err
+	}
+	if off+n > f.meta.Size {
+		f.meta.Size = off + n
+	}
+	return int(n), nil
+}
+
+// readRuns issues per-server read runs against the chosen conns.
+// fallback, when non-nil, provides each server's mirror partner: a
+// failed sub-read is retried there, which is CEFT's RAID-10 degraded
+// mode (a dead server's data remains available on its mirror).
+func readRuns(conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	var failedOver int64
+	var mu sync.Mutex
+	for server, list := range runs {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(server int, list []pvfs.StripeRun) {
+			defer wg.Done()
+			d := conns[server]
+			for _, r := range list {
+				data, err := d.ReadPiece(handle, r.ServerOff, r.Length)
+				if err != nil && fallback != nil && fallback[server] != nil && fallback[server] != d {
+					mu.Lock()
+					failedOver++
+					mu.Unlock()
+					data, err = fallback[server].ReadPiece(handle, r.ServerOff, r.Length)
+				}
+				if err != nil {
+					errs[server] = err
+					return
+				}
+				copy(p[r.BufOff:r.BufOff+r.Length], data)
+			}
+		}(server, list)
+	}
+	wg.Wait()
+	if failovers != nil {
+		*failovers += failedOver
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt serves the read with doubled parallelism and hot-spot
+// skipping per the client options.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ceft: negative read offset")
+	}
+	want := int64(len(p))
+	if off+want > f.meta.Size {
+		if err := f.refreshSize(); err != nil {
+			return 0, err
+		}
+	}
+	if off >= f.meta.Size {
+		return 0, io.EOF
+	}
+	n := want
+	var outErr error
+	if off+n > f.meta.Size {
+		n = f.meta.Size - off
+		outErr = io.EOF
+	}
+	for i := int64(0); i < n; i++ {
+		p[i] = 0
+	}
+	g := len(f.cl.primary)
+	if !f.cl.opts.DoubledReads {
+		conns, _ := f.cl.pickConns(true)
+		runs := pvfs.Decompose(off, n, f.meta.StripeSize, g)
+		var fo int64
+		if err := readRuns(conns, f.cl.partners(conns), runs, f.meta.Handle, p[:n], &fo); err != nil {
+			return 0, err
+		}
+		f.cl.addFailovers(fo)
+		return int(n), outErr
+	}
+	// Doubled parallelism: first half from the primary group, second
+	// half from the mirror group, concurrently (2G servers active).
+	half := n / 2
+	primConns, _ := f.cl.pickConns(true)
+	mirrConns, _ := f.cl.pickConns(false)
+	var wg sync.WaitGroup
+	var err1, err2 error
+	if half > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs := pvfs.Decompose(off, half, f.meta.StripeSize, g)
+			var fo int64
+			err1 = readRuns(primConns, f.cl.partners(primConns), runs, f.meta.Handle, p[:half], &fo)
+			f.cl.addFailovers(fo)
+		}()
+	}
+	if n-half > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs := pvfs.Decompose(off+half, n-half, f.meta.StripeSize, g)
+			var fo int64
+			err2 = readRuns(mirrConns, f.cl.partners(mirrConns), runs, f.meta.Handle, p[half:n], &fo)
+			f.cl.addFailovers(fo)
+		}()
+	}
+	wg.Wait()
+	if err1 != nil {
+		return 0, err1
+	}
+	if err2 != nil {
+		return 0, err2
+	}
+	return int(n), outErr
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.WriteAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = f.off + offset
+	case io.SeekEnd:
+		if err := f.refreshSize(); err != nil {
+			return 0, err
+		}
+		next = f.meta.Size + offset
+	default:
+		return 0, fmt.Errorf("ceft: bad whence %d", whence)
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("ceft: negative seek position")
+	}
+	f.off = next
+	return next, nil
+}
+
+// Close settles the configured duplication protocol: client-async
+// waits for the client's background mirror writes; server-async asks
+// every primary server to flush its forward queue.
+func (f *file) Close() error {
+	switch f.cl.opts.WriteProtocol {
+	case ClientAsync:
+		f.cl.asyncWG.Wait()
+		return f.cl.AsyncErr()
+	case ServerAsync:
+		var first error
+		for _, d := range f.cl.primary {
+			if err := d.FlushForwards(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+// Package chio defines the I/O seam of the system: the FileSystem and
+// File interfaces through which the BLAST database code reads its
+// data. The paper's three configurations correspond to the three
+// implementations: conventional local-disk I/O (this package's
+// LocalFS), PVFS (package pvfs), and CEFT-PVFS (package ceft). The
+// parallel BLAST implementation is written purely against these
+// interfaces, mirroring how the paper intrusively replaced the NCBI
+// library's I/O calls with parallel-FS client calls.
+package chio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotExist is returned when a named file is absent.
+var ErrNotExist = errors.New("chio: file does not exist")
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// File is an open file handle. Implementations must support
+// positional reads (ReadAt) because database fragments are accessed
+// by offset, as well as streaming reads and appending writes.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Name() string
+}
+
+// FileSystem is the storage backend abstraction.
+type FileSystem interface {
+	// Create truncates or creates a file for writing.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading (and positional writes
+	// where the backend allows it).
+	Open(name string) (File, error)
+	// Stat reports a file's size.
+	Stat(name string) (FileInfo, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// List enumerates files whose names start with prefix, sorted.
+	List(prefix string) ([]FileInfo, error)
+	// BackendName identifies the backend ("local", "pvfs", "ceft-pvfs").
+	BackendName() string
+}
+
+// ReadFull reads the whole named file.
+func ReadFull(fs FileSystem, name string) ([]byte, error) {
+	fi, err := fs.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, fi.Size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFull creates the named file with the given contents.
+func WriteFull(fs FileSystem, name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Copy streams a file between (possibly different) file systems using
+// bufSize-byte transfers. It returns the number of bytes copied.
+func Copy(dst FileSystem, dstName string, src FileSystem, srcName string, bufSize int) (int64, error) {
+	if bufSize <= 0 {
+		bufSize = 1 << 20
+	}
+	in, err := src.Open(srcName)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := dst.Create(dstName)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.CopyBuffer(out, in, make([]byte, bufSize))
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// ---------------------------------------------------------------------
+// Local backend
+
+// LocalFS implements FileSystem over a root directory of the host
+// file system. It is the "conventional I/O" configuration of the
+// paper (each worker reading its own local disk).
+type LocalFS struct {
+	root string
+}
+
+// NewLocalFS returns a backend rooted at dir, creating it if needed.
+func NewLocalFS(dir string) (*LocalFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &LocalFS{root: dir}, nil
+}
+
+// BackendName returns "local".
+func (l *LocalFS) BackendName() string { return "local" }
+
+func (l *LocalFS) path(name string) (string, error) {
+	clean := filepath.Clean("/" + name)
+	return filepath.Join(l.root, clean), nil
+}
+
+// Create implements FileSystem.
+func (l *LocalFS) Create(name string) (File, error) {
+	p, err := l.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, err
+	}
+	return &localFile{File: f, name: name}, nil
+}
+
+// Open implements FileSystem.
+func (l *LocalFS) Open(name string) (File, error) {
+	p, err := l.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &localFile{File: f, name: name}, nil
+}
+
+// Stat implements FileSystem.
+func (l *LocalFS) Stat(name string) (FileInfo, error) {
+	p, err := l.path(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	st, err := os.Stat(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: name, Size: st.Size()}, nil
+}
+
+// Remove implements FileSystem.
+func (l *LocalFS) Remove(name string) error {
+	p, err := l.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return err
+}
+
+// List implements FileSystem.
+func (l *LocalFS) List(prefix string) ([]FileInfo, error) {
+	var out []FileInfo
+	err := filepath.Walk(l.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			out = append(out, FileInfo{Name: rel, Size: info.Size()})
+		}
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, err
+}
+
+type localFile struct {
+	*os.File
+	name string
+}
+
+func (f *localFile) Name() string { return f.name }
+
+// ---------------------------------------------------------------------
+// In-memory backend (for tests and the simulator's functional side)
+
+// MemFS is a thread-safe in-memory FileSystem.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memData
+}
+
+type memData struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory backend.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memData)}
+}
+
+// BackendName returns "mem".
+func (m *MemFS) BackendName() string { return "mem" }
+
+// Create implements FileSystem.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := &memData{}
+	m.files[name] = d
+	return &memFile{fs: m, d: d, name: name}, nil
+}
+
+// Open implements FileSystem.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return &memFile{fs: m, d: d, name: name}, nil
+}
+
+// Stat implements FileSystem.
+func (m *MemFS) Stat(name string) (FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return FileInfo{Name: name, Size: int64(len(d.data))}, nil
+}
+
+// Remove implements FileSystem.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FileSystem.
+func (m *MemFS) List(prefix string) ([]FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []FileInfo
+	for name, d := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			d.mu.RLock()
+			out = append(out, FileInfo{Name: name, Size: int64(len(d.data))})
+			d.mu.RUnlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+type memFile struct {
+	fs   *MemFS
+	d    *memData
+	name string
+	off  int64
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	if off >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(f.d.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.d.data)
+		f.d.data = grown
+	}
+	copy(f.d.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.d.mu.RLock()
+	size := int64(len(f.d.data))
+	f.d.mu.RUnlock()
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = f.off + offset
+	case io.SeekEnd:
+		next = size + offset
+	default:
+		return 0, fmt.Errorf("chio: bad whence %d", whence)
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("chio: negative seek offset")
+	}
+	f.off = next
+	return next, nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// ---------------------------------------------------------------------
+// Fault-injection wrapper (testing aid)
+
+// FaultFS wraps a FileSystem and fails read operations once Arm has
+// been called — an error-injection aid for exercising failure paths in
+// the layers above (worker task failures, degraded reads).
+type FaultFS struct {
+	Inner FileSystem
+	mu    sync.Mutex
+	armed bool
+	err   error
+}
+
+// NewFaultFS wraps inner; the wrapper is transparent until Arm.
+func NewFaultFS(inner FileSystem) *FaultFS { return &FaultFS{Inner: inner} }
+
+// Arm makes all subsequent reads fail with err.
+func (f *FaultFS) Arm(err error) {
+	f.mu.Lock()
+	f.armed = true
+	f.err = err
+	f.mu.Unlock()
+}
+
+// Disarm restores transparent operation.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	f.armed = false
+	f.mu.Unlock()
+}
+
+func (f *FaultFS) faultErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.armed {
+		return f.err
+	}
+	return nil
+}
+
+// BackendName implements FileSystem.
+func (f *FaultFS) BackendName() string { return f.Inner.BackendName() + "+fault" }
+
+// Create implements FileSystem.
+func (f *FaultFS) Create(name string) (File, error) { return f.Inner.Create(name) }
+
+// Open implements FileSystem.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.faultErr(); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+// Stat implements FileSystem.
+func (f *FaultFS) Stat(name string) (FileInfo, error) {
+	if err := f.faultErr(); err != nil {
+		return FileInfo{}, err
+	}
+	return f.Inner.Stat(name)
+}
+
+// Remove implements FileSystem.
+func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+// List implements FileSystem.
+func (f *FaultFS) List(prefix string) ([]FileInfo, error) { return f.Inner.List(prefix) }
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.faultErr(); err != nil {
+		return 0, err
+	}
+	return ff.File.Read(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.faultErr(); err != nil {
+		return 0, err
+	}
+	return ff.File.ReadAt(p, off)
+}

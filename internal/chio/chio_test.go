@@ -1,0 +1,330 @@
+package chio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// backends under test.
+func testBackends(t *testing.T) map[string]FileSystem {
+	t.Helper()
+	local, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FileSystem{
+		"local": local,
+		"mem":   NewMemFS(),
+	}
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("hello parallel world")
+			if err := WriteFull(fs, "dir/a.txt", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFull(fs, "dir/a.txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("got %q, want %q", got, data)
+			}
+			fi, err := fs.Stat("dir/a.txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size != int64(len(data)) {
+				t.Errorf("size = %d, want %d", fi.Size, len(data))
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("Open missing: err = %v, want ErrNotExist", err)
+			}
+			if _, err := fs.Stat("nope"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("Stat missing: err = %v, want ErrNotExist", err)
+			}
+			if err := fs.Remove("nope"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("Remove missing: err = %v, want ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteFull(fs, "f", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			f, err := fs.Open("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			buf := make([]byte, 4)
+			if _, err := f.ReadAt(buf, 3); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "3456" {
+				t.Errorf("ReadAt = %q", buf)
+			}
+			// Short read at the tail reports EOF.
+			n, err := f.ReadAt(buf, 8)
+			if n != 2 || err != io.EOF {
+				t.Errorf("tail ReadAt = %d,%v", n, err)
+			}
+			// Past the end.
+			if _, err := f.ReadAt(buf, 100); err != io.EOF {
+				t.Errorf("past-end ReadAt err = %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteAtExtends(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("xy"), 5); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			got, err := ReadFull(fs, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []byte{0, 0, 0, 0, 0, 'x', 'y'}
+			if !bytes.Equal(got, want) {
+				t.Errorf("got %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestSeekAndStreamingRead(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteFull(fs, "f", []byte("abcdefgh")); err != nil {
+				t.Fatal(err)
+			}
+			f, err := fs.Open("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+				t.Fatalf("seek: %d %v", pos, err)
+			}
+			buf := make([]byte, 3)
+			if _, err := io.ReadFull(f, buf); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "cde" {
+				t.Errorf("read after seek = %q", buf)
+			}
+			if pos, err := f.Seek(-2, io.SeekEnd); err != nil || pos != 6 {
+				t.Fatalf("seek end: %d %v", pos, err)
+			}
+			if pos, err := f.Seek(1, io.SeekCurrent); err != nil || pos != 7 {
+				t.Fatalf("seek current: %d %v", pos, err)
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"db/x.0", "db/x.1", "other/y"} {
+				if err := WriteFull(fs, n, []byte(n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fis, err := fs.List("db/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fis) != 2 || fis[0].Name != "db/x.0" || fis[1].Name != "db/x.1" {
+				t.Errorf("List = %+v", fis)
+			}
+			all, err := fs.List("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) != 3 {
+				t.Errorf("List all = %+v", all)
+			}
+		})
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteFull(fs, "f", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Remove("f"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("f"); !errors.Is(err, ErrNotExist) {
+				t.Error("file still present after Remove")
+			}
+		})
+	}
+}
+
+func TestCopyAcrossBackends(t *testing.T) {
+	src := NewMemFS()
+	dst, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("payload!"), 10000)
+	if err := WriteFull(src, "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Copy(dst, "copied", src, "big", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Errorf("copied %d bytes, want %d", n, len(payload))
+	}
+	got, err := ReadFull(dst, "copied")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("copy corrupted data")
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	for name, fs := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteFull(fs, "f", []byte("long content here")); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFull(fs, "f", []byte("short")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFull(fs, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "short" {
+				t.Errorf("Create did not truncate: %q", got)
+			}
+		})
+	}
+}
+
+func TestMemFSRandomAccessProperty(t *testing.T) {
+	fs := NewMemFS()
+	f := func(chunks [][]byte, offsets []uint16) bool {
+		file, err := fs.Create("prop")
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, 0)
+		for i, chunk := range chunks {
+			var off int64
+			if i < len(offsets) {
+				off = int64(offsets[i] % 4096)
+			}
+			if _, err := file.WriteAt(chunk, off); err != nil {
+				return false
+			}
+			end := off + int64(len(chunk))
+			if end > int64(len(shadow)) {
+				grown := make([]byte, end)
+				copy(grown, shadow)
+				shadow = grown
+			}
+			copy(shadow[off:end], chunk)
+		}
+		file.Close()
+		got, err := ReadFull(fs, "prop")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	local, _ := NewLocalFS(t.TempDir())
+	if local.BackendName() != "local" {
+		t.Error("local name")
+	}
+	if NewMemFS().BackendName() != "mem" {
+		t.Error("mem name")
+	}
+}
+
+func TestLocalFSPathEscapeBlocked(t *testing.T) {
+	fs, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path traversal must stay inside the root.
+	if err := WriteFull(fs, "../escape", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("escape"); err != nil {
+		t.Error("clean path should land inside the root")
+	}
+}
+
+func TestFaultFS(t *testing.T) {
+	inner := NewMemFS()
+	if err := WriteFull(inner, "f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected I/O error")
+	ffs := NewFaultFS(inner)
+	if _, err := ReadFull(ffs, "f"); err != nil {
+		t.Fatalf("transparent read failed: %v", err)
+	}
+	ffs.Arm(boom)
+	if _, err := ReadFull(ffs, "f"); !errors.Is(err, boom) {
+		t.Fatalf("armed read err = %v, want injected", err)
+	}
+	if _, err := ffs.Stat("f"); !errors.Is(err, boom) {
+		t.Fatalf("armed stat err = %v", err)
+	}
+	ffs.Disarm()
+	if _, err := ReadFull(ffs, "f"); err != nil {
+		t.Fatalf("disarmed read failed: %v", err)
+	}
+	// A file opened before arming also fails reads afterwards.
+	h, err := ffs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ffs.Arm(boom)
+	buf := make([]byte, 4)
+	if _, err := h.ReadAt(buf, 0); !errors.Is(err, boom) {
+		t.Fatalf("open handle read err = %v", err)
+	}
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"math"
+	"pario/internal/util"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSleepAdvancesTime(t *testing.T) {
+	s := New()
+	var wake []float64
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		wake = append(wake, p.Now())
+		p.Sleep(2.5)
+		wake = append(wake, p.Now())
+	})
+	if left := s.Run(); left != 0 {
+		t.Fatalf("%d processes stuck", left)
+	}
+	if len(wake) != 2 || !almost(wake[0], 1.5) || !almost(wake[1], 4.0) {
+		t.Errorf("wake times %v", wake)
+	}
+	if !almost(s.Now(), 4.0) {
+		t.Errorf("final time %v", s.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			s.Spawn(name, func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(1)
+					log = append(log, p.Name())
+				}
+			})
+		}
+		s.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("lengths differ")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("trial %d: order differs at %d: %v vs %v", trial, i, got, first)
+				}
+			}
+		}
+	}
+	// Equal-time events fire in spawn order.
+	want := []string{"a", "b", "c", "d", "e"}
+	for i, w := range want {
+		if first[i] != w {
+			t.Errorf("slot %d = %s, want %s", i, first[i], w)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	disk := s.NewResource("disk", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) {
+			p.Use(disk, 2.0)
+			finish = append(finish, p.Now())
+		})
+	}
+	if left := s.Run(); left != 0 {
+		t.Fatalf("%d stuck", left)
+	}
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if !almost(finish[i], want[i]) {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	s := New()
+	cpu := s.NewResource("cpu", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", func(p *Proc) {
+			p.Use(cpu, 3.0)
+			finish = append(finish, p.Now())
+		})
+	}
+	s.Run()
+	// Two at a time: finish at 3,3,6,6.
+	want := []float64{3, 3, 6, 6}
+	for i := range want {
+		if !almost(finish[i], want[i]) {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 1)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		n := name
+		s.Spawn(n, func(p *Proc) {
+			p.Use(r, 1)
+			order = append(order, n)
+		})
+	}
+	s.Run()
+	if order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Errorf("grant order %v", order)
+	}
+}
+
+func TestUseChunkedInterleaves(t *testing.T) {
+	// Two processes each need 4s of a capacity-1 resource in 1s
+	// chunks: they alternate and both finish around t=8, rather than
+	// one finishing at 4 and the other at 8.
+	s := New()
+	r := s.NewResource("disk", 1)
+	finish := map[string]float64{}
+	for _, name := range []string{"a", "b"} {
+		n := name
+		s.Spawn(n, func(p *Proc) {
+			p.UseChunked(r, 4, 1)
+			finish[n] = p.Now()
+		})
+	}
+	s.Run()
+	if finish["a"] < 7 || finish["b"] < 7 {
+		t.Errorf("chunked sharing broken: %v", finish)
+	}
+	if !almost(math.Max(finish["a"], finish["b"]), 8) {
+		t.Errorf("total time %v, want 8", finish)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk", 1)
+	s.Spawn("w", func(p *Proc) {
+		p.Use(r, 5)
+		p.Sleep(5)
+	})
+	s.Run()
+	if u := r.Utilization(); !almost(u, 0.5) {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if r.Acquisitions() != 1 {
+		t.Errorf("acquisitions = %d", r.Acquisitions())
+	}
+}
+
+func TestQueueSendRecv(t *testing.T) {
+	s := New()
+	q := s.NewQueue("mail")
+	var got []interface{}
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Recv(q))
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1)
+			p.Send(q, i)
+		}
+	})
+	if left := s.Run(); left != 0 {
+		t.Fatalf("%d stuck", left)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("received %v", got)
+	}
+}
+
+func TestQueueBlocksUntilSend(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var recvTime float64
+	s.Spawn("recv", func(p *Proc) {
+		p.Recv(q)
+		recvTime = p.Now()
+	})
+	s.Spawn("send", func(p *Proc) {
+		p.Sleep(7)
+		p.Send(q, "x")
+	})
+	s.Run()
+	if !almost(recvTime, 7) {
+		t.Errorf("recv completed at %v, want 7", recvTime)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var ok1, ok2 bool
+	s.Spawn("p", func(p *Proc) {
+		_, ok1 = p.TryRecv(q)
+		p.Send(q, 1)
+		_, ok2 = p.TryRecv(q)
+	})
+	s.Run()
+	if ok1 || !ok2 {
+		t.Errorf("TryRecv: %v %v", ok1, ok2)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	s := New()
+	q := s.NewQueue("never")
+	s.Spawn("stuck", func(p *Proc) {
+		p.Recv(q)
+	})
+	if left := s.Run(); left != 1 {
+		t.Errorf("Run reported %d stuck, want 1", left)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+			ticks++
+		}
+	})
+	s.RunUntil(10.5)
+	if ticks != 10 {
+		t.Errorf("ticks = %d, want 10", ticks)
+	}
+	if !almost(s.Now(), 10.5) {
+		t.Errorf("now = %v", s.Now())
+	}
+	// Continue to completion.
+	s.Run()
+	if ticks != 100 {
+		t.Errorf("final ticks = %d", ticks)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 4)
+	done := 0
+	for i := 0; i < 500; i++ {
+		s.Spawn("w", func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				p.Use(r, 0.01)
+				p.Sleep(0.005)
+			}
+			done++
+		})
+	}
+	if left := s.Run(); left != 0 {
+		t.Fatalf("%d stuck", left)
+	}
+	if done != 500 {
+		t.Errorf("done = %d", done)
+	}
+	// 500 procs x 10 uses x 0.01s over capacity 4 => at least 12.5s.
+	if s.Now() < 12.5-1e-9 {
+		t.Errorf("elapsed %v too short", s.Now())
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 accepted")
+		}
+	}()
+	s.NewResource("bad", 0)
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	s := New()
+	var childDone float64
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		p.sim.Spawn("child", func(c *Proc) {
+			c.Sleep(2)
+			childDone = c.Now()
+		})
+		p.Sleep(5)
+	})
+	s.Run()
+	if !almost(childDone, 3) {
+		t.Errorf("child finished at %v, want 3", childDone)
+	}
+}
+
+func TestResourceInvariantsUnderRandomLoad(t *testing.T) {
+	// Property: a resource never serves more than its capacity
+	// concurrently, utilization stays in [0,1], and every spawned
+	// process completes.
+	rng := util.NewRNG(97)
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		capacity := 1 + rng.Intn(4)
+		r := s.NewResource("r", capacity)
+		var maxInUse int
+		done := 0
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			hold := 0.01 + rng.Float64()
+			think := rng.Float64()
+			reps := 1 + rng.Intn(5)
+			s.Spawn("w", func(p *Proc) {
+				for k := 0; k < reps; k++ {
+					p.Sleep(think)
+					p.Acquire(r)
+					if r.InUse() > maxInUse {
+						maxInUse = r.InUse()
+					}
+					p.Sleep(hold)
+					p.Release(r)
+				}
+				done++
+			})
+		}
+		if left := s.Run(); left != 0 {
+			t.Fatalf("trial %d: %d processes stuck", trial, left)
+		}
+		if done != n {
+			t.Fatalf("trial %d: %d of %d finished", trial, done, n)
+		}
+		if maxInUse > capacity {
+			t.Fatalf("trial %d: in-use %d exceeded capacity %d", trial, maxInUse, capacity)
+		}
+		if u := r.Utilization(); u < 0 || u > 1+1e-9 {
+			t.Fatalf("trial %d: utilization %v out of range", trial, u)
+		}
+	}
+}
+
+func TestQueueFIFOUnderContention(t *testing.T) {
+	// Messages must be received in send order even with several
+	// receivers round-robining.
+	s := New()
+	q := s.NewQueue("q")
+	var got []int
+	for r := 0; r < 3; r++ {
+		s.Spawn("recv", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				got = append(got, p.Recv(q).(int))
+			}
+		})
+	}
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < 30; i++ {
+			p.Sleep(0.001)
+			p.Send(q, i)
+		}
+	})
+	if left := s.Run(); left != 0 {
+		t.Fatalf("%d stuck", left)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d received as %d (order broken): %v", i, v, got)
+		}
+	}
+}

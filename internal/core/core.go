@@ -1,0 +1,324 @@
+// Package core is the public façade of the library: one-call
+// operations to build BLAST databases, deploy PVFS / CEFT-PVFS
+// "clusters" (one process per server, localhost TCP), and run the
+// paper's three parallel BLAST configurations — conventional local
+// I/O, -over-PVFS and -over-CEFT-PVFS — with optional application-
+// level I/O tracing (Figure 4 instrumentation).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/blast"
+	"pario/internal/blastdb"
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/iotrace"
+	"pario/internal/pblast"
+	"pario/internal/pvfs"
+	"pario/internal/seq"
+	"pario/internal/workload"
+)
+
+// FormatDatabase builds a segmented database from FASTA input onto
+// any backend, like formatdb + mpiBLAST's database segmentation.
+func FormatDatabase(fs chio.FileSystem, name string, kind seq.Kind, fragments int, fasta io.Reader) (*blastdb.Alias, error) {
+	return blastdb.Format(fs, name, kind, fragments, seq.NewFastaReader(fasta, kind))
+}
+
+// GenerateDatabase synthesizes an nt-like database of totalLetters
+// bases directly onto fs (the stand-in for downloading nt from NCBI).
+func GenerateDatabase(fs chio.FileSystem, name string, totalLetters int64, fragments int, seed uint64) (*blastdb.Alias, error) {
+	return workload.Build(fs, workload.NtLike(name, totalLetters, seed), fragments)
+}
+
+// ExtractQuery draws a query sequence from a database the way the
+// paper drew its 568-letter query from ecoli.nt.
+func ExtractQuery(fs chio.FileSystem, dbName string, length int, seed uint64) (*seq.Sequence, error) {
+	return workload.ExtractQuery(fs, dbName, length, seed)
+}
+
+// SerialSearch runs a single-process BLAST search over every fragment
+// of the named database through the given backend.
+func SerialSearch(fs chio.FileSystem, dbName string, query *seq.Sequence, params blast.Params) (*blast.Result, error) {
+	alias, err := blastdb.ReadAlias(fs, dbName)
+	if err != nil {
+		return nil, err
+	}
+	frags, err := blastdb.OpenAll(fs, alias)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, fr := range frags {
+			fr.Close()
+		}
+	}()
+	sources := make([]blast.SubjectSource, 0, len(frags))
+	for _, fr := range frags {
+		sources = append(sources, fr.Source(0))
+	}
+	return blast.Search(query, chainSources(sources), blast.DBInfo{
+		Letters:   alias.Letters,
+		Sequences: alias.Seqs,
+	}, params)
+}
+
+// chainSources concatenates fragment streams.
+func chainSources(sources []blast.SubjectSource) blast.SubjectSource {
+	return &chained{sources: sources}
+}
+
+type chained struct {
+	sources []blast.SubjectSource
+	i       int
+}
+
+func (c *chained) Next() (*seq.Sequence, error) {
+	for c.i < len(c.sources) {
+		s, err := c.sources[c.i].Next()
+		if err == io.EOF {
+			c.i++
+			continue
+		}
+		return s, err
+	}
+	return nil, io.EOF
+}
+
+// SearchConfig drives ParallelSearch.
+type SearchConfig struct {
+	// DBName names the database (alias on the shared store).
+	DBName string
+	// Workers is the number of BLAST workers (ranks 1..Workers).
+	Workers int
+	// Params are the BLAST search parameters.
+	Params blast.Params
+	// MasterFS is the master's view of the shared store.
+	MasterFS chio.FileSystem
+	// WorkerFS returns each worker's view of the shared store.
+	WorkerFS func(rank int) chio.FileSystem
+	// Scratch returns each worker's local scratch (required when
+	// CopyToLocal is set).
+	Scratch func(rank int) chio.FileSystem
+	// CopyToLocal reproduces original mpiBLAST (copy then search).
+	CopyToLocal bool
+	// Mode selects database (default) or query segmentation.
+	Mode pblast.Mode
+	// Trace, when non-nil, records every worker's application-level
+	// I/O (Figure 4 instrumentation).
+	Trace *iotrace.Trace
+}
+
+// ParallelSearch runs the master/worker parallel BLAST in-process.
+func ParallelSearch(query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, error) {
+	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
+		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
+	}
+	workerFS := cfg.WorkerFS
+	scratch := cfg.Scratch
+	if cfg.Trace != nil {
+		inner := workerFS
+		workerFS = func(rank int) chio.FileSystem {
+			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
+		}
+		if scratch != nil {
+			innerScratch := scratch
+			scratch = func(rank int) chio.FileSystem {
+				fs := innerScratch(rank)
+				if fs == nil {
+					return nil
+				}
+				return iotrace.Wrap(fs, cfg.Trace, fmt.Sprintf("worker%d", rank))
+			}
+		}
+	}
+	return pblast.RunInProcess(cfg.Workers, query, pblast.Config{
+		DBName:      cfg.DBName,
+		Params:      cfg.Params,
+		Mode:        cfg.Mode,
+		CopyToLocal: cfg.CopyToLocal,
+	}, cfg.MasterFS, workerFS, scratch)
+}
+
+// PVFSDeployment is a running single-machine PVFS: one metadata
+// server plus N data servers on localhost TCP, with storage on the
+// provided backends.
+type PVFSDeployment struct {
+	Mgr       *pvfs.MetaServer
+	Data      []*pvfs.DataServer
+	DataAddrs []string
+}
+
+// StartPVFS deploys PVFS with n data servers. store(i) supplies each
+// data server's backing storage (nil means in-memory).
+func StartPVFS(n int, store func(i int) chio.FileSystem) (*PVFSDeployment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least 1 data server")
+	}
+	mgr, err := pvfs.StartMetaServer(pvfs.MetaConfig{Addr: "127.0.0.1:0", NumServers: n})
+	if err != nil {
+		return nil, err
+	}
+	d := &PVFSDeployment{Mgr: mgr}
+	for i := 0; i < n; i++ {
+		var st chio.FileSystem
+		if store != nil {
+			st = store(i)
+		}
+		if st == nil {
+			st = chio.NewMemFS()
+		}
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{
+			ID:      i,
+			Addr:    "127.0.0.1:0",
+			Store:   st,
+			MgrAddr: mgr.Addr(),
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Data = append(d.Data, ds)
+		d.DataAddrs = append(d.DataAddrs, ds.Addr())
+	}
+	return d, nil
+}
+
+// Client dials a new PVFS client onto the deployment.
+func (d *PVFSDeployment) Client() (*pvfs.Client, error) {
+	return pvfs.DialClient(d.Mgr.Addr(), d.DataAddrs)
+}
+
+// Close stops every server.
+func (d *PVFSDeployment) Close() error {
+	var first error
+	for _, ds := range d.Data {
+		if err := ds.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if d.Mgr != nil {
+		if err := d.Mgr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CEFTDeployment is a running CEFT-PVFS: metadata server plus G
+// primary and G mirror data servers.
+type CEFTDeployment struct {
+	Mgr          *pvfs.MetaServer
+	Servers      []*pvfs.DataServer
+	PrimaryAddrs []string
+	MirrorAddrs  []string
+}
+
+// StartCEFT deploys CEFT-PVFS with g servers per group. store(i)
+// supplies backing storage for server i (IDs 0..g-1 primary,
+// g..2g-1 mirror; nil means in-memory).
+func StartCEFT(g int, store func(i int) chio.FileSystem) (*CEFTDeployment, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("core: need at least 1 server per group")
+	}
+	mgr, err := pvfs.StartMetaServer(pvfs.MetaConfig{Addr: "127.0.0.1:0", NumServers: g})
+	if err != nil {
+		return nil, err
+	}
+	d := &CEFTDeployment{Mgr: mgr}
+	storeFor := func(i int) chio.FileSystem {
+		var st chio.FileSystem
+		if store != nil {
+			st = store(i)
+		}
+		if st == nil {
+			st = chio.NewMemFS()
+		}
+		return st
+	}
+	// Start the mirror group first so primaries can be configured
+	// with their partner's address (required by the server-side
+	// duplication protocols).
+	mirrors := make([]*pvfs.DataServer, g)
+	for i := 0; i < g; i++ {
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{
+			ID:      g + i,
+			Addr:    "127.0.0.1:0",
+			Store:   storeFor(g + i),
+			MgrAddr: mgr.Addr(),
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		mirrors[i] = ds
+		d.MirrorAddrs = append(d.MirrorAddrs, ds.Addr())
+	}
+	for i := 0; i < g; i++ {
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{
+			ID:         i,
+			Addr:       "127.0.0.1:0",
+			Store:      storeFor(i),
+			MgrAddr:    mgr.Addr(),
+			MirrorAddr: mirrors[i].Addr(),
+		})
+		if err != nil {
+			for _, m := range mirrors {
+				if m != nil {
+					m.Close()
+				}
+			}
+			d.Close()
+			return nil, err
+		}
+		d.Servers = append(d.Servers, ds)
+		d.PrimaryAddrs = append(d.PrimaryAddrs, ds.Addr())
+	}
+	d.Servers = append(d.Servers, mirrors...)
+	return d, nil
+}
+
+// Client dials a new CEFT client onto the deployment.
+func (d *CEFTDeployment) Client(opts ceft.Options) (*ceft.Client, error) {
+	return ceft.DialClient(d.Mgr.Addr(), d.PrimaryAddrs, d.MirrorAddrs, opts)
+}
+
+// Close stops every server.
+func (d *CEFTDeployment) Close() error {
+	var first error
+	for _, ds := range d.Servers {
+		if err := ds.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if d.Mgr != nil {
+		if err := d.Mgr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ParallelSearchBatch runs a multi-query batch through the parallel
+// master/worker: the task space is (query x fragment), dynamically
+// scheduled — how batch workloads (e.g. EST sets) were processed.
+func ParallelSearchBatch(queries []*seq.Sequence, cfg SearchConfig) (*pblast.BatchOutcome, error) {
+	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
+		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
+	}
+	workerFS := cfg.WorkerFS
+	scratch := cfg.Scratch
+	if cfg.Trace != nil {
+		inner := workerFS
+		workerFS = func(rank int) chio.FileSystem {
+			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
+		}
+	}
+	return pblast.RunInProcessBatch(cfg.Workers, queries, pblast.Config{
+		DBName:      cfg.DBName,
+		Params:      cfg.Params,
+		CopyToLocal: cfg.CopyToLocal,
+	}, cfg.MasterFS, workerFS, scratch)
+}

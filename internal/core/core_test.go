@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"pario/internal/blast"
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/iotrace"
+	"pario/internal/pblast"
+	"pario/internal/seq"
+)
+
+const testDBLetters = 400_000
+
+func buildDB(t *testing.T, fs chio.FileSystem) {
+	t.Helper()
+	if _, err := GenerateDatabase(fs, "nt", testDBLetters, 8, 21); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateExtractSerialSearch(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	query, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SerialSearch(fs, "nt", query, blast.Params{Program: blast.BlastN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query was extracted from the database, so its source
+	// sequence must be found with an essentially-zero e-value.
+	if len(res.Hits) == 0 {
+		t.Fatal("extracted query not found in its own database")
+	}
+	best := res.Hits[0]
+	if !strings.Contains(query.ID, best.SubjectID) {
+		t.Errorf("best hit %s is not the query's source %s", best.SubjectID, query.ID)
+	}
+	if best.HSPs[0].EValue > 1e-50 {
+		t.Errorf("self hit e-value %g too large", best.HSPs[0].EValue)
+	}
+	if best.HSPs[0].Identities != 568 {
+		t.Errorf("self hit identities = %d, want 568", best.HSPs[0].Identities)
+	}
+}
+
+func TestFormatDatabaseFromFasta(t *testing.T) {
+	fasta := ">a first\nACGTACGTACGTACGTACGT\n>b second\nTTTTGGGGCCCCAAAA\n"
+	fs := chio.NewMemFS()
+	alias, err := FormatDatabase(fs, "mini", 0, 2, strings.NewReader(fasta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias.Seqs != 2 || alias.Letters != 36 {
+		t.Errorf("alias: %+v", alias)
+	}
+}
+
+func TestParallelSearchLocalBackend(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	query, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:   "nt",
+		Workers:  4,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: fs,
+		WorkerFS: func(int) chio.FileSystem { return fs },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Hits) == 0 {
+		t.Fatal("parallel search found nothing")
+	}
+	// Results must agree with the serial reference.
+	serial, err := SerialSearch(fs, "nt", query, blast.Params{Program: blast.BlastN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Hits) != len(out.Result.Hits) {
+		t.Errorf("parallel %d hits, serial %d", len(out.Result.Hits), len(serial.Hits))
+	}
+	if serial.Hits[0].SubjectID != out.Result.Hits[0].SubjectID {
+		t.Errorf("best hits differ: %s vs %s", serial.Hits[0].SubjectID, out.Result.Hits[0].SubjectID)
+	}
+}
+
+func TestParallelSearchOverPVFSWithTrace(t *testing.T) {
+	dep, err := StartPVFS(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	shared, err := dep.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	buildDB(t, shared)
+	query, err := ExtractQuery(shared, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := iotrace.NewTrace()
+	var mu sync.Mutex
+	var clients []*struct{ c interface{ Close() error } }
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:   "nt",
+		Workers:  3,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: shared,
+		WorkerFS: func(rank int) chio.FileSystem {
+			cl, err := dep.Client()
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return chio.NewMemFS()
+			}
+			mu.Lock()
+			clients = append(clients, &struct{ c interface{ Close() error } }{cl})
+			mu.Unlock()
+			return cl
+		},
+		Trace: trace,
+	})
+	defer func() {
+		for _, h := range clients {
+			h.c.Close()
+		}
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Hits) == 0 {
+		t.Fatal("no hits over PVFS")
+	}
+	stats := trace.Summarize()
+	if stats.Reads == 0 {
+		t.Fatal("trace recorded no reads")
+	}
+	if stats.ReadFraction < 0.5 {
+		t.Errorf("read fraction %.2f; BLAST should be read-dominated", stats.ReadFraction)
+	}
+}
+
+func TestParallelSearchCopyToLocal(t *testing.T) {
+	shared := chio.NewMemFS()
+	buildDB(t, shared)
+	query, err := ExtractQuery(shared, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	scratches := map[int]chio.FileSystem{}
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:      "nt",
+		Workers:     2,
+		Params:      blast.Params{Program: blast.BlastN},
+		MasterFS:    shared,
+		WorkerFS:    func(int) chio.FileSystem { return shared },
+		CopyToLocal: true,
+		Scratch: func(rank int) chio.FileSystem {
+			mu.Lock()
+			defer mu.Unlock()
+			if scratches[rank] == nil {
+				scratches[rank] = chio.NewMemFS()
+			}
+			return scratches[rank]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CopyTime <= 0 {
+		t.Error("copy time missing")
+	}
+	if len(out.Result.Hits) == 0 {
+		t.Error("no hits with CopyToLocal")
+	}
+}
+
+func TestParallelSearchOverCEFT(t *testing.T) {
+	dep, err := StartCEFT(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	shared, err := dep.Client(ceft.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	buildDB(t, shared)
+	query, err := ExtractQuery(shared, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var clients []*ceft.Client
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:   "nt",
+		Workers:  2,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: shared,
+		WorkerFS: func(rank int) chio.FileSystem {
+			cl, err := dep.Client(ceft.DefaultOptions())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return chio.NewMemFS()
+			}
+			mu.Lock()
+			clients = append(clients, cl)
+			mu.Unlock()
+			return cl
+		},
+	})
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Hits) == 0 {
+		t.Fatal("no hits over CEFT-PVFS")
+	}
+}
+
+func TestQuerySegmentationMode(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	query, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:   "nt",
+		Workers:  2,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: fs,
+		WorkerFS: func(int) chio.FileSystem { return fs },
+		Mode:     pblast.QuerySegmentation,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Hits) == 0 {
+		t.Fatal("query segmentation found nothing")
+	}
+}
+
+func TestSearchConfigValidation(t *testing.T) {
+	q, _ := ExtractQuery(func() chio.FileSystem {
+		fs := chio.NewMemFS()
+		GenerateDatabase(fs, "nt", 10_000, 1, 1)
+		return fs
+	}(), "nt", 100, 1)
+	if _, err := ParallelSearch(q, SearchConfig{DBName: "nt"}); err == nil {
+		t.Error("missing FS accepted")
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	if _, err := StartPVFS(0, nil); err == nil {
+		t.Error("StartPVFS(0) accepted")
+	}
+	if _, err := StartCEFT(0, nil); err == nil {
+		t.Error("StartCEFT(0) accepted")
+	}
+}
+
+func TestTabularAndReportOverParallelResult(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	query, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParallelSearch(query, SearchConfig{
+		DBName:   "nt",
+		Workers:  2,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: fs,
+		WorkerFS: func(int) chio.FileSystem { return fs },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := blast.WriteReport(&buf, out.Result, query, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "blastn search") {
+		t.Error("report missing header")
+	}
+	buf.Reset()
+	if err := blast.WriteTabular(&buf, out.Result); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("tabular output empty")
+	}
+}
+
+func TestQuerySegmentationReadsMoreIO(t *testing.T) {
+	// §2.2: "With the explosion of the database size, the first
+	// approach [query segmentation] becomes less attractive due to
+	// large I/O overhead" — every worker must read the whole database
+	// instead of one fragment. Verify with real traced runs.
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	query, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBytes := func(mode pblast.Mode) float64 {
+		trace := iotrace.NewTrace()
+		_, err := ParallelSearch(query, SearchConfig{
+			DBName:   "nt",
+			Workers:  4,
+			Params:   blast.Params{Program: blast.BlastN},
+			MasterFS: fs,
+			WorkerFS: func(int) chio.FileSystem { return fs },
+			Mode:     mode,
+			Trace:    trace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Summarize().ReadBytes.Sum
+	}
+	dbSeg := readBytes(pblast.DatabaseSegmentation)
+	qSeg := readBytes(pblast.QuerySegmentation)
+	// With 4 workers, query segmentation reads the database ~4x.
+	if qSeg < 3*dbSeg {
+		t.Errorf("query segmentation read %.0f bytes vs database segmentation %.0f; expected ~4x", qSeg, dbSeg)
+	}
+}
+
+func TestParallelSearchBatch(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildDB(t, fs)
+	q1, err := ExtractQuery(fs, "nt", 568, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ExtractQuery(fs, "nt", 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParallelSearchBatch([]*seq.Sequence{q1, q2}, SearchConfig{
+		DBName:   "nt",
+		Workers:  3,
+		Params:   blast.Params{Program: blast.BlastN},
+		MasterFS: fs,
+		WorkerFS: func(int) chio.FileSystem { return fs },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if len(r.Hits) == 0 {
+			t.Errorf("query %d found nothing", i)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package iotrace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"pario/internal/chio"
+)
+
+func TestTraceRecordsOps(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w0")
+	f, err := fs.Create("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := fs.Open("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 40)
+	if _, err := g.ReadAt(buf, 10); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(g); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	evs := trace.Events()
+	var reads, writes, opens int
+	for _, ev := range evs {
+		switch ev.Op {
+		case OpRead:
+			reads++
+			if ev.Worker != "w0" {
+				t.Errorf("worker label missing: %+v", ev)
+			}
+		case OpWrite:
+			writes++
+		case OpOpen:
+			opens++
+		}
+	}
+	if writes != 1 || opens != 2 {
+		t.Errorf("writes=%d opens=%d", writes, opens)
+	}
+	if reads < 2 {
+		t.Errorf("reads=%d, want >=2", reads)
+	}
+}
+
+func TestSummarizeMatchesEvents(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	payload := make([]byte, 1000)
+	if err := chio.WriteFull(fs, "f", payload); err != nil {
+		t.Fatal(err)
+	}
+	data, err := chio.ReadFull(fs, "f")
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("read back: %v %d", err, len(data))
+	}
+	s := trace.Summarize()
+	if s.TotalOps != s.Reads+s.Writes {
+		t.Errorf("op counts inconsistent: %+v", s)
+	}
+	if s.Writes != 1 || s.WriteBytes.Sum != 1000 {
+		t.Errorf("write accounting: %+v", s)
+	}
+	if s.ReadBytes.Sum != 1000 {
+		t.Errorf("read bytes = %v, want 1000", s.ReadBytes.Sum)
+	}
+	if s.ReadFraction <= 0 || s.ReadFraction >= 1 {
+		t.Errorf("read fraction = %v", s.ReadFraction)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	trace := NewTrace()
+	trace.SetEnabled(false)
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	if err := chio.WriteFull(fs, "f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Events()); n != 0 {
+		t.Errorf("disabled trace recorded %d events", n)
+	}
+	trace.SetEnabled(true)
+	if err := chio.WriteFull(fs, "g", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Events()); n == 0 {
+		t.Error("re-enabled trace recorded nothing")
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	if err := chio.WriteFull(fs, "f", make([]byte, 690)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chio.ReadFull(fs, "f"); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.Summarize().Format()
+	if !strings.Contains(out, "I/O operations") || !strings.Contains(out, "reads") {
+		t.Errorf("format output: %s", out)
+	}
+}
+
+func TestWriteScatter(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w3")
+	if err := chio.WriteFull(fs, "f", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chio.ReadFull(fs, "f"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteScatter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 { // header + >= 2 data rows
+		t.Errorf("scatter output too short:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# time_s") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "w3") {
+			t.Errorf("row missing worker: %s", l)
+		}
+	}
+}
+
+func TestStatTraced(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	if err := chio.WriteFull(fs, "f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("f"); err != nil {
+		t.Fatal(err)
+	}
+	var stats int
+	for _, ev := range trace.Events() {
+		if ev.Op == OpStat {
+			stats++
+		}
+	}
+	if stats != 1 {
+		t.Errorf("stat events = %d, want 1", stats)
+	}
+}

@@ -1,0 +1,71 @@
+package mpi
+
+// Rank-0-rooted collectives built from point-to-point messages. Tags
+// in the reserved range below must not be used by applications.
+const (
+	tagBarrier = -1000 - iota
+	tagBcast
+	tagGather
+)
+
+// Barrier blocks until every rank has entered it. Rank 0 collects one
+// message from each rank and then releases them.
+func Barrier(c Comm) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if _, err := c.Recv(AnySource, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast distributes data from rank 0 to all ranks. Every rank returns
+// the broadcast payload.
+func Bcast(c Comm, data []byte) ([]byte, error) {
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m, err := c.Recv(0, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Gather collects one payload from every rank at rank 0, indexed by
+// rank. Non-root ranks return nil.
+func Gather(c Comm, data []byte) ([][]byte, error) {
+	if c.Rank() != 0 {
+		return nil, c.Send(0, tagGather, data)
+	}
+	out := make([][]byte, c.Size())
+	out[0] = data
+	for i := 1; i < c.Size(); i++ {
+		m, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[m.From] = m.Data
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package mpi is a small message-passing substrate in the spirit of
+// the MPI subset mpiBLAST uses: ranked processes, tagged point-to-
+// point Send/Recv with wildcard matching, and rank-0-rooted
+// collectives. Two transports are provided: an in-process one
+// (goroutines and channels) and a TCP one (router process), so the
+// parallel BLAST code runs unchanged in one process or across many.
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv matching.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// Message is a received message with its envelope.
+type Message struct {
+	From int
+	Tag  int
+	Data []byte
+}
+
+// Comm is a communicator endpoint bound to one rank.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to rank to with the given tag. It may block
+	// until the transport accepts the message but does not wait for a
+	// matching Recv.
+	Send(to, tag int, data []byte) error
+	// Recv blocks until a message matching (from, tag) arrives.
+	// AnySource / AnyTag act as wildcards.
+	Recv(from, tag int) (Message, error)
+	// Close shuts the endpoint down; blocked Recvs return ErrClosed.
+	Close() error
+}
+
+// mailbox implements wildcard-matched receive queues shared by both
+// transports. Waiters register matching channels so receives can be
+// given deadlines (needed by fault-tolerant masters that must notice
+// silent worker deaths).
+type mailbox struct {
+	mu      sync.Mutex
+	pending []Message
+	waiters []*waiter
+	closed  bool
+}
+
+type waiter struct {
+	from, tag int
+	ch        chan Message // buffered(1); closed when the mailbox closes
+}
+
+func newMailbox() *mailbox { return &mailbox{} }
+
+func envelopeMatches(from, tag int, m Message) bool {
+	return (from == AnySource || m.From == from) && (tag == AnyTag || m.Tag == tag)
+}
+
+func (mb *mailbox) put(m Message) error {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return ErrClosed
+	}
+	for i, w := range mb.waiters {
+		if envelopeMatches(w.from, w.tag, m) {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			mb.mu.Unlock()
+			w.ch <- m // buffered: never blocks
+			return nil
+		}
+	}
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	return nil
+}
+
+func (mb *mailbox) get(from, tag int) (Message, error) {
+	m, _, err := mb.getTimeout(from, tag, -1)
+	return m, err
+}
+
+// getTimeout receives a matching message. d < 0 blocks indefinitely;
+// otherwise ok=false reports that the deadline passed with no match.
+func (mb *mailbox) getTimeout(from, tag int, d time.Duration) (m Message, ok bool, err error) {
+	mb.mu.Lock()
+	for i, pm := range mb.pending {
+		if envelopeMatches(from, tag, pm) {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			mb.mu.Unlock()
+			return pm, true, nil
+		}
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		return Message{}, false, ErrClosed
+	}
+	w := &waiter{from: from, tag: tag, ch: make(chan Message, 1)}
+	mb.waiters = append(mb.waiters, w)
+	mb.mu.Unlock()
+
+	if d < 0 {
+		m, chOk := <-w.ch
+		if !chOk {
+			return Message{}, false, ErrClosed
+		}
+		return m, true, nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m, chOk := <-w.ch:
+		if !chOk {
+			return Message{}, false, ErrClosed
+		}
+		return m, true, nil
+	case <-timer.C:
+		mb.mu.Lock()
+		for i, x := range mb.waiters {
+			if x == w {
+				mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+				mb.mu.Unlock()
+				return Message{}, false, nil
+			}
+		}
+		mb.mu.Unlock()
+		// The waiter was already removed: either a put delivered a
+		// message or close closed the channel; the blocking receive
+		// resolves which.
+		m, chOk := <-w.ch
+		if !chOk {
+			return Message{}, false, ErrClosed
+		}
+		return m, true, nil
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	ws := mb.waiters
+	mb.waiters = nil
+	mb.mu.Unlock()
+	for _, w := range ws {
+		close(w.ch)
+	}
+}
+
+// timeoutReceiver is implemented by both transports' communicators.
+type timeoutReceiver interface {
+	recvTimeout(from, tag int, d time.Duration) (Message, bool, error)
+}
+
+// RecvTimeout receives like Comm.Recv but gives up after d, returning
+// ok=false. It lets masters detect silently-dead peers.
+func RecvTimeout(c Comm, from, tag int, d time.Duration) (Message, bool, error) {
+	tr, supported := c.(timeoutReceiver)
+	if !supported {
+		m, err := c.Recv(from, tag)
+		return m, err == nil, err
+	}
+	return tr.recvTimeout(from, tag, d)
+}
+
+// SendGob gob-encodes v and sends it.
+func SendGob(c Comm, to, tag int, v interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("mpi: encoding: %w", err)
+	}
+	return c.Send(to, tag, buf.Bytes())
+}
+
+// RecvGob receives a matching message and gob-decodes it into v,
+// returning the envelope.
+func RecvGob(c Comm, from, tag int, v interface{}) (Message, error) {
+	m, err := c.Recv(from, tag)
+	if err != nil {
+		return m, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(m.Data)).Decode(v); err != nil {
+		return m, fmt.Errorf("mpi: decoding: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,568 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// runWorld executes fn on every rank of an in-process world.
+func runWorld(t *testing.T, size int, fn func(c Comm) error) {
+	t.Helper()
+	w, err := NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// runTCPWorld executes fn on every rank over the TCP transport.
+func runTCPWorld(t *testing.T, size int, fn func(c Comm) error) {
+	t.Helper()
+	router, err := StartRouter("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := Dial(router.Addr(), r, size)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer c.Close()
+			errs[r] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func transports(t *testing.T) map[string]func(*testing.T, int, func(Comm) error) {
+	return map[string]func(*testing.T, int, func(Comm) error){
+		"inproc": runWorld,
+		"tcp":    runTCPWorld,
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			run(t, 2, func(c Comm) error {
+				if c.Rank() == 0 {
+					if err := c.Send(1, 7, []byte("ping")); err != nil {
+						return err
+					}
+					m, err := c.Recv(1, 8)
+					if err != nil {
+						return err
+					}
+					if string(m.Data) != "pong" || m.From != 1 || m.Tag != 8 {
+						return fmt.Errorf("bad reply %+v", m)
+					}
+					return nil
+				}
+				m, err := c.Recv(0, 7)
+				if err != nil {
+					return err
+				}
+				if string(m.Data) != "ping" {
+					return fmt.Errorf("bad ping %q", m.Data)
+				}
+				return c.Send(0, 8, []byte("pong"))
+			})
+		})
+	}
+}
+
+func TestWildcardRecv(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			const size = 4
+			run(t, size, func(c Comm) error {
+				if c.Rank() == 0 {
+					seen := map[int]bool{}
+					for i := 1; i < size; i++ {
+						m, err := c.Recv(AnySource, AnyTag)
+						if err != nil {
+							return err
+						}
+						if seen[m.From] {
+							return fmt.Errorf("duplicate message from %d", m.From)
+						}
+						seen[m.From] = true
+						if m.Tag != 100+m.From {
+							return fmt.Errorf("tag %d from rank %d", m.Tag, m.From)
+						}
+					}
+					return nil
+				}
+				return c.Send(0, 100+c.Rank(), []byte{byte(c.Rank())})
+			})
+		})
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			run(t, 2, func(c Comm) error {
+				if c.Rank() == 0 {
+					// Send tag 2 first, then tag 1; receiver asks for
+					// tag 1 first and must still get both correctly.
+					if err := c.Send(1, 2, []byte("two")); err != nil {
+						return err
+					}
+					return c.Send(1, 1, []byte("one"))
+				}
+				m1, err := c.Recv(0, 1)
+				if err != nil {
+					return err
+				}
+				if string(m1.Data) != "one" {
+					return fmt.Errorf("tag 1 got %q", m1.Data)
+				}
+				m2, err := c.Recv(0, 2)
+				if err != nil {
+					return err
+				}
+				if string(m2.Data) != "two" {
+					return fmt.Errorf("tag 2 got %q", m2.Data)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			run(t, 1, func(c Comm) error {
+				if err := c.Send(0, 5, []byte("loop")); err != nil {
+					return err
+				}
+				m, err := c.Recv(0, 5)
+				if err != nil {
+					return err
+				}
+				if string(m.Data) != "loop" {
+					return fmt.Errorf("self send got %q", m.Data)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			const size = 5
+			var mu sync.Mutex
+			entered := 0
+			run(t, size, func(c Comm) error {
+				mu.Lock()
+				entered++
+				mu.Unlock()
+				if err := Barrier(c); err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if entered != size {
+					return fmt.Errorf("barrier released with %d/%d entered", entered, size)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			run(t, 4, func(c Comm) error {
+				var payload []byte
+				if c.Rank() == 0 {
+					payload = []byte("broadcast payload")
+				}
+				got, err := Bcast(c, payload)
+				if err != nil {
+					return err
+				}
+				if string(got) != "broadcast payload" {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			const size = 4
+			run(t, size, func(c Comm) error {
+				data := []byte{byte(c.Rank() * 10)}
+				out, err := Gather(c, data)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != 0 {
+					if out != nil {
+						return fmt.Errorf("non-root got gather output")
+					}
+					return nil
+				}
+				for r := 0; r < size; r++ {
+					if len(out[r]) != 1 || out[r][0] != byte(r*10) {
+						return fmt.Errorf("gather[%d] = %v", r, out[r])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	type task struct {
+		ID    int
+		Files []string
+	}
+	runWorld(t, 2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return SendGob(c, 1, 3, task{ID: 42, Files: []string{"a", "b"}})
+		}
+		var got task
+		if _, err := RecvGob(c, 0, 3, &got); err != nil {
+			return err
+		}
+		if got.ID != 42 || len(got.Files) != 2 || got.Files[1] != "b" {
+			return fmt.Errorf("gob round trip: %+v", got)
+		}
+		return nil
+	})
+}
+
+func TestRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv(AnySource, AnyTag)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("send to rank 5 of 2 accepted")
+	}
+	if err := c.Send(-1, 0, nil); err == nil {
+		t.Error("send to rank -1 accepted")
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("world of size 0 accepted")
+	}
+}
+
+func TestTCPEarlySendBeforePeerConnects(t *testing.T) {
+	// Rank 0 connects and sends immediately; rank 1 connects late.
+	// The router must queue the frame.
+	router, err := StartRouter("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	c0, err := Dial(router.Addr(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	if err := c0.Send(1, 9, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	c1, err := Dial(router.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	m, err := c1.Recv(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "early" {
+		t.Errorf("got %q", m.Data)
+	}
+}
+
+func TestManyMessagesStress(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			const size = 4
+			const per = 200
+			run(t, size, func(c Comm) error {
+				if c.Rank() == 0 {
+					total := 0
+					sums := map[int]int{}
+					for total < (size-1)*per {
+						m, err := c.Recv(AnySource, AnyTag)
+						if err != nil {
+							return err
+						}
+						sums[m.From] += int(m.Data[0])
+						total++
+					}
+					for r := 1; r < size; r++ {
+						want := per * r
+						if sums[r] != want {
+							return fmt.Errorf("rank %d sum = %d, want %d", r, sums[r], want)
+						}
+					}
+					return nil
+				}
+				for i := 0; i < per; i++ {
+					if err := c.Send(0, i, []byte{byte(c.Rank())}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestDialRetryWaitsForRouter(t *testing.T) {
+	addr := "127.0.0.1:0"
+	// Pick a concrete free port by binding and releasing it.
+	probe, err := StartRouter(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concrete := probe.Addr()
+	probe.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := DialRetry(concrete, 0, 2, 5*time.Second)
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	// Start the router late; the dialer must keep retrying.
+	time.Sleep(300 * time.Millisecond)
+	router, err := StartRouter(concrete, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("DialRetry failed: %v", err)
+	}
+}
+
+func TestDialRetryTimesOut(t *testing.T) {
+	if _, err := DialRetry("127.0.0.1:1", 0, 2, 300*time.Millisecond); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	for name, run := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			run(t, 2, func(c Comm) error {
+				if c.Rank() == 0 {
+					// Nothing matching tag 99 yet: must time out.
+					start := time.Now()
+					_, ok, err := RecvTimeout(c, AnySource, 99, 80*time.Millisecond)
+					if err != nil || ok {
+						return fmt.Errorf("expected timeout, got ok=%v err=%v", ok, err)
+					}
+					if time.Since(start) < 60*time.Millisecond {
+						return fmt.Errorf("timed out too early")
+					}
+					// Tell the peer to send, then receive with a deadline.
+					if err := c.Send(1, 1, nil); err != nil {
+						return err
+					}
+					m, ok, err := RecvTimeout(c, 1, 99, 2*time.Second)
+					if err != nil || !ok {
+						return fmt.Errorf("expected message, got ok=%v err=%v", ok, err)
+					}
+					if string(m.Data) != "late" {
+						return fmt.Errorf("got %q", m.Data)
+					}
+					return nil
+				}
+				if _, err := c.Recv(0, 1); err != nil {
+					return err
+				}
+				return c.Send(0, 99, []byte("late"))
+			})
+		})
+	}
+}
+
+func TestRecvTimeoutDoesNotStealMismatched(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	if err := c1.Send(0, 5, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	// Waiting for tag 6 must not consume the tag-5 message.
+	if _, ok, err := RecvTimeout(c0, AnySource, 6, 50*time.Millisecond); ok || err != nil {
+		t.Fatalf("tag 6 wait: ok=%v err=%v", ok, err)
+	}
+	m, err := c0.Recv(AnySource, 5)
+	if err != nil || string(m.Data) != "keep" {
+		t.Fatalf("tag 5 message lost: %v %q", err, m.Data)
+	}
+}
+
+func TestRecvTimeoutUnblocksOnClose(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := RecvTimeout(c, AnySource, AnyTag, 10*time.Second)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvTimeout did not unblock on Close")
+	}
+}
+
+func TestMailboxOrderAndConservationQuick(t *testing.T) {
+	// Property: for any sequence of sends, wildcard receives return
+	// every message exactly once, in send order.
+	f := func(tags []uint8) bool {
+		w, err := NewWorld(2)
+		if err != nil {
+			return false
+		}
+		defer w.Close()
+		c0, c1 := w.Comm(0), w.Comm(1)
+		for i, tg := range tags {
+			if err := c0.Send(1, int(tg), []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		for i := range tags {
+			m, err := c1.Recv(AnySource, AnyTag)
+			if err != nil {
+				return false
+			}
+			if int(m.Data[0]) != i || m.Tag != int(tags[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMailboxSelectiveRecvQuick(t *testing.T) {
+	// Property: receiving by specific tag never loses other-tag
+	// messages — they all arrive afterwards via wildcard.
+	f := func(tags []uint8, want uint8) bool {
+		w, err := NewWorld(2)
+		if err != nil {
+			return false
+		}
+		defer w.Close()
+		c0, c1 := w.Comm(0), w.Comm(1)
+		matching := 0
+		for i, tg := range tags {
+			if err := c0.Send(1, int(tg), []byte{byte(i)}); err != nil {
+				return false
+			}
+			if tg == want {
+				matching++
+			}
+		}
+		for k := 0; k < matching; k++ {
+			m, err := c1.Recv(AnySource, int(want))
+			if err != nil || m.Tag != int(want) {
+				return false
+			}
+		}
+		// The rest must still be there.
+		rest := len(tags) - matching
+		for k := 0; k < rest; k++ {
+			m, err := c1.Recv(AnySource, AnyTag)
+			if err != nil || m.Tag == int(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

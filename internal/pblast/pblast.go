@@ -1,0 +1,643 @@
+// Package pblast implements parallel BLAST in the style of mpiBLAST:
+// a master that schedules database fragments (or query pieces) onto
+// idle workers over the mpi substrate and merges their results by
+// alignment score. Workers read database fragments through any
+// chio.FileSystem — the local-disk, PVFS, or CEFT-PVFS backends — so
+// the three configurations the paper compares differ only in the file
+// system handed to RunWorker, mirroring Figure 1's software stack.
+package pblast
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pario/internal/blast"
+	"pario/internal/blastdb"
+	"pario/internal/chio"
+	"pario/internal/mpi"
+	"pario/internal/seq"
+)
+
+// Mode selects the parallelization strategy (§2.2 of the paper).
+type Mode int
+
+const (
+	// DatabaseSegmentation copies the whole query to every worker and
+	// splits the database (the mpiBLAST approach the paper uses).
+	DatabaseSegmentation Mode = iota
+	// QuerySegmentation replicates the database and splits the query
+	// into overlapping pieces.
+	QuerySegmentation
+)
+
+// Message tags.
+const (
+	tagJob = iota + 10
+	tagReady
+	tagTask
+	tagResult
+)
+
+// task kinds.
+const (
+	taskSearch = iota
+	taskDone
+)
+
+// Config controls a parallel search.
+type Config struct {
+	// DBName is the database name (alias at DBName.pal).
+	DBName string
+	// Params are the BLAST parameters used by every worker.
+	Params blast.Params
+	// Mode selects database or query segmentation.
+	Mode Mode
+	// CopyToLocal reproduces the original mpiBLAST behaviour: each
+	// worker first copies its fragment from the shared store to its
+	// local scratch file system and then searches the local copy.
+	CopyToLocal bool
+	// ChunkBytes is the fragment streaming read size (0 = 16 MB).
+	ChunkBytes int
+	// QueryOverlap is the overlap between query pieces in
+	// QuerySegmentation mode (0 = 100 letters).
+	QueryOverlap int
+	// TaskTimeout enables fault-tolerant scheduling: a task whose
+	// result has not arrived within this duration is handed to
+	// another idle worker, so a crashed worker cannot stall the job
+	// (duplicate results are discarded). Zero disables reassignment.
+	TaskTimeout time.Duration
+}
+
+// job is broadcast from the master to every worker before scheduling.
+type job struct {
+	Query  seq.Sequence
+	Params blast.Params
+	Alias  blastdb.Alias
+	Config Config
+	// Pieces holds the query piece boundaries for query segmentation.
+	Pieces []piece
+	// Queries, when non-empty, switches the job to batch mode: the
+	// task space is (query x fragment) and Query is ignored.
+	Queries []seq.Sequence
+}
+
+type piece struct {
+	Start, End int
+}
+
+type taskMsg struct {
+	Kind  int
+	Index int // fragment index or piece index
+}
+
+type resultMsg struct {
+	Index      int
+	Err        string
+	Result     *blast.Result
+	CopyTime   time.Duration
+	SearchTime time.Duration
+	ReadBytes  int64
+}
+
+// Outcome is the merged output of a parallel search.
+type Outcome struct {
+	Result *blast.Result
+	// WallTime is the end-to-end master time including scheduling.
+	WallTime time.Duration
+	// CopyTime sums the workers' database copying time (the paper
+	// measures it separately and subtracts it).
+	CopyTime time.Duration
+	// SearchTime sums the workers' search times.
+	SearchTime time.Duration
+	// TaskTimes records each task's search duration by index.
+	TaskTimes map[int]time.Duration
+	// Reassigned counts tasks re-handed to another worker after their
+	// original assignee went silent (fault-tolerant scheduling).
+	Reassigned int
+}
+
+// RunMaster drives the search from rank 0. fs is the master's view of
+// the shared store (used to read the database alias). The query is
+// searched against cfg.DBName and the merged result returned.
+func RunMaster(c mpi.Comm, fs chio.FileSystem, query *seq.Sequence, cfg Config) (*Outcome, error) {
+	if c.Rank() != 0 {
+		return nil, fmt.Errorf("pblast: RunMaster called on rank %d", c.Rank())
+	}
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("pblast: need at least one worker (size %d)", c.Size())
+	}
+	start := time.Now()
+	alias, err := blastdb.ReadAlias(fs, cfg.DBName)
+	if err != nil {
+		return nil, fmt.Errorf("pblast: reading alias: %w", err)
+	}
+	j := job{Query: *query, Params: cfg.Params, Alias: *alias, Config: cfg}
+	nTasks := len(alias.Fragments)
+	if cfg.Mode == QuerySegmentation {
+		j.Pieces = splitQuery(query.Len(), c.Size()-1, cfg.queryOverlap(), cfg.Params)
+		nTasks = len(j.Pieces)
+	}
+	for r := 1; r < c.Size(); r++ {
+		if err := mpi.SendGob(c, r, tagJob, &j); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Outcome{TaskTimes: make(map[int]time.Duration)}
+	collected, err := scheduleTasks(c, cfg, nTasks, out)
+	if err != nil {
+		return nil, err
+	}
+	// In query-segmentation mode, shift piece-local query coordinates
+	// back into full-query space before merging and deduplication.
+	results := make([]*blast.Result, 0, len(collected))
+	for _, tr := range collected {
+		if cfg.Mode == QuerySegmentation {
+			shift := j.Pieces[tr.index].Start
+			for hi := range tr.res.Hits {
+				for pi := range tr.res.Hits[hi].HSPs {
+					tr.res.Hits[hi].HSPs[pi].QueryFrom += shift
+					tr.res.Hits[hi].HSPs[pi].QueryTo += shift
+				}
+			}
+		}
+		results = append(results, tr.res)
+	}
+	merged := mergeResults(query, results, cfg)
+	out.Result = merged
+	out.WallTime = time.Since(start)
+	return out, nil
+}
+
+// taskResult pairs a completed task index with its result.
+type taskResult struct {
+	index int
+	res   *blast.Result
+}
+
+// scheduleTasks runs the master's fault-tolerant scheduling loop until
+// every task in [0, nTasks) has a result, then releases the workers.
+func scheduleTasks(c mpi.Comm, cfg Config, nTasks int, out *Outcome) ([]taskResult, error) {
+	var collected []taskResult
+
+	// Fault-tolerant scheduling state: tasks move pending -> assigned
+	// -> done; with TaskTimeout set, overdue assigned tasks are
+	// re-handed to idle workers and duplicate results discarded.
+	const (
+		statePending = iota
+		stateAssigned
+		stateDone
+	)
+	states := make([]int, nTasks)
+	assignedAt := make([]time.Time, nTasks)
+	assignedTo := make([]int, nTasks)
+	var idle []int
+	doneTasks := 0
+
+	// assign hands the best available task to worker, returning false
+	// when nothing is currently assignable.
+	assign := func(worker int) (bool, error) {
+		pick := -1
+		for i := range states {
+			if states[i] == statePending {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 && cfg.TaskTimeout > 0 {
+			// No fresh work: look for an overdue assignment held by a
+			// different worker (it may have died).
+			for i := range states {
+				if states[i] == stateAssigned && assignedTo[i] != worker &&
+					time.Since(assignedAt[i]) >= cfg.TaskTimeout {
+					pick = i
+					out.Reassigned++
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			return false, nil
+		}
+		if err := mpi.SendGob(c, worker, tagTask, &taskMsg{Kind: taskSearch, Index: pick}); err != nil {
+			return false, err
+		}
+		states[pick] = stateAssigned
+		assignedAt[pick] = time.Now()
+		assignedTo[pick] = worker
+		return true, nil
+	}
+
+	for doneTasks < nTasks {
+		var m mpi.Message
+		var err error
+		ok := true
+		if cfg.TaskTimeout > 0 {
+			m, ok, err = mpi.RecvTimeout(c, mpi.AnySource, mpi.AnyTag, cfg.TaskTimeout/2)
+		} else {
+			m, err = c.Recv(mpi.AnySource, mpi.AnyTag)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Deadline tick: try to pair overdue tasks with idle workers.
+			for len(idle) > 0 {
+				granted, err := assign(idle[0])
+				if err != nil {
+					return nil, err
+				}
+				if !granted {
+					break
+				}
+				idle = idle[1:]
+			}
+			continue
+		}
+		switch m.Tag {
+		case tagReady:
+			granted, err := assign(m.From)
+			if err != nil {
+				return nil, err
+			}
+			if !granted {
+				idle = append(idle, m.From)
+			}
+		case tagResult:
+			var rm resultMsg
+			if err := decodeGob(m.Data, &rm); err != nil {
+				return nil, err
+			}
+			if rm.Err != "" {
+				return nil, fmt.Errorf("pblast: task %d failed: %s", rm.Index, rm.Err)
+			}
+			if states[rm.Index] == stateDone {
+				break // duplicate result from a reassigned task
+			}
+			states[rm.Index] = stateDone
+			doneTasks++
+			collected = append(collected, taskResult{index: rm.Index, res: rm.Result})
+			out.CopyTime += rm.CopyTime
+			out.SearchTime += rm.SearchTime
+			out.TaskTimes[rm.Index] = rm.SearchTime
+		default:
+			return nil, fmt.Errorf("pblast: master got unexpected tag %d", m.Tag)
+		}
+	}
+	// Release every worker currently waiting for work, then drain
+	// late Ready messages until every live worker has been released
+	// (a short deadline per wait bounds the cost when workers have
+	// died); stragglers computing duplicates learn of completion when
+	// the communicator shuts down.
+	released := map[int]bool{}
+	for _, w := range idle {
+		if err := mpi.SendGob(c, w, tagTask, &taskMsg{Kind: taskDone}); err != nil {
+			return nil, err
+		}
+		released[w] = true
+	}
+	for len(released) < c.Size()-1 {
+		m, ok, err := mpi.RecvTimeout(c, mpi.AnySource, tagReady, 250*time.Millisecond)
+		if err != nil || !ok {
+			break
+		}
+		if err := mpi.SendGob(c, m.From, tagTask, &taskMsg{Kind: taskDone}); err != nil {
+			return nil, err
+		}
+		released[m.From] = true
+	}
+	return collected, nil
+}
+
+func decodeGob(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+func (cfg Config) queryOverlap() int {
+	if cfg.QueryOverlap > 0 {
+		return cfg.QueryOverlap
+	}
+	return 100
+}
+
+// splitQuery produces n overlapping pieces covering [0, length).
+func splitQuery(length, n, overlap int, p blast.Params) []piece {
+	if n < 1 {
+		n = 1
+	}
+	if n > length {
+		n = length
+	}
+	base := length / n
+	var pieces []piece
+	for i := 0; i < n; i++ {
+		start := i * base
+		end := start + base
+		if i == n-1 {
+			end = length
+		}
+		// Extend by the overlap so alignments crossing the boundary
+		// are found by at least one piece.
+		oStart := start - overlap
+		if oStart < 0 {
+			oStart = 0
+		}
+		oEnd := end + overlap
+		if oEnd > length {
+			oEnd = length
+		}
+		pieces = append(pieces, piece{Start: oStart, End: oEnd})
+	}
+	return pieces
+}
+
+// RunWorker executes search tasks on any rank > 0. fs is this
+// worker's file system onto the shared database store; scratch is the
+// worker's local scratch space, used only when the job requests
+// CopyToLocal (pass nil otherwise).
+func RunWorker(c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem) error {
+	var j job
+	if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
+		return err
+	}
+	// A closed communicator after the job started means the master
+	// completed and shut the world down — a clean exit, not a fault
+	// (this worker may have been computing a reassigned duplicate).
+	clean := func(err error) error {
+		if errors.Is(err, mpi.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+	for {
+		if err := c.Send(0, tagReady, nil); err != nil {
+			return clean(err)
+		}
+		var t taskMsg
+		if _, err := mpi.RecvGob(c, 0, tagTask, &t); err != nil {
+			return clean(err)
+		}
+		if t.Kind == taskDone {
+			return nil
+		}
+		rm := runTask(&j, t.Index, fs, scratch)
+		if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
+			return clean(err)
+		}
+	}
+}
+
+func runTask(j *job, index int, fs, scratch chio.FileSystem) *resultMsg {
+	rm := &resultMsg{Index: index}
+	fail := func(err error) *resultMsg {
+		rm.Err = err.Error()
+		return rm
+	}
+	query := j.Query
+
+	var fragments []int
+	if len(j.Queries) > 0 {
+		// Batch mode: index = query*nFragments + fragment.
+		nFrags := len(j.Alias.Fragments)
+		query = j.Queries[index/nFrags]
+		fragments = []int{index % nFrags}
+		return runSearchTask(j, rm, fail, query, fragments, fs, scratch)
+	}
+	switch j.Config.Mode {
+	case DatabaseSegmentation:
+		fragments = []int{index}
+	case QuerySegmentation:
+		p := j.Pieces[index]
+		sub := j.Query.Subsequence(p.Start, p.End)
+		sub.ID = j.Query.ID // keep the original ID; offsets fixed at merge
+		query = *sub
+		for i := range j.Alias.Fragments {
+			fragments = append(fragments, i)
+		}
+	}
+	return runSearchTask(j, rm, fail, query, fragments, fs, scratch)
+}
+
+// runSearchTask performs the actual fragment reads and search for one
+// task.
+func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq.Sequence, fragments []int, fs, scratch chio.FileSystem) *resultMsg {
+	info := blast.DBInfo{Letters: j.Alias.Letters, Sequences: j.Alias.Seqs}
+	var sources []blast.SubjectSource
+	searchStart := time.Now()
+	for _, fi := range fragments {
+		path := j.Alias.Fragments[fi].Path
+		readFS := fs
+		if j.Config.CopyToLocal {
+			if scratch == nil {
+				return fail(fmt.Errorf("pblast: CopyToLocal requested but no scratch FS"))
+			}
+			copyStart := time.Now()
+			n, err := chio.Copy(scratch, path, fs, path, j.Config.ChunkBytes)
+			if err != nil {
+				return fail(fmt.Errorf("copying %s: %w", path, err))
+			}
+			rm.CopyTime += time.Since(copyStart)
+			rm.ReadBytes += n
+			readFS = scratch
+			searchStart = time.Now() // copy time excluded from search time
+		}
+		fr, err := blastdb.OpenFragment(readFS, path)
+		if err != nil {
+			return fail(fmt.Errorf("opening %s: %w", path, err))
+		}
+		defer fr.Close()
+		sources = append(sources, fr.Source(j.Config.ChunkBytes))
+	}
+
+	res, err := blast.Search(&query, &multiSource{sources: sources}, info, j.Params)
+	if err != nil {
+		return fail(err)
+	}
+	// Record temporary results, as mpiBLAST workers do before the
+	// master merges — these are the small (tens to hundreds of bytes)
+	// writes visible in the paper's Figure 4 trace.
+	if err := writeTempResult(fs, rm.Index, res); err != nil {
+		return fail(err)
+	}
+	rm.SearchTime = time.Since(searchStart)
+	rm.Result = res
+	return rm
+}
+
+// writeTempResult persists a compact per-task result summary.
+func writeTempResult(fs chio.FileSystem, index int, res *blast.Result) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "task %d query %s hits %d\n", index, res.QueryID, len(res.Hits))
+	for _, h := range res.Hits {
+		fmt.Fprintf(&buf, "%s %g\n", h.SubjectID, h.BestEValue())
+	}
+	for buf.Len() < 50 { // the paper's smallest result write is 50 bytes
+		buf.WriteByte('\n')
+	}
+	return chio.WriteFull(fs, fmt.Sprintf("tmp/result.%03d", index), buf.Bytes())
+}
+
+// multiSource chains fragment sources.
+type multiSource struct {
+	sources []blast.SubjectSource
+	i       int
+}
+
+// Next returns the next sequence across all chained sources.
+func (ms *multiSource) Next() (*seq.Sequence, error) {
+	for ms.i < len(ms.sources) {
+		s, err := ms.sources[ms.i].Next()
+		if err == io.EOF {
+			ms.i++
+			continue
+		}
+		return s, err
+	}
+	return nil, io.EOF
+}
+
+// mergeResults combines per-task results: hits are concatenated
+// (database segmentation puts each subject in exactly one fragment),
+// query-piece coordinates are shifted back into full-query space and
+// duplicate HSPs from overlapping pieces removed, then everything is
+// re-sorted by significance, as the mpiBLAST master does.
+func mergeResults(query *seq.Sequence, results []*blast.Result, cfg Config) *blast.Result {
+	merged := &blast.Result{
+		QueryID:  query.ID,
+		QueryLen: query.Len(),
+	}
+	if len(results) == 0 {
+		return merged
+	}
+	merged.Program = results[0].Program
+	byID := make(map[string]*blast.Hit)
+	var order []string
+	seen := make(map[string]bool)
+	for _, r := range results {
+		merged.Stats.SeedHits += r.Stats.SeedHits
+		merged.Stats.UngappedExts += r.Stats.UngappedExts
+		merged.Stats.GappedExts += r.Stats.GappedExts
+		merged.Stats.Lambda = r.Stats.Lambda
+		merged.Stats.K = r.Stats.K
+		merged.Stats.H = r.Stats.H
+		merged.Stats.EffSearchLen = r.Stats.EffSearchLen
+		if cfg.Mode == DatabaseSegmentation {
+			merged.Stats.DBSequences += r.Stats.DBSequences
+			merged.Stats.DBLetters += r.Stats.DBLetters
+		} else {
+			merged.Stats.DBSequences = r.Stats.DBSequences
+			merged.Stats.DBLetters = r.Stats.DBLetters
+		}
+		for _, h := range r.Hits {
+			hit := byID[h.SubjectID]
+			if hit == nil {
+				cp := h
+				cp.HSPs = nil
+				byID[h.SubjectID] = &cp
+				hit = &cp
+				order = append(order, h.SubjectID)
+			}
+			for _, hsp := range h.HSPs {
+				key := fmt.Sprintf("%s/%d-%d/%d-%d/%v", h.SubjectID,
+					hsp.QueryFrom, hsp.QueryTo, hsp.SubjectFrom, hsp.SubjectTo, hsp.QueryFrame)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				hit.HSPs = append(hit.HSPs, hsp)
+				merged.Stats.ReportedHSPs++
+			}
+		}
+	}
+	for _, id := range order {
+		hit := byID[id]
+		sort.Slice(hit.HSPs, func(a, b int) bool { return hit.HSPs[a].Score > hit.HSPs[b].Score })
+		merged.Hits = append(merged.Hits, *hit)
+	}
+	sort.Slice(merged.Hits, func(a, b int) bool {
+		ea, eb := merged.Hits[a].BestEValue(), merged.Hits[b].BestEValue()
+		if ea != eb {
+			return ea < eb
+		}
+		return merged.Hits[a].SubjectID < merged.Hits[b].SubjectID
+	})
+	if cfg.Params.MaxTargetSeqs > 0 && len(merged.Hits) > cfg.Params.MaxTargetSeqs {
+		merged.Hits = merged.Hits[:cfg.Params.MaxTargetSeqs]
+	}
+	return merged
+}
+
+// BatchOutcome is the result of a multi-query parallel search.
+type BatchOutcome struct {
+	// Results holds one merged result per query, in input order.
+	Results []*blast.Result
+	// WallTime, CopyTime, SearchTime and Reassigned aggregate the
+	// whole batch, like Outcome's fields.
+	WallTime   time.Duration
+	CopyTime   time.Duration
+	SearchTime time.Duration
+	TaskTimes  map[int]time.Duration
+	Reassigned int
+}
+
+// RunMasterBatch drives a multi-query search: the task space is the
+// (query x fragment) matrix, scheduled dynamically onto idle workers —
+// how mpiBLAST-era installations processed EST batches. Batch mode
+// implies database segmentation.
+func RunMasterBatch(c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg Config) (*BatchOutcome, error) {
+	if c.Rank() != 0 {
+		return nil, fmt.Errorf("pblast: RunMasterBatch called on rank %d", c.Rank())
+	}
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("pblast: need at least one worker (size %d)", c.Size())
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("pblast: empty query batch")
+	}
+	if cfg.Mode != DatabaseSegmentation {
+		return nil, fmt.Errorf("pblast: batch mode requires database segmentation")
+	}
+	start := time.Now()
+	alias, err := blastdb.ReadAlias(fs, cfg.DBName)
+	if err != nil {
+		return nil, fmt.Errorf("pblast: reading alias: %w", err)
+	}
+	j := job{Params: cfg.Params, Alias: *alias, Config: cfg}
+	for _, q := range queries {
+		j.Queries = append(j.Queries, *q)
+	}
+	nFrags := len(alias.Fragments)
+	nTasks := len(queries) * nFrags
+	for r := 1; r < c.Size(); r++ {
+		if err := mpi.SendGob(c, r, tagJob, &j); err != nil {
+			return nil, err
+		}
+	}
+	inner := &Outcome{TaskTimes: make(map[int]time.Duration)}
+	collected, err := scheduleTasks(c, cfg, nTasks, inner)
+	if err != nil {
+		return nil, err
+	}
+	// Group per query and merge.
+	perQuery := make([][]*blast.Result, len(queries))
+	for _, tr := range collected {
+		qi := tr.index / nFrags
+		perQuery[qi] = append(perQuery[qi], tr.res)
+	}
+	out := &BatchOutcome{
+		CopyTime:   inner.CopyTime,
+		SearchTime: inner.SearchTime,
+		TaskTimes:  inner.TaskTimes,
+		Reassigned: inner.Reassigned,
+	}
+	for qi, results := range perQuery {
+		out.Results = append(out.Results, mergeResults(queries[qi], results, cfg))
+	}
+	out.WallTime = time.Since(start)
+	return out, nil
+}

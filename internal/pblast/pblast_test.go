@@ -1,0 +1,742 @@
+package pblast
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pario/internal/blast"
+	"pario/internal/blastdb"
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/mpi"
+	"pario/internal/pvfs"
+	"pario/internal/seq"
+	"pario/internal/util"
+	"pario/internal/workloadtest"
+)
+
+// buildTestDB formats a synthetic nucleotide database with a planted
+// query match onto fs and returns the query.
+func buildTestDB(t *testing.T, fs chio.FileSystem, name string, fragments int) *seq.Sequence {
+	t.Helper()
+	rng := util.NewRNG(55)
+	var seqs []*seq.Sequence
+	for i := 0; i < 40; i++ {
+		n := 2000 + rng.Intn(3000)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = seq.NucLetter[rng.Intn(4)]
+		}
+		seqs = append(seqs, &seq.Sequence{
+			ID:   "nt" + itoa(i),
+			Kind: seq.Nucleotide,
+			Data: data,
+		})
+	}
+	// Query: 568 letters; plant its middle into sequence 17.
+	qdata := make([]byte, 568)
+	for j := range qdata {
+		qdata[j] = seq.NucLetter[rng.Intn(4)]
+	}
+	query := &seq.Sequence{ID: "query568", Kind: seq.Nucleotide, Data: qdata}
+	copy(seqs[17].Data[700:], qdata[100:400])
+
+	var buf bytes.Buffer
+	if err := seq.WriteFasta(&buf, 70, seqs...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blastdb.Format(fs, name, seq.Nucleotide, fragments, seq.NewFastaReader(&buf, seq.Nucleotide)); err != nil {
+		t.Fatal(err)
+	}
+	return query
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func sameFS(fs chio.FileSystem) func(int) chio.FileSystem {
+	return func(int) chio.FileSystem { return fs }
+}
+
+func checkFound(t *testing.T, out *Outcome) {
+	t.Helper()
+	if out.Result == nil || len(out.Result.Hits) == 0 {
+		t.Fatal("parallel search found nothing")
+	}
+	if out.Result.Hits[0].SubjectID != "nt17" {
+		t.Fatalf("best hit = %s, want nt17", out.Result.Hits[0].SubjectID)
+	}
+	hsp := out.Result.Hits[0].HSPs[0]
+	if hsp.QueryFrom > 105 || hsp.QueryTo < 395 {
+		t.Errorf("query extents [%d,%d) miss planted region [100,400)", hsp.QueryFrom, hsp.QueryTo)
+	}
+}
+
+func TestDatabaseSegmentationSharedMem(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 8)
+	out, err := RunInProcess(4, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFound(t, out)
+	if len(out.TaskTimes) != 8 {
+		t.Errorf("task times for %d tasks, want 8", len(out.TaskTimes))
+	}
+	if out.Result.Stats.DBSequences != 40 {
+		t.Errorf("merged DB sequences = %d, want 40", out.Result.Stats.DBSequences)
+	}
+}
+
+func TestResultsMatchSerialSearch(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 5)
+
+	out, err := RunInProcess(3, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: search every fragment in one pass.
+	alias, err := blastdb.ReadAlias(fs, "nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := blastdb.OpenAll(fs, alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources []blast.SubjectSource
+	for _, fr := range frags {
+		defer fr.Close()
+		sources = append(sources, fr.Source(0))
+	}
+	serial, err := blast.Search(query, &multiSource{sources: sources},
+		blast.DBInfo{Letters: alias.Letters, Sequences: alias.Seqs},
+		blast.Params{Program: blast.BlastN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Hits) != len(out.Result.Hits) {
+		t.Fatalf("parallel %d hits vs serial %d hits", len(out.Result.Hits), len(serial.Hits))
+	}
+	for i := range serial.Hits {
+		ph, sh := out.Result.Hits[i], serial.Hits[i]
+		if ph.SubjectID != sh.SubjectID {
+			t.Errorf("hit %d: %s vs %s", i, ph.SubjectID, sh.SubjectID)
+		}
+		if len(ph.HSPs) != len(sh.HSPs) || ph.HSPs[0].Score != sh.HSPs[0].Score {
+			t.Errorf("hit %d HSPs differ", i)
+		}
+	}
+}
+
+func TestCopyToLocalMeasuresCopyTime(t *testing.T) {
+	shared := chio.NewMemFS()
+	query := buildTestDB(t, shared, "nt", 4)
+	var mu sync.Mutex
+	scratches := map[int]chio.FileSystem{}
+	out, err := RunInProcess(2, query, Config{
+		DBName:      "nt",
+		Params:      blast.Params{Program: blast.BlastN},
+		CopyToLocal: true,
+	}, shared, sameFS(shared), func(rank int) chio.FileSystem {
+		mu.Lock()
+		defer mu.Unlock()
+		if scratches[rank] == nil {
+			scratches[rank] = chio.NewMemFS()
+		}
+		return scratches[rank]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFound(t, out)
+	if out.CopyTime <= 0 {
+		t.Error("copy time not measured")
+	}
+	// The scratch file systems must now hold fragment copies.
+	total := 0
+	for _, sc := range scratches {
+		fis, _ := sc.List("")
+		total += len(fis)
+	}
+	if total != 4 {
+		t.Errorf("scratch copies = %d, want 4", total)
+	}
+}
+
+func TestCopyToLocalWithoutScratchFails(t *testing.T) {
+	shared := chio.NewMemFS()
+	query := buildTestDB(t, shared, "nt", 2)
+	_, err := RunInProcess(1, query, Config{
+		DBName:      "nt",
+		Params:      blast.Params{Program: blast.BlastN},
+		CopyToLocal: true,
+	}, shared, sameFS(shared), nil)
+	if err == nil {
+		t.Fatal("expected failure without scratch FS")
+	}
+}
+
+func TestQuerySegmentation(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 3)
+	// The planted alignment is 300 letters; with 4 pieces of ~142 the
+	// overlap must be large enough that one piece spans it entirely.
+	out, err := RunInProcess(4, query, Config{
+		DBName:       "nt",
+		Params:       blast.Params{Program: blast.BlastN},
+		Mode:         QuerySegmentation,
+		QueryOverlap: 200,
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFound(t, out)
+}
+
+func TestQuerySegmentationCoordinatesShifted(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 2)
+	qOut, err := RunInProcess(4, query, Config{
+		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
+		Mode: QuerySegmentation, QueryOverlap: 200,
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOut, err := RunInProcess(4, query, Config{
+		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qh, dh := qOut.Result.Hits[0].HSPs[0], dOut.Result.Hits[0].HSPs[0]
+	if qh.QueryFrom != dh.QueryFrom || qh.QueryTo != dh.QueryTo {
+		t.Errorf("query-seg extents [%d,%d) vs db-seg [%d,%d)",
+			qh.QueryFrom, qh.QueryTo, dh.QueryFrom, dh.QueryTo)
+	}
+}
+
+func TestSplitQuery(t *testing.T) {
+	p := blast.Params{Program: blast.BlastN}
+	pieces := splitQuery(1000, 4, 50, p)
+	if len(pieces) != 4 {
+		t.Fatalf("pieces = %d", len(pieces))
+	}
+	if pieces[0].Start != 0 || pieces[3].End != 1000 {
+		t.Errorf("coverage: %+v", pieces)
+	}
+	// Adjacent pieces must overlap.
+	for i := 1; i < len(pieces); i++ {
+		if pieces[i].Start >= pieces[i-1].End {
+			t.Errorf("pieces %d and %d do not overlap: %+v", i-1, i, pieces)
+		}
+	}
+	// More workers than letters.
+	tiny := splitQuery(3, 10, 2, p)
+	if len(tiny) != 3 {
+		t.Errorf("tiny split = %+v", tiny)
+	}
+}
+
+func TestOverPVFS(t *testing.T) {
+	// Full integration: format the DB onto a real PVFS deployment and
+	// run the parallel search with per-worker PVFS clients.
+	mgr, err := pvfs.StartMetaServer(pvfs.MetaConfig{Addr: "127.0.0.1:0", NumServers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	var addrs []string
+	var iods []*pvfs.DataServer
+	for i := 0; i < 4; i++ {
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{ID: i, Addr: "127.0.0.1:0", Store: chio.NewMemFS()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		iods = append(iods, ds)
+		addrs = append(addrs, ds.Addr())
+	}
+	masterCl, err := pvfs.DialClient(mgr.Addr(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer masterCl.Close()
+	query := buildTestDB(t, masterCl, "nt", 6)
+
+	var mu sync.Mutex
+	clients := map[int]*pvfs.Client{}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	out, err := RunInProcess(3, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, masterCl, func(rank int) chio.FileSystem {
+		cl, err := pvfs.DialClient(mgr.Addr(), addrs)
+		if err != nil {
+			t.Errorf("worker %d dial: %v", rank, err)
+			return chio.NewMemFS()
+		}
+		mu.Lock()
+		clients[rank] = cl
+		mu.Unlock()
+		return cl
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFound(t, out)
+}
+
+func TestOverCEFT(t *testing.T) {
+	env := workloadtest.StartCEFT(t, 2)
+	query := buildTestDB(t, env.Client, "nt", 4)
+	var mu sync.Mutex
+	clients := map[int]*ceft.Client{}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	out, err := RunInProcess(2, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, env.Client, func(rank int) chio.FileSystem {
+		cl, err := ceft.DialClient(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
+		if err != nil {
+			t.Errorf("worker %d dial: %v", rank, err)
+			return chio.NewMemFS()
+		}
+		mu.Lock()
+		clients[rank] = cl
+		mu.Unlock()
+		return cl
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFound(t, out)
+}
+
+func TestMasterValidation(t *testing.T) {
+	w, err := mpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fs := chio.NewMemFS()
+	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: []byte("ACGT")}
+	if _, err := RunMaster(w.Comm(0), fs, q, Config{DBName: "x"}); err == nil {
+		t.Error("master with no workers accepted")
+	}
+}
+
+func TestMissingDatabaseFails(t *testing.T) {
+	fs := chio.NewMemFS()
+	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
+	_, err := RunInProcess(2, q, Config{
+		DBName: "absent",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err == nil {
+		t.Fatal("missing database accepted")
+	}
+}
+
+func TestOutcomeTimingsPopulated(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 4)
+	out, err := RunInProcess(2, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WallTime <= 0 || out.SearchTime <= 0 {
+		t.Errorf("timings: wall=%v search=%v", out.WallTime, out.SearchTime)
+	}
+	var sum time.Duration
+	for _, d := range out.TaskTimes {
+		sum += d
+	}
+	if sum > out.SearchTime+time.Millisecond {
+		t.Errorf("task times %v exceed total search time %v", sum, out.SearchTime)
+	}
+}
+
+func TestOverTCPTransport(t *testing.T) {
+	// The same master/worker code must run across the TCP transport
+	// (separate processes in production; goroutines with real sockets
+	// here).
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 4)
+	router, err := mpi.StartRouter("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 3)
+	for r := 1; r <= 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := mpi.Dial(router.Addr(), r, 3)
+			if err != nil {
+				workerErrs[r] = err
+				return
+			}
+			defer c.Close()
+			workerErrs[r] = RunWorker(c, fs, nil)
+		}(r)
+	}
+	c0, err := mpi.Dial(router.Addr(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	out, err := RunMaster(c0, fs, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for r, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", r, err)
+		}
+	}
+	checkFound(t, out)
+}
+
+// crashingWorker takes the job and exactly one task, then vanishes
+// without sending its result — a silent worker death.
+func crashingWorker(c mpi.Comm) error {
+	var j job
+	if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
+		return err
+	}
+	if err := c.Send(0, tagReady, nil); err != nil {
+		return err
+	}
+	var tk taskMsg
+	if _, err := mpi.RecvGob(c, 0, tagTask, &tk); err != nil {
+		return err
+	}
+	return nil // dies holding the task
+}
+
+func TestWorkerCrashReassignment(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 6)
+	world, err := mpi.NewWorld(4) // master + crasher + 2 good workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[1] = crashingWorker(world.Comm(1)) }()
+	for r := 2; r <= 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Let the crasher claim a task first, so a task is
+			// guaranteed to be lost and need reassignment.
+			time.Sleep(100 * time.Millisecond)
+			errs[r] = RunWorker(world.Comm(r), fs, nil)
+		}(r)
+	}
+	out, masterErr := RunMaster(world.Comm(0), fs, query, Config{
+		DBName:      "nt",
+		Params:      blast.Params{Program: blast.BlastN},
+		TaskTimeout: 300 * time.Millisecond,
+	})
+	world.Close()
+	wg.Wait()
+	if masterErr != nil {
+		t.Fatalf("master failed despite fault tolerance: %v", masterErr)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	checkFound(t, out)
+	if out.Reassigned == 0 {
+		t.Error("no task was reassigned although a worker crashed")
+	}
+	if len(out.TaskTimes) != 6 {
+		t.Errorf("completed %d of 6 tasks", len(out.TaskTimes))
+	}
+}
+
+func TestNoReassignmentWithoutTimeout(t *testing.T) {
+	// Sanity: the fault-tolerant path stays off by default and normal
+	// runs report zero reassignments.
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 4)
+	out, err := RunInProcess(3, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reassigned != 0 {
+		t.Errorf("unexpected reassignments: %d", out.Reassigned)
+	}
+	checkFound(t, out)
+}
+
+func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
+	// A worker that is merely slow (not dead) eventually returns a
+	// result for a task that was already reassigned and completed;
+	// the master must discard the duplicate and still merge cleanly.
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 3)
+	world, err := mpi.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	// Rank 1: slow worker — handles its first task only after a long
+	// pause, then behaves normally.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := world.Comm(1)
+		var j job
+		if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
+			errs[1] = err
+			return
+		}
+		if err := c.Send(0, tagReady, nil); err != nil {
+			errs[1] = err
+			return
+		}
+		var tk taskMsg
+		if _, err := mpi.RecvGob(c, 0, tagTask, &tk); err != nil {
+			errs[1] = err
+			return
+		}
+		time.Sleep(700 * time.Millisecond) // long enough to be declared overdue
+		if tk.Kind == taskSearch {
+			rm := runTask(&j, tk.Index, fs, nil)
+			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil && !errorsIsClosed(err) {
+				errs[1] = err
+				return
+			}
+		}
+		// Continue as a normal worker until released.
+		for {
+			if err := c.Send(0, tagReady, nil); err != nil {
+				if !errorsIsClosed(err) {
+					errs[1] = err
+				}
+				return
+			}
+			var t2 taskMsg
+			if _, err := mpi.RecvGob(c, 0, tagTask, &t2); err != nil {
+				if !errorsIsClosed(err) {
+					errs[1] = err
+				}
+				return
+			}
+			if t2.Kind == taskDone {
+				return
+			}
+			rm := runTask(&j, t2.Index, fs, nil)
+			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
+				if !errorsIsClosed(err) {
+					errs[1] = err
+				}
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[2] = RunWorker(world.Comm(2), fs, nil) }()
+	out, masterErr := RunMaster(world.Comm(0), fs, query, Config{
+		DBName:      "nt",
+		Params:      blast.Params{Program: blast.BlastN},
+		TaskTimeout: 200 * time.Millisecond,
+	})
+	world.Close()
+	wg.Wait()
+	if masterErr != nil {
+		t.Fatalf("master: %v", masterErr)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	checkFound(t, out)
+	if len(out.TaskTimes) != 3 {
+		t.Errorf("completed %d of 3 tasks", len(out.TaskTimes))
+	}
+}
+
+func errorsIsClosed(err error) bool { return errors.Is(err, mpi.ErrClosed) }
+
+func TestBatchMultiQuery(t *testing.T) {
+	fs := chio.NewMemFS()
+	q1 := buildTestDB(t, fs, "nt", 5) // plants q1's middle into nt17
+	// A second query planted into a different sequence.
+	rng := util.NewRNG(77)
+	q2data := make([]byte, 400)
+	for i := range q2data {
+		q2data[i] = seq.NucLetter[rng.Intn(4)]
+	}
+	q2 := &seq.Sequence{ID: "query2", Kind: seq.Nucleotide, Data: q2data}
+	// Plant q2 into fragment data by rewriting the database: easier to
+	// regenerate with both plants.
+	alias, err := blastdb.ReadAlias(fs, "nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := blastdb.OpenAll(fs, alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*seq.Sequence
+	for _, fr := range frags {
+		for i := 0; i < fr.NumSequences(); i++ {
+			s, err := fr.Sequence(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, s)
+		}
+		fr.Close()
+	}
+	for _, s := range all {
+		if s.ID == "nt23" {
+			copy(s.Data[300:], q2data[50:350])
+		}
+	}
+	var buf bytes.Buffer
+	if err := seq.WriteFasta(&buf, 70, all...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blastdb.Format(fs, "nt", seq.Nucleotide, 5, seq.NewFastaReader(&buf, seq.Nucleotide)); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := RunInProcessBatch(3, []*seq.Sequence{q1, q2}, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results for %d queries, want 2", len(out.Results))
+	}
+	if len(out.TaskTimes) != 10 { // 2 queries x 5 fragments
+		t.Errorf("task times for %d tasks, want 10", len(out.TaskTimes))
+	}
+	r1, r2 := out.Results[0], out.Results[1]
+	if r1.QueryID != "query568" || r2.QueryID != "query2" {
+		t.Fatalf("result order: %s, %s", r1.QueryID, r2.QueryID)
+	}
+	if len(r1.Hits) == 0 || r1.Hits[0].SubjectID != "nt17" {
+		t.Errorf("query 1 best hit: %+v", r1.Hits)
+	}
+	if len(r2.Hits) == 0 || r2.Hits[0].SubjectID != "nt23" {
+		t.Errorf("query 2 best hit: %+v", r2.Hits)
+	}
+}
+
+func TestBatchMatchesIndividualRuns(t *testing.T) {
+	fs := chio.NewMemFS()
+	q1 := buildTestDB(t, fs, "nt", 4)
+	q2 := q1.Subsequence(50, 450)
+	q2.ID = "sub"
+	batch, err := RunInProcessBatch(2, []*seq.Sequence{q1, q2}, Config{
+		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range []*seq.Sequence{q1, q2} {
+		single, err := RunInProcess(2, q, Config{
+			DBName: "nt", Params: blast.Params{Program: blast.BlastN},
+		}, fs, sameFS(fs), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := batch.Results[qi]
+		s := single.Result
+		if len(b.Hits) != len(s.Hits) {
+			t.Errorf("query %d: batch %d hits vs single %d", qi, len(b.Hits), len(s.Hits))
+			continue
+		}
+		for i := range b.Hits {
+			if b.Hits[i].SubjectID != s.Hits[i].SubjectID ||
+				b.Hits[i].HSPs[0].Score != s.Hits[i].HSPs[0].Score {
+				t.Errorf("query %d hit %d differs between batch and single", qi, i)
+			}
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	fs := chio.NewMemFS()
+	buildTestDB(t, fs, "nt", 2)
+	if _, err := RunInProcessBatch(1, nil, Config{DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN}}, fs, sameFS(fs), nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
+	if _, err := RunInProcessBatch(1, []*seq.Sequence{q}, Config{DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+		Mode:   QuerySegmentation}, fs, sameFS(fs), nil); err == nil {
+		t.Error("batch with query segmentation accepted")
+	}
+}
+
+func TestWorkerTaskFailureSurfacesToMaster(t *testing.T) {
+	// A worker whose file system errors mid-search must fail its task
+	// and the master must surface the error (fail-fast without a
+	// TaskTimeout policy).
+	shared := chio.NewMemFS()
+	query := buildTestDB(t, shared, "nt", 3)
+	ffs := chio.NewFaultFS(shared)
+	ffs.Arm(errors.New("simulated disk failure"))
+	_, err := RunInProcess(2, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, shared /* master reads alias fine */, func(int) chio.FileSystem { return ffs }, nil)
+	if err == nil {
+		t.Fatal("master succeeded despite failing worker reads")
+	}
+	if !strings.Contains(err.Error(), "task") {
+		t.Errorf("error does not identify the failed task: %v", err)
+	}
+}

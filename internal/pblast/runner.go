@@ -1,0 +1,108 @@
+package pblast
+
+import (
+	"fmt"
+	"sync"
+
+	"pario/internal/chio"
+	"pario/internal/mpi"
+	"pario/internal/seq"
+)
+
+// RunInProcess executes a full parallel search with the master and
+// nWorkers workers as goroutines over the in-process mpi transport.
+// masterFS is the master's view of the shared store; workerFS(rank)
+// returns each worker's view (rank in [1, nWorkers]); scratch(rank)
+// returns the worker's local scratch (may return nil when the config
+// does not copy to local disks). This is the entry point the
+// examples, experiments and tests use for single-machine runs.
+func RunInProcess(
+	nWorkers int,
+	query *seq.Sequence,
+	cfg Config,
+	masterFS chio.FileSystem,
+	workerFS func(rank int) chio.FileSystem,
+	scratch func(rank int) chio.FileSystem,
+) (*Outcome, error) {
+	if nWorkers < 1 {
+		return nil, fmt.Errorf("pblast: need at least 1 worker")
+	}
+	world, err := mpi.NewWorld(nWorkers + 1)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	workerErrs := make([]error, nWorkers+1)
+	var wg sync.WaitGroup
+	for r := 1; r <= nWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var sc chio.FileSystem
+			if scratch != nil {
+				sc = scratch(r)
+			}
+			workerErrs[r] = RunWorker(world.Comm(r), workerFS(r), sc)
+		}(r)
+	}
+	out, masterErr := RunMaster(world.Comm(0), masterFS, query, cfg)
+	// Shut the world down before joining the workers: with fault-
+	// tolerant scheduling, stragglers may still be computing
+	// reassigned duplicates and only learn of completion this way.
+	world.Close()
+	wg.Wait()
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	for r, err := range workerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("pblast: worker %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+// RunInProcessBatch is RunInProcess for multi-query batches.
+func RunInProcessBatch(
+	nWorkers int,
+	queries []*seq.Sequence,
+	cfg Config,
+	masterFS chio.FileSystem,
+	workerFS func(rank int) chio.FileSystem,
+	scratch func(rank int) chio.FileSystem,
+) (*BatchOutcome, error) {
+	if nWorkers < 1 {
+		return nil, fmt.Errorf("pblast: need at least 1 worker")
+	}
+	world, err := mpi.NewWorld(nWorkers + 1)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+	workerErrs := make([]error, nWorkers+1)
+	var wg sync.WaitGroup
+	for r := 1; r <= nWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var sc chio.FileSystem
+			if scratch != nil {
+				sc = scratch(r)
+			}
+			workerErrs[r] = RunWorker(world.Comm(r), workerFS(r), sc)
+		}(r)
+	}
+	out, masterErr := RunMasterBatch(world.Comm(0), masterFS, queries, cfg)
+	world.Close()
+	wg.Wait()
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	for r, err := range workerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("pblast: worker %d: %w", r, err)
+		}
+	}
+	return out, nil
+}

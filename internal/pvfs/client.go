@@ -1,0 +1,393 @@
+package pvfs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pario/internal/chio"
+)
+
+// Client is a PVFS client. It implements chio.FileSystem: metadata
+// operations go to the manager, data operations are decomposed into
+// per-server stripe runs and issued to all data servers in parallel.
+type Client struct {
+	meta *conn
+	data []*conn
+}
+
+// DialClient connects to the manager and every data server.
+func DialClient(mgrAddr string, dataAddrs []string) (*Client, error) {
+	if len(dataAddrs) == 0 {
+		return nil, fmt.Errorf("pvfs: no data servers")
+	}
+	m, err := dialConn(mgrAddr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{meta: m}
+	for _, a := range dataAddrs {
+		dc, err := dialConn(a)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.data = append(cl.data, dc)
+	}
+	return cl, nil
+}
+
+// BackendName returns "pvfs".
+func (cl *Client) BackendName() string { return "pvfs" }
+
+// NumServers returns the data server count.
+func (cl *Client) NumServers() int { return len(cl.data) }
+
+// Close releases all connections.
+func (cl *Client) Close() error {
+	var first error
+	if cl.meta != nil {
+		first = cl.meta.close()
+	}
+	for _, d := range cl.data {
+		if err := d.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (cl *Client) metaCall(req *Request) (*Response, error) {
+	resp, err := cl.meta.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if resp.NotFound {
+			return nil, fmt.Errorf("%w: %s", chio.ErrNotExist, req.Name)
+		}
+		return nil, resp.err()
+	}
+	return resp, nil
+}
+
+// Create implements chio.FileSystem: it allocates (or truncates) the
+// file and clears any stale pieces on the data servers.
+func (cl *Client) Create(name string) (chio.File, error) {
+	resp, err := cl.metaCall(&Request{Op: OpCreate, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	m := resp.Meta
+	// Clear old pieces in parallel.
+	errs := make([]error, len(cl.data))
+	var wg sync.WaitGroup
+	for i, d := range cl.data {
+		wg.Add(1)
+		go func(i int, d *conn) {
+			defer wg.Done()
+			r, err := d.call(&Request{Op: OpPieceRemove, Handle: m.Handle})
+			if err == nil && !r.OK {
+				err = r.err()
+			}
+			errs[i] = err
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &file{cl: cl, meta: m}, nil
+}
+
+// Open implements chio.FileSystem.
+func (cl *Client) Open(name string) (chio.File, error) {
+	resp, err := cl.metaCall(&Request{Op: OpLookup, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return &file{cl: cl, meta: resp.Meta}, nil
+}
+
+// Stat implements chio.FileSystem.
+func (cl *Client) Stat(name string) (chio.FileInfo, error) {
+	resp, err := cl.metaCall(&Request{Op: OpStat, Name: name})
+	if err != nil {
+		return chio.FileInfo{}, err
+	}
+	return chio.FileInfo{Name: name, Size: resp.Meta.Size}, nil
+}
+
+// Remove implements chio.FileSystem.
+func (cl *Client) Remove(name string) error {
+	resp, err := cl.metaCall(&Request{Op: OpRemove, Name: name})
+	if err != nil {
+		return err
+	}
+	m := resp.Meta
+	var wg sync.WaitGroup
+	for _, d := range cl.data {
+		wg.Add(1)
+		go func(d *conn) {
+			defer wg.Done()
+			d.call(&Request{Op: OpPieceRemove, Handle: m.Handle})
+		}(d)
+	}
+	wg.Wait()
+	return nil
+}
+
+// List implements chio.FileSystem.
+func (cl *Client) List(prefix string) ([]chio.FileInfo, error) {
+	resp, err := cl.metaCall(&Request{Op: OpList, Name: prefix})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chio.FileInfo, 0, len(resp.Metas))
+	for _, m := range resp.Metas {
+		out = append(out, chio.FileInfo{Name: m.Name, Size: m.Size})
+	}
+	return out, nil
+}
+
+// LoadMap fetches the manager's latest per-server load reports.
+func (cl *Client) LoadMap() (map[int]float64, error) {
+	resp, err := cl.metaCall(&Request{Op: OpLoadQuery})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Loads, nil
+}
+
+// stripeRun is a contiguous byte range on one data server.
+type stripeRun struct {
+	server    int
+	serverOff int64 // offset within the server's piece
+	bufOff    int64 // offset within the user buffer
+	length    int64
+}
+
+// decompose splits the logical range [off, off+length) into one run
+// per data server (consecutive stripes of one server are contiguous
+// in its piece, so at most... they merge into runs; we emit per-server
+// merged run lists).
+func decompose(off, length, stripe int64, nServers int) [][]stripeRun {
+	runs := make([][]stripeRun, nServers)
+	start := off
+	end := off + length
+	for off < end {
+		s := off / stripe
+		server := int(s % int64(nServers))
+		inStripe := off % stripe
+		n := stripe - inStripe
+		if off+n > end {
+			n = end - off
+		}
+		serverOff := (s/int64(nServers))*stripe + inStripe
+		list := runs[server]
+		// Merge only when both the server-local range and the buffer
+		// range continue the previous run (true for consecutive
+		// stripes only when nServers == 1).
+		if k := len(list); k > 0 &&
+			list[k-1].serverOff+list[k-1].length == serverOff &&
+			list[k-1].bufOff+list[k-1].length == off-start {
+			list[k-1].length += n
+		} else {
+			runs[server] = append(list, stripeRun{
+				server:    server,
+				serverOff: serverOff,
+				bufOff:    off - start,
+				length:    n,
+			})
+		}
+		off += n
+	}
+	return runs
+}
+
+// file is an open PVFS file.
+type file struct {
+	cl   *Client
+	meta Meta
+	mu   sync.Mutex
+	off  int64
+}
+
+func (f *file) Name() string { return f.meta.Name }
+
+// refreshSize re-fetches the file size from the manager.
+func (f *file) refreshSize() error {
+	resp, err := f.cl.metaCall(&Request{Op: OpStat, Name: f.meta.Name})
+	if err != nil {
+		return err
+	}
+	f.meta.Size = resp.Meta.Size
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with parallel per-server reads.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pvfs: negative read offset")
+	}
+	want := int64(len(p))
+	if off+want > f.meta.Size {
+		// The file may have grown since open.
+		if err := f.refreshSize(); err != nil {
+			return 0, err
+		}
+	}
+	if off >= f.meta.Size {
+		return 0, io.EOF
+	}
+	n := want
+	var outErr error
+	if off+n > f.meta.Size {
+		n = f.meta.Size - off
+		outErr = io.EOF
+	}
+	// Zero the destination first: holes read back as zeros.
+	for i := int64(0); i < n; i++ {
+		p[i] = 0
+	}
+	runs := decompose(off, n, f.meta.StripeSize, len(f.cl.data))
+	errs := make([]error, len(f.cl.data))
+	var wg sync.WaitGroup
+	for server, list := range runs {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(server int, list []stripeRun) {
+			defer wg.Done()
+			d := f.cl.data[server]
+			for _, r := range list {
+				resp, err := d.call(&Request{
+					Op:     OpPieceRead,
+					Handle: f.meta.Handle,
+					Offset: r.serverOff,
+					Length: r.length,
+				})
+				if err != nil {
+					errs[server] = err
+					return
+				}
+				if !resp.OK {
+					errs[server] = resp.err()
+					return
+				}
+				copy(p[r.bufOff:r.bufOff+r.length], resp.Data)
+			}
+		}(server, list)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return int(n), outErr
+}
+
+// WriteAt implements io.WriterAt with parallel per-server writes.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pvfs: negative write offset")
+	}
+	n := int64(len(p))
+	if n == 0 {
+		return 0, nil
+	}
+	runs := decompose(off, n, f.meta.StripeSize, len(f.cl.data))
+	errs := make([]error, len(f.cl.data))
+	var wg sync.WaitGroup
+	for server, list := range runs {
+		if len(list) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(server int, list []stripeRun) {
+			defer wg.Done()
+			d := f.cl.data[server]
+			for _, r := range list {
+				resp, err := d.call(&Request{
+					Op:     OpPieceWrite,
+					Handle: f.meta.Handle,
+					Offset: r.serverOff,
+					Data:   p[r.bufOff : r.bufOff+r.length],
+				})
+				if err != nil {
+					errs[server] = err
+					return
+				}
+				if !resp.OK {
+					errs[server] = resp.err()
+					return
+				}
+			}
+		}(server, list)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if _, err := f.cl.metaCall(&Request{Op: OpSetSize, Name: f.meta.Name, Length: off + n}); err != nil {
+		return 0, err
+	}
+	if off+n > f.meta.Size {
+		f.meta.Size = off + n
+	}
+	return int(n), nil
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.WriteAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = f.off + offset
+	case io.SeekEnd:
+		if err := f.refreshSize(); err != nil {
+			return 0, err
+		}
+		next = f.meta.Size + offset
+	default:
+		return 0, fmt.Errorf("pvfs: bad whence %d", whence)
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("pvfs: negative seek position")
+	}
+	f.off = next
+	return next, nil
+}
+
+func (f *file) Close() error { return nil }

@@ -1,0 +1,237 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"pario/internal/chio"
+)
+
+// MetaConn is a typed client connection to the metadata server. It is
+// exported so that CEFT-PVFS (and tools) can drive the manager
+// directly.
+type MetaConn struct{ c *conn }
+
+// DialMeta connects to a manager.
+func DialMeta(addr string) (*MetaConn, error) {
+	c, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &MetaConn{c: c}, nil
+}
+
+// Close releases the connection.
+func (m *MetaConn) Close() error { return m.c.close() }
+
+func (m *MetaConn) call(req *Request) (*Response, error) {
+	resp, err := m.c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if resp.NotFound {
+			return nil, fmt.Errorf("%w: %s", chio.ErrNotExist, req.Name)
+		}
+		return nil, resp.err()
+	}
+	return resp, nil
+}
+
+// Create creates or truncates a file and returns its metadata.
+func (m *MetaConn) Create(name string) (Meta, error) {
+	resp, err := m.call(&Request{Op: OpCreate, Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	return resp.Meta, nil
+}
+
+// Lookup returns an existing file's metadata.
+func (m *MetaConn) Lookup(name string) (Meta, error) {
+	resp, err := m.call(&Request{Op: OpLookup, Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	return resp.Meta, nil
+}
+
+// Stat returns an existing file's metadata.
+func (m *MetaConn) Stat(name string) (Meta, error) {
+	resp, err := m.call(&Request{Op: OpStat, Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	return resp.Meta, nil
+}
+
+// Remove deletes the name and returns the removed metadata (so the
+// caller can clear pieces).
+func (m *MetaConn) Remove(name string) (Meta, error) {
+	resp, err := m.call(&Request{Op: OpRemove, Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	return resp.Meta, nil
+}
+
+// GrowSize records that the file now extends to at least size bytes.
+func (m *MetaConn) GrowSize(name string, size int64) error {
+	_, err := m.call(&Request{Op: OpSetSize, Name: name, Length: size})
+	return err
+}
+
+// Truncate sets the file size exactly.
+func (m *MetaConn) Truncate(name string, size int64) error {
+	_, err := m.call(&Request{Op: OpSetSize, Name: name, Length: -size - 1})
+	return err
+}
+
+// List returns metadata for every file whose name has the prefix.
+func (m *MetaConn) List(prefix string) ([]Meta, error) {
+	resp, err := m.call(&Request{Op: OpList, Name: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metas, nil
+}
+
+// LoadQuery fetches the latest per-server load heartbeats.
+func (m *MetaConn) LoadQuery() (map[int]float64, error) {
+	resp, err := m.call(&Request{Op: OpLoadQuery})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Loads, nil
+}
+
+// ReportLoad pushes a load heartbeat (used by data servers and by
+// tests that inject synthetic load).
+func (m *MetaConn) ReportLoad(serverID int, load float64) error {
+	_, err := m.call(&Request{Op: OpLoadReport, ServerID: serverID, Load: load})
+	return err
+}
+
+// DataConn is a typed client connection to one data server.
+type DataConn struct{ c *conn }
+
+// DialData connects to a data server.
+func DialData(addr string) (*DataConn, error) {
+	c, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &DataConn{c: c}, nil
+}
+
+// Close releases the connection.
+func (d *DataConn) Close() error { return d.c.close() }
+
+// ReadPiece reads up to n bytes of the piece at the server-local
+// offset. Short or empty results mean the piece is shorter (holes
+// read as missing bytes; callers zero-fill).
+func (d *DataConn) ReadPiece(handle uint64, off, n int64) ([]byte, error) {
+	resp, err := d.c.call(&Request{Op: OpPieceRead, Handle: handle, Offset: off, Length: n})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, resp.err()
+	}
+	return resp.Data, nil
+}
+
+// WritePiece writes data at the server-local offset.
+func (d *DataConn) WritePiece(handle uint64, off int64, data []byte) error {
+	resp, err := d.c.call(&Request{Op: OpPieceWrite, Handle: handle, Offset: off, Data: data})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	return nil
+}
+
+// WritePieceDup writes data at the server-local offset and has the
+// server duplicate it to its mirror partner: synchronously (ack after
+// the mirror confirms) or asynchronously (ack immediately, forward in
+// the background) — CEFT's two server-side duplication protocols.
+func (d *DataConn) WritePieceDup(handle uint64, off int64, data []byte, sync bool) error {
+	op := OpPieceWriteDupAsync
+	if sync {
+		op = OpPieceWriteDupSync
+	}
+	resp, err := d.c.call(&Request{Op: op, Handle: handle, Offset: off, Data: data})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	return nil
+}
+
+// FlushForwards blocks until the server has delivered every
+// asynchronous mirror forward accepted so far, returning the first
+// forwarding error if any occurred.
+func (d *DataConn) FlushForwards() error {
+	resp, err := d.c.call(&Request{Op: OpFlushForwards})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	return nil
+}
+
+// RemovePiece deletes the server's piece of the handle.
+func (d *DataConn) RemovePiece(handle uint64) error {
+	resp, err := d.c.call(&Request{Op: OpPieceRemove, Handle: handle})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	return nil
+}
+
+// Ping round-trips to the server and returns its ID.
+func (d *DataConn) Ping() (int, error) {
+	resp, err := d.c.call(&Request{Op: OpPing})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, resp.err()
+	}
+	return int(resp.N), nil
+}
+
+// StripeRun is an exported stripe decomposition element for layered
+// file systems (CEFT) that need direct per-server access.
+type StripeRun struct {
+	Server    int
+	ServerOff int64
+	BufOff    int64
+	Length    int64
+}
+
+// Decompose splits the logical byte range [off, off+length) into
+// per-server run lists under round-robin striping.
+func Decompose(off, length, stripe int64, nServers int) [][]StripeRun {
+	internal := decompose(off, length, stripe, nServers)
+	out := make([][]StripeRun, len(internal))
+	for i, list := range internal {
+		for _, r := range list {
+			out[i] = append(out[i], StripeRun{
+				Server:    r.server,
+				ServerOff: r.serverOff,
+				BufOff:    r.bufOff,
+				Length:    r.length,
+			})
+		}
+	}
+	return out
+}

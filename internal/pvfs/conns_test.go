@@ -1,0 +1,314 @@
+package pvfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"pario/internal/chio"
+)
+
+// startMeta spins up a bare manager.
+func startMeta(t *testing.T, servers int) *MetaServer {
+	t.Helper()
+	ms, err := StartMetaServer(MetaConfig{Addr: "127.0.0.1:0", NumServers: servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	return ms
+}
+
+// startIod spins up one data server.
+func startIod(t *testing.T, id int, mirror string) (*DataServer, *chio.MemFS) {
+	t.Helper()
+	store := chio.NewMemFS()
+	ds, err := StartDataServer(DataServerConfig{ID: id, Addr: "127.0.0.1:0", Store: store, MirrorAddr: mirror})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return ds, store
+}
+
+func TestMetaConnLifecycle(t *testing.T) {
+	ms := startMeta(t, 4)
+	m, err := DialMeta(ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	meta, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Handle == 0 || meta.NumServers != 4 || meta.StripeSize != DefaultStripeSize {
+		t.Errorf("create meta: %+v", meta)
+	}
+	if err := m.GrowSize("f", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.GrowSize("f", 500); err != nil { // grow-only: no shrink
+		t.Fatal(err)
+	}
+	got, err := m.Stat("f")
+	if err != nil || got.Size != 1000 {
+		t.Fatalf("stat after grow: %+v %v", got, err)
+	}
+	if err := m.Truncate("f", 200); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.Lookup("f")
+	if err != nil || got.Size != 200 {
+		t.Fatalf("lookup after truncate: %+v %v", got, err)
+	}
+	metas, err := m.List("")
+	if err != nil || len(metas) != 1 || metas[0].Name != "f" {
+		t.Fatalf("list: %+v %v", metas, err)
+	}
+	removed, err := m.Remove("f")
+	if err != nil || removed.Handle != meta.Handle {
+		t.Fatalf("remove: %+v %v", removed, err)
+	}
+	if _, err := m.Lookup("f"); !errors.Is(err, chio.ErrNotExist) {
+		t.Errorf("lookup after remove: %v", err)
+	}
+	if _, err := m.Remove("f"); !errors.Is(err, chio.ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestMetaConnLoadReporting(t *testing.T) {
+	ms := startMeta(t, 2)
+	m, err := DialMeta(ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.ReportLoad(0, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReportLoad(1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := m.LoadQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 3.5 || loads[1] != 0.25 {
+		t.Errorf("loads: %+v", loads)
+	}
+}
+
+func TestDataConnPieceOps(t *testing.T) {
+	ds, store := startIod(t, 3, "")
+	d, err := DialData(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if id, err := d.Ping(); err != nil || id != 3 {
+		t.Fatalf("ping: %d %v", id, err)
+	}
+	payload := []byte("stripe piece data")
+	if err := d.WritePiece(77, 10, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPiece(77, 10, int64(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back: %q %v", got, err)
+	}
+	// Reading a missing piece returns empty data, not an error (holes).
+	got, err = d.ReadPiece(9999, 0, 100)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("hole read: %d bytes, %v", len(got), err)
+	}
+	if err := d.RemovePiece(77); err != nil {
+		t.Fatal(err)
+	}
+	fis, _ := store.List("")
+	if len(fis) != 0 {
+		t.Errorf("piece remains after remove: %v", fis)
+	}
+	// Removing an absent piece is idempotent.
+	if err := d.RemovePiece(77); err != nil {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestDataConnDupOps(t *testing.T) {
+	mirror, mirrorStore := startIod(t, 1, "")
+	primary, primaryStore := startIod(t, 0, mirror.Addr())
+	d, err := DialData(primary.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Synchronous duplication: both stores updated on return.
+	if err := d.WritePieceDup(5, 0, []byte("sync-dup"), true); err != nil {
+		t.Fatal(err)
+	}
+	pd, _ := chio.ReadFull(primaryStore, pieceName(5))
+	md, _ := chio.ReadFull(mirrorStore, pieceName(5))
+	if !bytes.Equal(pd, md) || string(pd) != "sync-dup" {
+		t.Fatalf("sync dup: primary %q mirror %q", pd, md)
+	}
+
+	// Asynchronous duplication: mirror updated by flush time.
+	if err := d.WritePieceDup(6, 0, []byte("async-dup"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FlushForwards(); err != nil {
+		t.Fatal(err)
+	}
+	md, _ = chio.ReadFull(mirrorStore, pieceName(6))
+	if string(md) != "async-dup" {
+		t.Fatalf("async dup after flush: %q", md)
+	}
+}
+
+func TestDupWithoutMirrorFails(t *testing.T) {
+	ds, _ := startIod(t, 0, "")
+	d, err := DialData(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WritePieceDup(1, 0, []byte("x"), true); err == nil {
+		t.Error("sync dup without mirror accepted")
+	}
+}
+
+func TestDecomposeExported(t *testing.T) {
+	runs := Decompose(0, 100, 10, 2)
+	if len(runs) != 2 {
+		t.Fatalf("runs: %d servers", len(runs))
+	}
+	var total int64
+	for _, list := range runs {
+		for _, r := range list {
+			total += r.Length
+			if r.Server != 0 && r.Server != 1 {
+				t.Errorf("bad server %d", r.Server)
+			}
+		}
+	}
+	if total != 100 {
+		t.Errorf("coverage: %d of 100", total)
+	}
+}
+
+func TestDataServerLoadDecays(t *testing.T) {
+	ds, _ := startIod(t, 0, "")
+	d, err := DialData(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Idle server: load stays near zero.
+	time.Sleep(80 * time.Millisecond)
+	if l := ds.Load(); l > 0.5 {
+		t.Errorf("idle load = %v", l)
+	}
+}
+
+func TestMetaServerUnknownOp(t *testing.T) {
+	ms := startMeta(t, 1)
+	cn, err := dialConn(ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.close()
+	resp, err := cn.call(&Request{Op: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDataServerUnknownOp(t *testing.T) {
+	ds, _ := startIod(t, 0, "")
+	cn, err := dialConn(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.close()
+	resp, err := cn.call(&Request{Op: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestForcedCloseUnblocksClients(t *testing.T) {
+	// Closing a server with clients attached must not hang and must
+	// error subsequent calls on those clients.
+	ds, _ := startIod(t, 0, "")
+	d, err := DialData(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ds.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a client attached")
+	}
+	if _, err := d.Ping(); err == nil {
+		t.Error("ping succeeded against a closed server")
+	}
+}
+
+func TestPVFSOverLocalDiskStores(t *testing.T) {
+	// Production path: data servers persisting stripe pieces to real
+	// directories rather than memory.
+	mgr := startMeta(t, 2)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		store, err := chio.NewLocalFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := StartDataServer(DataServerConfig{ID: i, Addr: "127.0.0.1:0", Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		addrs = append(addrs, ds.Addr())
+	}
+	cl, err := DialClient(mgr.Addr(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	payload := make([]byte, 300_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := chio.WriteFull(cl, "disk-backed", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := chio.ReadFull(cl, "disk-backed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("disk-backed round trip corrupted data")
+	}
+}

@@ -1,0 +1,377 @@
+package pvfs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pario/internal/chio"
+)
+
+// DataServer is a PVFS I/O daemon (iod): it stores the stripe pieces
+// of files on a local chio backend and serves positional reads and
+// writes. It also tracks a load metric and, when configured with a
+// manager address, heartbeats it to the metadata server — the
+// mechanism CEFT-PVFS uses for hot-spot detection.
+type DataServer struct {
+	ID      int
+	store   chio.FileSystem
+	ln      net.Listener
+	wg      sync.WaitGroup
+	tracker *connTracker
+	closed  chan struct{}
+	started time.Time
+
+	// Throttle emulates a slow or overloaded disk: each served byte
+	// costs this much time. Zero means full speed. Guarded by
+	// atomics; expressed in nanoseconds per KiB to stay integral.
+	throttleNsPerKiB int64
+
+	// load accounting: inflight is the instantaneous request count;
+	// a sampler goroutine folds it into loadEWMA (the exported load
+	// metric, a smoothed queue-depth estimate).
+	inflight int64
+	loadEWMA uint64 // math.Float64bits of the smoothed load
+
+	// files guards piece creation so concurrent writers to the same
+	// piece do not race Create/Open.
+	filesMu sync.Mutex
+
+	// heartbeat
+	mgrAddr  string
+	hbPeriod time.Duration
+	hbMu     sync.Mutex
+	hbConn   *conn
+
+	// mirror forwarding (CEFT server-side duplication protocols)
+	mirrorAddr string
+	fwdMu      sync.Mutex
+	fwdConn    *conn
+	fwdQueue   chan fwdItem
+	fwdOnce    sync.Once
+	fwdErrMu   sync.Mutex
+	fwdErr     error
+}
+
+// fwdItem is one queued asynchronous mirror forward; flush sentinels
+// carry a done channel instead of a request.
+type fwdItem struct {
+	req  *Request
+	done chan error
+}
+
+// DataServerConfig configures StartDataServer.
+type DataServerConfig struct {
+	// ID is the server's index within the file system's server list.
+	ID int
+	// Addr is the TCP listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// Store is the backing storage for stripe pieces (a local
+	// directory in production, MemFS in tests).
+	Store chio.FileSystem
+	// MgrAddr, if non-empty, enables load heartbeats to the metadata
+	// server at this address.
+	MgrAddr string
+	// HeartbeatPeriod defaults to 250ms.
+	HeartbeatPeriod time.Duration
+	// MirrorAddr, if non-empty, is this server's mirror partner and
+	// enables the server-side duplication write ops.
+	MirrorAddr string
+}
+
+// StartDataServer launches an iod and returns once it is listening.
+func StartDataServer(cfg DataServerConfig) (*DataServer, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("pvfs: data server needs a store")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HeartbeatPeriod == 0 {
+		cfg.HeartbeatPeriod = 250 * time.Millisecond
+	}
+	ds := &DataServer{
+		ID:         cfg.ID,
+		store:      cfg.Store,
+		ln:         ln,
+		closed:     make(chan struct{}),
+		started:    time.Now(),
+		mgrAddr:    cfg.MgrAddr,
+		hbPeriod:   cfg.HeartbeatPeriod,
+		mirrorAddr: cfg.MirrorAddr,
+		fwdQueue:   make(chan fwdItem, 256),
+		tracker:    newConnTracker(),
+	}
+	go acceptLoop(ln, ds.handle, &ds.wg, ds.tracker)
+	go ds.sampleLoop()
+	if ds.mgrAddr != "" {
+		go ds.heartbeatLoop()
+	}
+	return ds, nil
+}
+
+// sampleLoop periodically samples the in-flight request count into
+// the smoothed load metric. Sampling (rather than recording at
+// request arrival) makes a continuously-busy server report load ~= 1
+// and a server with a backlog report its queue depth, while idle
+// servers decay toward 0.
+func (ds *DataServer) sampleLoop() {
+	period := ds.hbPeriod / 4
+	if period <= 0 {
+		period = 20 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	const alpha = 0.3
+	for {
+		select {
+		case <-ds.closed:
+			return
+		case <-t.C:
+			depth := float64(atomic.LoadInt64(&ds.inflight))
+			for {
+				old := atomic.LoadUint64(&ds.loadEWMA)
+				next := float64ToBits((1-alpha)*float64FromBits(old) + alpha*depth)
+				if atomic.CompareAndSwapUint64(&ds.loadEWMA, old, next) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Addr returns the server's listen address.
+func (ds *DataServer) Addr() string { return ds.ln.Addr().String() }
+
+// SetThrottle sets an artificial per-byte service delay emulating a
+// loaded disk (d per KiB served). Used by the hot-spot experiments.
+func (ds *DataServer) SetThrottle(dPerKiB time.Duration) {
+	atomic.StoreInt64(&ds.throttleNsPerKiB, int64(dPerKiB))
+}
+
+// Load returns the current smoothed load metric: an exponentially
+// weighted average of the sampled in-flight request count, a cheap
+// proxy for disk queue depth.
+func (ds *DataServer) Load() float64 {
+	return float64FromBits(atomic.LoadUint64(&ds.loadEWMA))
+}
+
+func (ds *DataServer) recordArrival() { atomic.AddInt64(&ds.inflight, 1) }
+
+func (ds *DataServer) recordDone() { atomic.AddInt64(&ds.inflight, -1) }
+
+func pieceName(handle uint64) string { return fmt.Sprintf("pieces/%016x", handle) }
+
+func (ds *DataServer) handle(req *Request) *Response {
+	ds.recordArrival()
+	defer ds.recordDone()
+	if t := atomic.LoadInt64(&ds.throttleNsPerKiB); t > 0 {
+		n := req.Length
+		if req.Op == OpPieceWrite {
+			n = int64(len(req.Data))
+		}
+		kib := (n + 1023) / 1024
+		time.Sleep(time.Duration(t * kib))
+	}
+	switch req.Op {
+	case OpPieceRead:
+		f, err := ds.store.Open(pieceName(req.Handle))
+		if err != nil {
+			// Reading a hole (piece never written): return zeros up
+			// to nothing; the client trims by file size.
+			return &Response{OK: true, Data: nil}
+		}
+		defer f.Close()
+		buf := make([]byte, req.Length)
+		n, err := f.ReadAt(buf, req.Offset)
+		if err != nil && err != io.EOF {
+			return errResp("piece read: %v", err)
+		}
+		return &Response{OK: true, Data: buf[:n]}
+	case OpPieceWrite:
+		return ds.handleWrite(req)
+	case OpPieceRemove:
+		err := ds.store.Remove(pieceName(req.Handle))
+		if err != nil && !isNotExist(err) {
+			return errResp("piece remove: %v", err)
+		}
+		return &Response{OK: true}
+	case OpPing:
+		return &Response{OK: true, N: int64(ds.ID)}
+	case OpPieceWriteDupSync:
+		if resp := ds.localWrite(req); !resp.OK {
+			return resp
+		}
+		if err := ds.forward(req); err != nil {
+			return errResp("mirror forward: %v", err)
+		}
+		return &Response{OK: true, N: int64(len(req.Data))}
+	case OpPieceWriteDupAsync:
+		if resp := ds.localWrite(req); !resp.OK {
+			return resp
+		}
+		ds.startForwarder()
+		dup := *req
+		dup.Data = append([]byte(nil), req.Data...)
+		ds.fwdQueue <- fwdItem{req: &dup}
+		return &Response{OK: true, N: int64(len(req.Data))}
+	case OpFlushForwards:
+		ds.startForwarder()
+		done := make(chan error, 1)
+		ds.fwdQueue <- fwdItem{done: done}
+		if err := <-done; err != nil {
+			return errResp("flush: %v", err)
+		}
+		return &Response{OK: true}
+	}
+	return errResp("data server: unknown op %d", req.Op)
+}
+
+// handleWrite applies a piece write to this server's store.
+func (ds *DataServer) handleWrite(req *Request) *Response {
+	ds.filesMu.Lock()
+	f, err := ds.store.Open(pieceName(req.Handle))
+	if err != nil {
+		f, err = ds.store.Create(pieceName(req.Handle))
+	}
+	ds.filesMu.Unlock()
+	if err != nil {
+		return errResp("piece create: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(req.Data, req.Offset); err != nil {
+		return errResp("piece write: %v", err)
+	}
+	return &Response{OK: true, N: int64(len(req.Data))}
+}
+
+// localWrite applies a duplication write to this server's own piece.
+func (ds *DataServer) localWrite(req *Request) *Response {
+	local := *req
+	local.Op = OpPieceWrite
+	return ds.handleWrite(&local)
+}
+
+// forward synchronously delivers a write to the mirror partner.
+func (ds *DataServer) forward(req *Request) error {
+	if ds.mirrorAddr == "" {
+		return fmt.Errorf("no mirror partner configured on server %d", ds.ID)
+	}
+	ds.fwdMu.Lock()
+	defer ds.fwdMu.Unlock()
+	if ds.fwdConn == nil {
+		c, err := dialConn(ds.mirrorAddr)
+		if err != nil {
+			return err
+		}
+		ds.fwdConn = c
+	}
+	fwd := *req
+	fwd.Op = OpPieceWrite
+	resp, err := ds.fwdConn.call(&fwd)
+	if err != nil {
+		ds.fwdConn.close()
+		ds.fwdConn = nil
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	return nil
+}
+
+// startForwarder launches the asynchronous forwarding worker once.
+func (ds *DataServer) startForwarder() {
+	ds.fwdOnce.Do(func() {
+		go func() {
+			for {
+				select {
+				case <-ds.closed:
+					return
+				case item := <-ds.fwdQueue:
+					if item.done != nil {
+						ds.fwdErrMu.Lock()
+						err := ds.fwdErr
+						ds.fwdErr = nil
+						ds.fwdErrMu.Unlock()
+						item.done <- err
+						continue
+					}
+					if err := ds.forward(item.req); err != nil {
+						ds.fwdErrMu.Lock()
+						if ds.fwdErr == nil {
+							ds.fwdErr = err
+						}
+						ds.fwdErrMu.Unlock()
+					}
+				}
+			}
+		}()
+	})
+}
+
+func isNotExist(err error) bool {
+	return err != nil && errorsIs(err, chio.ErrNotExist)
+}
+
+func (ds *DataServer) heartbeatLoop() {
+	t := time.NewTicker(ds.hbPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-ds.closed:
+			return
+		case <-t.C:
+			ds.sendHeartbeat()
+		}
+	}
+}
+
+func (ds *DataServer) sendHeartbeat() {
+	ds.hbMu.Lock()
+	defer ds.hbMu.Unlock()
+	if ds.hbConn == nil {
+		c, err := dialConn(ds.mgrAddr)
+		if err != nil {
+			return // mgr not up yet; retry next tick
+		}
+		ds.hbConn = c
+	}
+	_, err := ds.hbConn.call(&Request{Op: OpLoadReport, ServerID: ds.ID, Load: ds.Load()})
+	if err != nil {
+		ds.hbConn.close()
+		ds.hbConn = nil
+	}
+}
+
+// Close stops the server and waits for in-flight requests.
+func (ds *DataServer) Close() error {
+	select {
+	case <-ds.closed:
+		return nil
+	default:
+	}
+	close(ds.closed)
+	err := ds.ln.Close()
+	ds.hbMu.Lock()
+	if ds.hbConn != nil {
+		ds.hbConn.close()
+		ds.hbConn = nil
+	}
+	ds.hbMu.Unlock()
+	ds.fwdMu.Lock()
+	if ds.fwdConn != nil {
+		ds.fwdConn.close()
+		ds.fwdConn = nil
+	}
+	ds.fwdMu.Unlock()
+	// Force-close live peer connections so serve goroutines exit even
+	// when clients are still attached.
+	ds.tracker.closeAll()
+	ds.wg.Wait()
+	return err
+}

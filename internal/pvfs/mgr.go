@@ -1,0 +1,139 @@
+package pvfs
+
+import (
+	"net"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetaServer is the PVFS metadata manager: it owns the name space
+// (name -> handle, stripe parameters, size) and, for CEFT-PVFS,
+// collects the data servers' load heartbeats that clients use to skip
+// hot spots. No file data flows through it.
+type MetaServer struct {
+	ln      net.Listener
+	wg      sync.WaitGroup
+	tracker *connTracker
+
+	mu         sync.Mutex
+	files      map[string]*Meta
+	nextHandle uint64
+	numServers int
+	stripe     int64
+	loads      map[int]float64
+}
+
+// MetaConfig configures StartMetaServer.
+type MetaConfig struct {
+	// Addr is the TCP listen address.
+	Addr string
+	// NumServers is the data-server count files are striped over.
+	NumServers int
+	// StripeSize defaults to DefaultStripeSize (64 KB).
+	StripeSize int64
+}
+
+// StartMetaServer launches the manager.
+func StartMetaServer(cfg MetaConfig) (*MetaServer, error) {
+	if cfg.StripeSize == 0 {
+		cfg.StripeSize = DefaultStripeSize
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MetaServer{
+		ln:         ln,
+		files:      make(map[string]*Meta),
+		nextHandle: 1,
+		numServers: cfg.NumServers,
+		stripe:     cfg.StripeSize,
+		loads:      make(map[int]float64),
+		tracker:    newConnTracker(),
+	}
+	go acceptLoop(ln, ms.handle, &ms.wg, ms.tracker)
+	return ms, nil
+}
+
+// Addr returns the manager's listen address.
+func (ms *MetaServer) Addr() string { return ms.ln.Addr().String() }
+
+func (ms *MetaServer) handle(req *Request) *Response {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	switch req.Op {
+	case OpCreate:
+		m, ok := ms.files[req.Name]
+		if !ok {
+			m = &Meta{
+				Name:       req.Name,
+				Handle:     ms.nextHandle,
+				StripeSize: ms.stripe,
+				NumServers: ms.numServers,
+			}
+			ms.nextHandle++
+			ms.files[req.Name] = m
+		}
+		m.Size = 0 // create truncates
+		return &Response{OK: true, Meta: *m}
+	case OpLookup:
+		m, ok := ms.files[req.Name]
+		if !ok {
+			return notFoundResp(req.Name)
+		}
+		return &Response{OK: true, Meta: *m}
+	case OpStat:
+		m, ok := ms.files[req.Name]
+		if !ok {
+			return notFoundResp(req.Name)
+		}
+		return &Response{OK: true, Meta: *m}
+	case OpRemove:
+		m, ok := ms.files[req.Name]
+		if !ok {
+			return notFoundResp(req.Name)
+		}
+		delete(ms.files, req.Name)
+		return &Response{OK: true, Meta: *m}
+	case OpSetSize:
+		m, ok := ms.files[req.Name]
+		if !ok {
+			return notFoundResp(req.Name)
+		}
+		// Grow-only unless Length is negative (explicit truncate).
+		if req.Length < 0 {
+			m.Size = -req.Length - 1
+		} else if req.Length > m.Size {
+			m.Size = req.Length
+		}
+		return &Response{OK: true, Meta: *m}
+	case OpList:
+		var metas []Meta
+		for name, m := range ms.files {
+			if strings.HasPrefix(name, req.Name) {
+				metas = append(metas, *m)
+			}
+		}
+		sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+		return &Response{OK: true, Metas: metas}
+	case OpLoadReport:
+		ms.loads[req.ServerID] = req.Load
+		return &Response{OK: true}
+	case OpLoadQuery:
+		out := make(map[int]float64, len(ms.loads))
+		for k, v := range ms.loads {
+			out[k] = v
+		}
+		return &Response{OK: true, Loads: out}
+	}
+	return errResp("meta server: unknown op %d", req.Op)
+}
+
+// Close stops the manager, force-closing live client connections.
+func (ms *MetaServer) Close() error {
+	err := ms.ln.Close()
+	ms.tracker.closeAll()
+	ms.wg.Wait()
+	return err
+}

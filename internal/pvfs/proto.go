@@ -1,0 +1,209 @@
+// Package pvfs implements a working user-level parallel file system
+// in the style of PVFS1: one metadata server (mgr) plus N data
+// servers (iods) that each store stripe pieces on their local
+// storage. Files are striped RAID-0 round-robin with a configurable
+// stripe size (the paper uses 64 KB). The client implements
+// chio.FileSystem, so the BLAST database layer runs over PVFS
+// unmodified — exactly the substitution the paper performs.
+package pvfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DefaultStripeSize is the stripe unit used in the paper.
+const DefaultStripeSize = 64 * 1024
+
+// Op codes of the wire protocol.
+type Op uint8
+
+// Metadata server ops.
+const (
+	OpCreate Op = iota + 1
+	OpLookup
+	OpStat
+	OpRemove
+	OpList
+	OpSetSize
+	OpLoadReport // data server -> mgr heartbeat
+	OpLoadQuery  // client -> mgr: fetch load map
+)
+
+// Data server ops.
+const (
+	OpPieceRead Op = iota + 64
+	OpPieceWrite
+	OpPieceRemove
+	OpPing
+	// OpPieceWriteDupSync writes locally and synchronously forwards
+	// the write to the server's mirror partner before acknowledging
+	// (CEFT's server-side synchronous duplication protocol).
+	OpPieceWriteDupSync
+	// OpPieceWriteDupAsync writes locally, queues the mirror forward,
+	// and acknowledges immediately (server-side asynchronous).
+	OpPieceWriteDupAsync
+	// OpFlushForwards blocks until every queued asynchronous forward
+	// accepted so far has been delivered to the mirror.
+	OpFlushForwards
+)
+
+// Request is the single wire request shape for both server kinds.
+type Request struct {
+	Op     Op
+	Name   string
+	Handle uint64
+	Offset int64
+	Length int64
+	Data   []byte
+	// Load carries a heartbeat value for OpLoadReport.
+	Load     float64
+	ServerID int
+}
+
+// Meta describes one file's metadata.
+type Meta struct {
+	Name       string
+	Handle     uint64
+	Size       int64
+	StripeSize int64
+	NumServers int
+}
+
+// Response is the single wire response shape.
+type Response struct {
+	OK       bool
+	Err      string
+	NotFound bool
+	Meta     Meta
+	Metas    []Meta
+	Data     []byte
+	N        int64
+	// Loads maps data-server index to its last reported load.
+	Loads map[int]float64
+}
+
+func (r *Response) err() error {
+	if r.OK {
+		return nil
+	}
+	return fmt.Errorf("pvfs: %s", r.Err)
+}
+
+// conn is a synchronous RPC connection: one outstanding request at a
+// time, gob-encoded over TCP.
+type conn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func dialConn(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pvfs: dialing %s: %w", addr, err)
+	}
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+}
+
+// call performs one request/response exchange.
+func (cn *conn) call(req *Request) (*Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if err := cn.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("pvfs: sending request: %w", err)
+	}
+	var resp Response
+	if err := cn.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("pvfs: reading response: %w", err)
+	}
+	return &resp, nil
+}
+
+func (cn *conn) close() error { return cn.c.Close() }
+
+// serve runs the request loop of a server connection, dispatching to
+// handle until the peer disconnects.
+func serve(c net.Conn, handle func(*Request) *Response) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(format string, args ...interface{}) *Response {
+	return &Response{OK: false, Err: fmt.Sprintf(format, args...)}
+}
+
+func notFoundResp(name string) *Response {
+	return &Response{OK: false, NotFound: true, Err: "no such file: " + name}
+}
+
+// connTracker remembers a server's live connections so Close can
+// force-disconnect peers instead of waiting for them to hang up.
+type connTracker struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnTracker() *connTracker {
+	return &connTracker{conns: make(map[net.Conn]struct{})}
+}
+
+func (t *connTracker) add(c net.Conn) {
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *connTracker) remove(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+}
+
+// acceptLoop accepts connections until the listener closes. tracker,
+// when non-nil, records live connections for forced shutdown.
+func acceptLoop(ln net.Listener, handle func(*Request) *Response, wg *sync.WaitGroup, tracker *connTracker) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if wg != nil {
+			wg.Add(1)
+		}
+		if tracker != nil {
+			tracker.add(c)
+		}
+		go func() {
+			if wg != nil {
+				defer wg.Done()
+			}
+			if tracker != nil {
+				defer tracker.remove(c)
+			}
+			serve(c, handle)
+		}()
+	}
+}

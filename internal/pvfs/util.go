@@ -1,0 +1,11 @@
+package pvfs
+
+import (
+	"errors"
+	"math"
+)
+
+func float64ToBits(f float64) uint64   { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }

@@ -1,0 +1,119 @@
+package seq
+
+import (
+	"fmt"
+)
+
+// Sequence is a named biological sequence. Data holds one letter per
+// byte in the standard IUPAC alphabet for the sequence's Kind.
+type Sequence struct {
+	ID   string // accession / identifier (first word of the defline)
+	Desc string // rest of the defline
+	Kind Kind
+	Data []byte
+}
+
+// Defline reconstructs the FASTA description line (without '>').
+func (s *Sequence) Defline() string {
+	if s.Desc == "" {
+		return s.ID
+	}
+	return s.ID + " " + s.Desc
+}
+
+// Len returns the sequence length in letters.
+func (s *Sequence) Len() int { return len(s.Data) }
+
+// Subsequence returns a copy of positions [from, to) with a derived ID.
+// It panics if the range is out of bounds.
+func (s *Sequence) Subsequence(from, to int) *Sequence {
+	if from < 0 || to > len(s.Data) || from > to {
+		panic(fmt.Sprintf("seq: subsequence [%d,%d) of length-%d sequence", from, to, len(s.Data)))
+	}
+	return &Sequence{
+		ID:   fmt.Sprintf("%s:%d-%d", s.ID, from+1, to),
+		Desc: s.Desc,
+		Kind: s.Kind,
+		Data: append([]byte(nil), s.Data[from:to]...),
+	}
+}
+
+// ReverseComplement returns the reverse complement of a nucleotide
+// sequence. It panics on protein input.
+func (s *Sequence) ReverseComplement() *Sequence {
+	if s.Kind != Nucleotide {
+		panic("seq: reverse complement of a protein sequence")
+	}
+	rc := make([]byte, len(s.Data))
+	for i, b := range s.Data {
+		rc[len(s.Data)-1-i] = ComplementLetter(b)
+	}
+	return &Sequence{ID: s.ID, Desc: s.Desc, Kind: Nucleotide, Data: rc}
+}
+
+// Validate checks every letter against the sequence's alphabet and
+// returns a descriptive error for the first invalid position.
+func (s *Sequence) Validate() error {
+	switch s.Kind {
+	case Nucleotide:
+		for i, b := range s.Data {
+			if !IsNucLetter(b) {
+				return fmt.Errorf("seq: %s: invalid nucleotide %q at position %d", s.ID, b, i+1)
+			}
+		}
+	case Protein:
+		for i, b := range s.Data {
+			if AAIndex(b) < 0 {
+				return fmt.Errorf("seq: %s: invalid residue %q at position %d", s.ID, b, i+1)
+			}
+		}
+	default:
+		return fmt.Errorf("seq: %s: unknown sequence kind %v", s.ID, s.Kind)
+	}
+	return nil
+}
+
+// Pack2Bit packs a nucleotide sequence into 2-bit codes, four bases per
+// byte, first base in the two lowest bits. The returned slice has
+// ceil(len/4) bytes. Ambiguity codes are mapped per NucCode.
+func Pack2Bit(data []byte) ([]byte, error) {
+	packed := make([]byte, (len(data)+3)/4)
+	for i, b := range data {
+		code, ok := NucCode(b)
+		if !ok {
+			return nil, fmt.Errorf("seq: cannot 2-bit pack letter %q at position %d", b, i+1)
+		}
+		packed[i/4] |= code << (uint(i%4) * 2)
+	}
+	return packed, nil
+}
+
+// Unpack2Bit expands packed 2-bit codes into n upper-case letters.
+func Unpack2Bit(packed []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		code := (packed[i/4] >> (uint(i%4) * 2)) & 3
+		out[i] = NucLetter[code]
+	}
+	return out
+}
+
+// Codes converts letters to dense alphabet codes: 2-bit base codes for
+// nucleotide sequences, AAIndex values for proteins. Invalid letters
+// map to 0. The BLAST engine scans these dense codes.
+func (s *Sequence) Codes() []byte {
+	out := make([]byte, len(s.Data))
+	if s.Kind == Nucleotide {
+		for i, b := range s.Data {
+			c, _ := NucCode(b)
+			out[i] = c
+		}
+		return out
+	}
+	for i, b := range s.Data {
+		if idx := AAIndex(b); idx >= 0 {
+			out[i] = byte(idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package seq
+
+import "fmt"
+
+// standardGeneticCode maps a 6-bit codon index (base1<<4 | base2<<2 |
+// base3, using 2-bit base codes) to an amino-acid letter, '*' for stop.
+var standardGeneticCode [64]byte
+
+func init() {
+	// Table keyed by the NCBI standard genetic code (transl_table=1),
+	// written out base by base: AAA, AAC, AAG, AAT, ACA, ...
+	codons := map[string]byte{
+		"TTT": 'F', "TTC": 'F', "TTA": 'L', "TTG": 'L',
+		"CTT": 'L', "CTC": 'L', "CTA": 'L', "CTG": 'L',
+		"ATT": 'I', "ATC": 'I', "ATA": 'I', "ATG": 'M',
+		"GTT": 'V', "GTC": 'V', "GTA": 'V', "GTG": 'V',
+		"TCT": 'S', "TCC": 'S', "TCA": 'S', "TCG": 'S',
+		"CCT": 'P', "CCC": 'P', "CCA": 'P', "CCG": 'P',
+		"ACT": 'T', "ACC": 'T', "ACA": 'T', "ACG": 'T',
+		"GCT": 'A', "GCC": 'A', "GCA": 'A', "GCG": 'A',
+		"TAT": 'Y', "TAC": 'Y', "TAA": '*', "TAG": '*',
+		"CAT": 'H', "CAC": 'H', "CAA": 'Q', "CAG": 'Q',
+		"AAT": 'N', "AAC": 'N', "AAA": 'K', "AAG": 'K',
+		"GAT": 'D', "GAC": 'D', "GAA": 'E', "GAG": 'E',
+		"TGT": 'C', "TGC": 'C', "TGA": '*', "TGG": 'W',
+		"CGT": 'R', "CGC": 'R', "CGA": 'R', "CGG": 'R',
+		"AGT": 'S', "AGC": 'S', "AGA": 'R', "AGG": 'R',
+		"GGT": 'G', "GGC": 'G', "GGA": 'G', "GGG": 'G',
+	}
+	for codon, aa := range codons {
+		b1, _ := NucCode(codon[0])
+		b2, _ := NucCode(codon[1])
+		b3, _ := NucCode(codon[2])
+		standardGeneticCode[int(b1)<<4|int(b2)<<2|int(b3)] = aa
+	}
+}
+
+// TranslateCodon translates a single codon of nucleotide letters.
+func TranslateCodon(c0, c1, c2 byte) byte {
+	b1, ok1 := NucCode(c0)
+	b2, ok2 := NucCode(c1)
+	b3, ok3 := NucCode(c2)
+	if !ok1 || !ok2 || !ok3 {
+		return 'X'
+	}
+	return standardGeneticCode[int(b1)<<4|int(b2)<<2|int(b3)]
+}
+
+// Frame identifies a translation frame: +1, +2, +3 on the forward
+// strand, -1, -2, -3 on the reverse complement.
+type Frame int
+
+// Frames lists all six translation frames in BLAST's conventional
+// order.
+var Frames = []Frame{1, 2, 3, -1, -2, -3}
+
+// String renders the frame as "+1".."-3".
+func (f Frame) String() string {
+	if f > 0 {
+		return fmt.Sprintf("+%d", int(f))
+	}
+	return fmt.Sprintf("%d", int(f))
+}
+
+// Translate translates a nucleotide sequence in the given frame into a
+// protein sequence ('*' marks stops). The frame's absolute value gives
+// the 1-based start offset; negative frames first reverse-complement.
+func Translate(s *Sequence, frame Frame) *Sequence {
+	if s.Kind != Nucleotide {
+		panic("seq: translating a protein sequence")
+	}
+	if frame == 0 || frame > 3 || frame < -3 {
+		panic(fmt.Sprintf("seq: invalid frame %d", frame))
+	}
+	src := s.Data
+	if frame < 0 {
+		src = s.ReverseComplement().Data
+	}
+	off := int(frame)
+	if off < 0 {
+		off = -off
+	}
+	off-- // 1-based to 0-based
+	n := (len(src) - off) / 3
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		p := off + 3*i
+		out[i] = TranslateCodon(src[p], src[p+1], src[p+2])
+	}
+	return &Sequence{
+		ID:   fmt.Sprintf("%s|frame%s", s.ID, frame),
+		Desc: s.Desc,
+		Kind: Protein,
+		Data: out,
+	}
+}
+
+// TranslateAllFrames returns the six-frame translation of s in the
+// order of Frames.
+func TranslateAllFrames(s *Sequence) []*Sequence {
+	out := make([]*Sequence, 0, 6)
+	for _, f := range Frames {
+		out = append(out, Translate(s, f))
+	}
+	return out
+}
+
+// ProteinToNucPos maps a 0-based position in a frame translation back
+// to the 0-based position of the codon's first base on the forward
+// strand of the original nucleotide sequence of length nucLen.
+func ProteinToNucPos(protPos int, frame Frame, nucLen int) int {
+	off := int(frame)
+	if off < 0 {
+		off = -off
+	}
+	off--
+	p := off + 3*protPos
+	if frame > 0 {
+		return p
+	}
+	// Position p counts from the start of the reverse complement;
+	// map back to forward coordinates (codon start is the highest
+	// forward index of the codon's three bases; report its first base
+	// on the forward strand).
+	return nucLen - 1 - p - 2
+}

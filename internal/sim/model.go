@@ -1,0 +1,553 @@
+package sim
+
+import (
+	"fmt"
+
+	"pario/internal/cluster"
+)
+
+// Scheme selects the I/O configuration under study.
+type Scheme int
+
+const (
+	// Original is conventional I/O on each worker's local disk.
+	Original Scheme = iota
+	// PVFS stripes the database RAID-0 across the data servers.
+	PVFS
+	// CEFT stripes across a primary group and mirrors onto a second
+	// group (RAID-10), with doubled reads and hot-spot skipping.
+	CEFT
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Original:
+		return "original"
+	case PVFS:
+		return "over-PVFS"
+	case CEFT:
+		return "over-CEFT-PVFS"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Scheme  Scheme
+	Workers int
+	// Servers is the data server count. For CEFT this is the total
+	// (primary + mirror; the paper's "4 mirroring 4" is Servers=8).
+	Servers int
+	// StressNode, when >= 0, runs the Fig 8 stressor on that node's
+	// disk for the whole run.
+	StressNode int
+	// CEFT read optimizations (ablations flip these).
+	DoubledReads bool
+	SkipHotSpots bool
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// ExecTime is the job completion time (slowest worker), seconds.
+	ExecTime float64
+	// IOTime is the mean per-worker time spent blocked in reads.
+	IOTime float64
+	// IOFraction = mean worker I/O time / exec time.
+	IOFraction float64
+	// WorkerTimes are per-worker completion times.
+	WorkerTimes []float64
+	// SkippedReads counts CEFT sub-reads redirected off hot servers.
+	SkippedReads int64
+}
+
+// disk models one node's disk as a server process reproducing the
+// 2003-era Linux/IDE request-queue behaviour the paper's hot-spot
+// experiment exercises:
+//
+//   - Positioning: a request that does not continue the stream the
+//     head is on pays DiskSeek; sequential same-stream requests are
+//     seek-free.
+//   - Write preference: the elevator favors queued writes (a
+//     saturated sequential writer keeps multi-megabyte bursts in the
+//     queue); a waiting read is dispatched only after WriterBurst
+//     bytes of writes, so each interleaved read request waits for a
+//     full write burst — this is the mechanism that collapses read
+//     bandwidth on the stressed node and produces Figure 9's x10/x21
+//     degradations.
+type disk struct {
+	sim      *cluster.Sim
+	arrivals *cluster.Queue
+	reads    []*diskReq
+	writes   []*diskReq
+	seek     float64
+	burst    int64 // WriterBurst bytes between read dispatches
+
+	lastStream int64
+	lastOff    int64
+
+	writeBytesSinceRead int64
+	served              int64
+	busy                float64
+}
+
+type diskReq struct {
+	stream int64
+	off    int64
+	n      int64
+	bw     float64
+	write  bool
+	done   *cluster.Queue
+}
+
+func newDisk(s *cluster.Sim, id int, seek float64, burst int64) *disk {
+	d := &disk{
+		sim:        s,
+		arrivals:   s.NewQueue(fmt.Sprintf("disk%d-arrivals", id)),
+		seek:       seek,
+		burst:      burst,
+		lastStream: -1,
+	}
+	s.Spawn(fmt.Sprintf("disk%d", id), d.serve)
+	return d
+}
+
+func (d *disk) serve(p *cluster.Proc) {
+	for {
+		// Drain all requests that have arrived.
+		for {
+			v, ok := p.TryRecv(d.arrivals)
+			if !ok {
+				break
+			}
+			d.enqueue(v.(*diskReq))
+		}
+		if len(d.reads) == 0 && len(d.writes) == 0 {
+			d.enqueue(p.Recv(d.arrivals).(*diskReq)) // block for next arrival
+			continue                                 // re-drain
+		}
+		req := d.pick()
+		cost := float64(req.n) / req.bw
+		if d.lastStream != req.stream || d.lastOff != req.off {
+			cost += d.seek
+		}
+		d.lastStream = req.stream
+		d.lastOff = req.off + req.n
+		d.served++
+		d.busy += cost
+		p.Sleep(cost)
+		p.Send(req.done, nil)
+	}
+}
+
+func (d *disk) enqueue(r *diskReq) {
+	if r.write {
+		d.writes = append(d.writes, r)
+	} else {
+		d.reads = append(d.reads, r)
+	}
+}
+
+// pick implements write preference with a byte-budget read deadline:
+// writes are served first, but once WriterBurst bytes of writes have
+// gone by while a read waits, the oldest read is dispatched.
+func (d *disk) pick() *diskReq {
+	if len(d.writes) == 0 {
+		r := d.reads[0]
+		d.reads = d.reads[1:]
+		return r
+	}
+	if len(d.reads) > 0 && d.writeBytesSinceRead >= d.burst {
+		d.writeBytesSinceRead = 0
+		r := d.reads[0]
+		d.reads = d.reads[1:]
+		return r
+	}
+	w := d.writes[0]
+	d.writes = d.writes[1:]
+	if len(d.reads) > 0 {
+		d.writeBytesSinceRead += w.n
+	}
+	return w
+}
+
+// access submits one request and blocks until the disk completes it.
+func (d *disk) access(p *cluster.Proc, stream, off, n int64, bw float64, write bool) {
+	done := d.sim.NewQueue("disk-done")
+	p.Send(d.arrivals, &diskReq{stream: stream, off: off, n: n, bw: bw, write: write, done: done})
+	p.Recv(done)
+}
+
+// node is one cluster machine.
+type node struct {
+	id   int
+	cpu  *cluster.Resource
+	disk *disk
+	nic  *cluster.Resource
+}
+
+// model is a fully wired experiment instance.
+type model struct {
+	sim   *cluster.Sim
+	p     Params
+	cfg   RunConfig
+	nodes []*node
+
+	// CEFT hot-spot state.
+	stressStart  float64
+	skippedReads int64
+
+	// stopped tells the stressor loops to wind down once every
+	// worker has finished, so the event heap drains.
+	stopped bool
+}
+
+func newModel(p Params, cfg RunConfig) *model {
+	s := cluster.New()
+	n := cfg.Workers
+	if cfg.Servers > n {
+		n = cfg.Servers
+	}
+	m := &model{sim: s, p: p, cfg: cfg, stressStart: -1}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, &node{
+			id:   i,
+			cpu:  s.NewResource(fmt.Sprintf("cpu%d", i), p.CPUsPerNode),
+			disk: newDisk(s, i, p.DiskSeek, p.WriterBurst),
+			nic:  s.NewResource(fmt.Sprintf("nic%d", i), 1),
+		})
+	}
+	return m
+}
+
+// streamID builds distinct disk stream identifiers.
+func streamID(kind, a, b int) int64 {
+	return int64(kind)*1_000_000 + int64(a)*1_000 + int64(b)
+}
+
+// transfer models moving n bytes from one node to another: serialize
+// on the sender NIC at network bandwidth, charge TCP CPU on both
+// endpoints, plus latency.
+func (m *model) transfer(p *cluster.Proc, from, to *node, n int64) {
+	if from == to {
+		// Loopback: data still crosses the TCP stack and the
+		// user-level daemons (extra copies), at LoopbackBW.
+		p.Sleep(float64(n) / m.p.LoopbackBW)
+		p.Use(from.cpu, 2*float64(n)*m.p.TCPCPUPerByte)
+		return
+	}
+	p.Use(from.nic, float64(n)/m.p.NetBW)
+	cpuCost := float64(n) * m.p.TCPCPUPerByte
+	p.Use(from.cpu, cpuCost)
+	p.Use(to.cpu, cpuCost)
+	p.Sleep(m.p.NetLatency)
+}
+
+// serverRead performs one parallel-FS sub-read: the iod on srv reads
+// n bytes of the (worker w, fragment) stream from its disk in IODChunk
+// requests and ships them to the client node.
+func (m *model) serverRead(p *cluster.Proc, w int, srv, client *node, stream, off, n int64) {
+	remaining := n
+	o := off
+	for remaining > 0 {
+		chunk := m.p.IODChunk
+		if chunk > remaining {
+			chunk = remaining
+		}
+		srv.disk.access(p, stream, o, chunk, m.p.DiskReadBW, false)
+		o += chunk
+		remaining -= chunk
+	}
+	p.Sleep(m.p.MsgOverhead)
+	m.transfer(p, srv, client, n)
+}
+
+// fsRead models one application read of n bytes at offset off of
+// worker w's view of the database, under the configured scheme.
+// Returns only after the data is "delivered".
+func (m *model) fsRead(p *cluster.Proc, w int, off, n int64) {
+	switch m.cfg.Scheme {
+	case Original:
+		m.localRead(p, w, off, n)
+	case PVFS:
+		m.stripedRead(p, w, off, n, m.serverSet(), 0)
+	case CEFT:
+		m.ceftRead(p, w, off, n)
+	}
+}
+
+// localRead: conventional I/O against the worker's own disk, in
+// readahead-window chunks (mmap-style).
+func (m *model) localRead(p *cluster.Proc, w int, off, n int64) {
+	nd := m.nodes[w]
+	stream := streamID(1, w, 0)
+	remaining := n
+	o := off
+	for remaining > 0 {
+		chunk := m.p.ReadChunkLocal
+		if chunk > remaining {
+			chunk = remaining
+		}
+		nd.disk.access(p, stream, o, chunk, m.p.DiskReadBW, false)
+		o += chunk
+		remaining -= chunk
+	}
+}
+
+// serverSet returns the node indices acting as data servers.
+func (m *model) serverSet() []int {
+	out := make([]int, m.cfg.Servers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// stripedRead fans a logical read out to the given servers
+// round-robin by stripe and waits for the slowest, like the PVFS
+// client. group tags the stream id so CEFT's two groups read distinct
+// physical streams.
+func (m *model) stripedRead(p *cluster.Proc, w int, off, n int64, servers []int, group int) {
+	k := len(servers)
+	if k == 0 {
+		return
+	}
+	// Per-server byte share of [off, off+n) under round-robin
+	// striping.
+	shares := make([]int64, k)
+	stripe := m.p.StripeSize
+	first := off / stripe
+	last := (off + n - 1) / stripe
+	fullLen := int64(0)
+	for s := first; s <= last; s++ {
+		lo := s * stripe
+		hi := lo + stripe
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		shares[int(s)%k] += hi - lo
+		fullLen += hi - lo
+	}
+	client := m.nodes[w]
+	done := m.sim.NewQueue(fmt.Sprintf("read-w%d", w))
+	launched := 0
+	for i, srv := range servers {
+		if shares[i] == 0 {
+			continue
+		}
+		launched++
+		srvNode := m.nodes[srv]
+		share := shares[i]
+		streamOff := (off / int64(k)) // approximate per-server piece offset
+		stream := streamID(2+group, w, srv)
+		m.sim.Spawn(fmt.Sprintf("iod%d-w%d", srv, w), func(sp *cluster.Proc) {
+			m.serverRead(sp, w, srvNode, client, stream, streamOff, share)
+			sp.Send(done, nil)
+		})
+	}
+	// Client-side request overhead, then wait for all sub-reads.
+	p.Sleep(m.p.MsgOverhead)
+	for i := 0; i < launched; i++ {
+		p.Recv(done)
+	}
+}
+
+// ceftServers returns the primary and mirror node sets.
+func (m *model) ceftServers() (prim, mirr []int) {
+	g := m.cfg.Servers / 2
+	for i := 0; i < g; i++ {
+		prim = append(prim, i)
+	}
+	for i := g; i < 2*g; i++ {
+		mirr = append(mirr, i)
+	}
+	return prim, mirr
+}
+
+// hotKnown reports whether the metadata server would, at the current
+// time, be advertising node id as a hot spot.
+func (m *model) hotKnown(id int) bool {
+	if !m.cfg.SkipHotSpots || m.cfg.StressNode != id {
+		return false
+	}
+	if m.stressStart < 0 {
+		return false
+	}
+	return m.sim.Now() >= m.stressStart+m.p.HeartbeatDelay
+}
+
+// ceftRead: doubled parallelism plus hot-spot skipping. The first
+// half of the range is preferred from the primary group, the second
+// half from the mirror group; any group member currently advertised
+// hot is replaced by its mirror partner.
+func (m *model) ceftRead(p *cluster.Proc, w int, off, n int64) {
+	prim, mirr := m.ceftServers()
+	g := len(prim)
+	if g == 0 {
+		return
+	}
+	pick := func(preferPrimary bool) []int {
+		out := make([]int, g)
+		for i := 0; i < g; i++ {
+			usePrim := preferPrimary
+			if usePrim && m.hotKnown(prim[i]) {
+				usePrim = false
+				m.skippedReads++
+			} else if !usePrim && m.hotKnown(mirr[i]) {
+				usePrim = true
+				m.skippedReads++
+			}
+			if usePrim {
+				out[i] = prim[i]
+			} else {
+				out[i] = mirr[i]
+			}
+		}
+		return out
+	}
+	// Extra metadata bookkeeping of CEFT (slightly larger metadata,
+	// §4.4): one extra message overhead per read.
+	p.Sleep(m.p.MsgOverhead)
+	if !m.cfg.DoubledReads {
+		m.stripedRead(p, w, off, n, pick(true), 0)
+		return
+	}
+	half := n / 2
+	done := m.sim.NewQueue(fmt.Sprintf("ceft-w%d", w))
+	m.sim.Spawn(fmt.Sprintf("ceft-w%d-a", w), func(sp *cluster.Proc) {
+		if half > 0 {
+			m.stripedRead(sp, w, off, half, pick(true), 0)
+		}
+		sp.Send(done, nil)
+	})
+	m.sim.Spawn(fmt.Sprintf("ceft-w%d-b", w), func(sp *cluster.Proc) {
+		if n-half > 0 {
+			m.stripedRead(sp, w, off+half, n-half, pick(false), 1)
+		}
+		sp.Send(done, nil)
+	})
+	p.Recv(done)
+	p.Recv(done)
+}
+
+// stressor runs Fig 8's loop against a node's disk: synchronous 1 MB
+// appends with StressStreams outstanding flush streams keeping the
+// queue saturated.
+func (m *model) startStressor(nodeID int) {
+	nd := m.nodes[nodeID]
+	m.stressStart = 0
+	for s := 0; s < m.p.StressStreams; s++ {
+		stream := streamID(9, nodeID, s)
+		m.sim.Spawn(fmt.Sprintf("stress%d-%d", nodeID, s), func(p *cluster.Proc) {
+			var off int64
+			for !m.stopped {
+				nd.disk.access(p, stream, off, m.p.StressWriteSize, m.p.DiskWriteBW, true)
+				off += m.p.StressWriteSize
+				if off > 2<<30 {
+					off = 0 // truncate at 2 GB and start over
+				}
+			}
+		})
+	}
+}
+
+// Run executes the configured experiment and returns its result.
+func Run(p Params, cfg RunConfig) Result {
+	if cfg.Workers < 1 {
+		panic("sim: need at least one worker")
+	}
+	if cfg.Scheme != Original && cfg.Servers < 1 {
+		panic("sim: parallel schemes need at least one server")
+	}
+	if cfg.Scheme == CEFT && cfg.Servers%2 != 0 {
+		panic("sim: CEFT needs an even total server count")
+	}
+	m := newModel(p, cfg)
+	if cfg.StressNode >= 0 && cfg.StressNode < len(m.nodes) {
+		m.startStressor(cfg.StressNode)
+	}
+
+	w := cfg.Workers
+	fragment := p.DBBytes / int64(w)
+	totalRead := int64(float64(fragment) * p.ReadMultiple)
+	if p.CacheBytes > 0 && totalRead > fragment {
+		// Page-cache model: the resident share of the fragment
+		// absorbs re-reads; only the remainder hits the disk.
+		resident := float64(p.CacheBytes) / float64(fragment)
+		if resident > 1 {
+			resident = 1
+		}
+		rereads := float64(totalRead - fragment)
+		totalRead = fragment + int64(rereads*(1-resident))
+	}
+	jit := p.jitterFactors(w)
+
+	workerTimes := make([]float64, w)
+	ioTimes := make([]float64, w)
+	done := m.sim.NewQueue("job-done")
+
+	for i := 0; i < w; i++ {
+		i := i
+		m.sim.Spawn(fmt.Sprintf("worker%d", i), func(wp *cluster.Proc) {
+			nd := m.nodes[i]
+			phases := p.PhasesPerWorker
+			readPer := totalRead / int64(phases)
+			computePer := float64(fragment) / float64(phases) / p.ScanRate * jit[i]
+			var off int64
+			var ioTime float64
+			for ph := 0; ph < phases; ph++ {
+				t0 := wp.Now()
+				m.fsRead(wp, i, off, readPer)
+				ioTime += wp.Now() - t0
+				off += readPer
+				// Compute on the node's CPUs in 100 ms quanta so
+				// co-located server TCP work interleaves fairly.
+				wp.UseChunked(nd.cpu, computePer, 0.1)
+				// Small result write to the local disk (Fig 4's
+				// ~690-byte writes).
+				nd.disk.access(wp, streamID(8, i, 0), int64(ph)*p.ResultWriteBytes,
+					p.ResultWriteBytes, p.DiskWriteBW, true)
+			}
+			workerTimes[i] = wp.Now()
+			ioTimes[i] = ioTime
+			wp.Send(done, i)
+		})
+	}
+
+	// Master: wait for all workers, then tell the stressors to wind
+	// down so the event heap drains.
+	finished := 0
+	m.sim.Spawn("master", func(mp *cluster.Proc) {
+		for finished < w {
+			mp.Recv(done)
+			finished++
+		}
+		m.stopped = true
+	})
+	// The disk server processes are perpetual, so they remain blocked
+	// once the workload drains; anything beyond them means deadlock.
+	if left := m.sim.Run(); left > len(m.nodes) {
+		panic(fmt.Sprintf("sim: %d processes still blocked (expected %d disk servers)", left, len(m.nodes)))
+	}
+	if finished < w {
+		panic(fmt.Sprintf("sim: only %d of %d workers finished", finished, w))
+	}
+
+	var res Result
+	res.WorkerTimes = workerTimes
+	for i := 0; i < w; i++ {
+		if workerTimes[i] > res.ExecTime {
+			res.ExecTime = workerTimes[i]
+		}
+		res.IOTime += ioTimes[i]
+	}
+	res.IOTime /= float64(w)
+	if res.ExecTime > 0 {
+		res.IOFraction = res.IOTime / res.ExecTime
+	}
+	res.SkippedReads = m.skippedReads
+	return res
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testParams scales the database down 10x so the full experiment
+// sweep runs in well under a second while preserving every ratio the
+// assertions check (all first-order effects scale linearly with
+// database size).
+func testParams() Params { return DefaultParams().Scaled(0.1) }
+
+func TestDeterminism(t *testing.T) {
+	p := testParams()
+	cfg := RunConfig{Scheme: PVFS, Workers: 4, Servers: 4, StressNode: -1}
+	a := Run(p, cfg)
+	b := Run(p, cfg)
+	if a.ExecTime != b.ExecTime || a.IOTime != b.IOTime {
+		t.Fatalf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMoreWorkersFaster(t *testing.T) {
+	p := testParams()
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8} {
+		r := Run(p, RunConfig{Scheme: Original, Workers: w, StressNode: -1})
+		if r.ExecTime >= prev {
+			t.Errorf("exec time did not drop at %d workers: %v >= %v", w, r.ExecTime, prev)
+		}
+		prev = r.ExecTime
+	}
+}
+
+func TestFig5Claims(t *testing.T) {
+	p := testParams()
+	// Claim 1 (paper §4.3): with one node, -over-PVFS performs worse
+	// than the original (TCP stack + metadata server overhead).
+	o1 := Run(p, RunConfig{Scheme: Original, Workers: 1, StressNode: -1})
+	v1 := Run(p, RunConfig{Scheme: PVFS, Workers: 1, Servers: 1, StressNode: -1})
+	if v1.ExecTime <= o1.ExecTime {
+		t.Errorf("1 node: PVFS %.1f should lose to original %.1f", v1.ExecTime, o1.ExecTime)
+	}
+	// Claim 2: PVFS wins from 2 nodes on.
+	for _, n := range []int{2, 4, 8} {
+		o := Run(p, RunConfig{Scheme: Original, Workers: n, StressNode: -1})
+		v := Run(p, RunConfig{Scheme: PVFS, Workers: n, Servers: n, StressNode: -1})
+		if v.ExecTime >= o.ExecTime {
+			t.Errorf("%d nodes: PVFS %.1f should beat original %.1f", n, v.ExecTime, o.ExecTime)
+		}
+	}
+}
+
+func TestFig6Claims(t *testing.T) {
+	p := testParams()
+	const workers = 4
+	orig := Run(p, RunConfig{Scheme: Original, Workers: workers, StressNode: -1})
+	var times []float64
+	for _, s := range []int{1, 2, 4, 6, 8, 12, 16} {
+		r := Run(p, RunConfig{Scheme: PVFS, Workers: workers, Servers: s, StressNode: -1})
+		times = append(times, r.ExecTime)
+	}
+	// Claim 1: with a single data server PVFS loses to the original.
+	if times[0] <= orig.ExecTime {
+		t.Errorf("1 server: PVFS %.1f should lose to original %.1f", times[0], orig.ExecTime)
+	}
+	// Claim 2: by 4 servers PVFS wins.
+	if times[2] >= orig.ExecTime {
+		t.Errorf("4 servers: PVFS %.1f should beat original %.1f", times[2], orig.ExecTime)
+	}
+	// Claim 3: more servers never make it substantially slower, and
+	// the marginal gain shrinks (diminishing returns / Amdahl).
+	for i := 1; i < len(times); i++ {
+		if times[i] > times[i-1]*1.02 {
+			t.Errorf("adding servers slowed the run: %v", times)
+		}
+	}
+	gainEarly := times[0] - times[2] // 1 -> 4 servers
+	gainLate := times[4] - times[6]  // 8 -> 16 servers
+	if gainLate > gainEarly/4 {
+		t.Errorf("gains did not diminish: early %.1f vs late %.1f (times %v)", gainEarly, gainLate, times)
+	}
+}
+
+func TestIOFractionSmallAtTwoWorkers(t *testing.T) {
+	// §4.3: "the time spent on I/O operations was measured to be
+	// around 11% of the total execution time" (2 workers, original).
+	// The calibration target: anywhere in ~5-20% preserves the claim
+	// that I/O is a small minority of runtime.
+	p := testParams()
+	r := Run(p, RunConfig{Scheme: Original, Workers: 2, StressNode: -1})
+	if r.IOFraction < 0.04 || r.IOFraction > 0.25 {
+		t.Errorf("I/O fraction at 2 workers = %.3f, want ~0.11", r.IOFraction)
+	}
+}
+
+func TestFig7Claims(t *testing.T) {
+	p := testParams()
+	for _, w := range []int{2, 4, 8} {
+		pv := Run(p, RunConfig{Scheme: PVFS, Workers: w, Servers: 8, StressNode: -1})
+		cf := Run(p, RunConfig{Scheme: CEFT, Workers: w, Servers: 8, StressNode: -1,
+			DoubledReads: true, SkipHotSpots: true})
+		// CEFT must be comparable: no better than ~2% faster, no more
+		// than ~15% slower (paper: "slightly worse... acceptable").
+		if cf.ExecTime < pv.ExecTime*0.98 {
+			t.Errorf("%d workers: CEFT %.2f unexpectedly beats PVFS %.2f", w, cf.ExecTime, pv.ExecTime)
+		}
+		if cf.ExecTime > pv.ExecTime*1.15 {
+			t.Errorf("%d workers: CEFT %.2f far worse than PVFS %.2f", w, cf.ExecTime, pv.ExecTime)
+		}
+	}
+}
+
+func TestFig9Claims(t *testing.T) {
+	p := testParams()
+	rs, table := Fig9(p)
+	if len(rs) != 3 {
+		t.Fatalf("Fig9 returned %d schemes", len(rs))
+	}
+	byScheme := map[Scheme]Fig9Result{}
+	for _, r := range rs {
+		byScheme[r.Scheme] = r
+	}
+	orig := byScheme[Original].Degradation
+	pvfs := byScheme[PVFS].Degradation
+	ceft := byScheme[CEFT].Degradation
+
+	// Paper: original ~10x, PVFS ~21x, CEFT ~2x. Require the ordering
+	// and rough magnitudes.
+	if !(ceft < orig && orig < pvfs) {
+		t.Errorf("degradation ordering wrong: original %.1f, PVFS %.1f, CEFT %.1f", orig, pvfs, ceft)
+	}
+	if orig < 5 || orig > 20 {
+		t.Errorf("original degradation %.1fx outside the ~10x band", orig)
+	}
+	if pvfs < 12 || pvfs > 35 {
+		t.Errorf("PVFS degradation %.1fx outside the ~21x band", pvfs)
+	}
+	if ceft < 1.1 || ceft > 4 {
+		t.Errorf("CEFT degradation %.1fx outside the ~2x band", ceft)
+	}
+	if byScheme[CEFT].Stressed.SkippedReads == 0 {
+		t.Error("CEFT under stress skipped no reads")
+	}
+	if len(table.Rows) != 6 {
+		t.Errorf("Fig9 table has %d rows", len(table.Rows))
+	}
+}
+
+func TestAblationSkipMatters(t *testing.T) {
+	p := testParams()
+	on := Run(p, RunConfig{Scheme: CEFT, Workers: 8, Servers: 8, StressNode: 0,
+		DoubledReads: true, SkipHotSpots: true})
+	off := Run(p, RunConfig{Scheme: CEFT, Workers: 8, Servers: 8, StressNode: 0,
+		DoubledReads: true, SkipHotSpots: false})
+	if off.ExecTime < on.ExecTime*2 {
+		t.Errorf("skipping saved too little: on %.1f vs off %.1f", on.ExecTime, off.ExecTime)
+	}
+	if on.SkippedReads == 0 || off.SkippedReads != 0 {
+		t.Errorf("skip accounting wrong: on=%d off=%d", on.SkippedReads, off.SkippedReads)
+	}
+}
+
+func TestAblationDoublingHelpsIOUnderFewWorkers(t *testing.T) {
+	// With a single worker, doubling read parallelism should cut the
+	// read time (one read engages all 8 disks instead of 4).
+	p := testParams()
+	on := Run(p, RunConfig{Scheme: CEFT, Workers: 1, Servers: 8, StressNode: -1, DoubledReads: true})
+	off := Run(p, RunConfig{Scheme: CEFT, Workers: 1, Servers: 8, StressNode: -1, DoubledReads: false})
+	if on.IOTime >= off.IOTime {
+		t.Errorf("doubling did not reduce I/O time: on %.2f vs off %.2f", on.IOTime, off.IOTime)
+	}
+}
+
+func TestStressorOnlyHurtsItsNode(t *testing.T) {
+	// Stressing a node that holds no database data must barely change
+	// the run: stress node 7 in a 4-worker 4-server setup (node 7
+	// exists only when workers/servers reach it).
+	p := testParams()
+	clean := Run(p, RunConfig{Scheme: PVFS, Workers: 2, Servers: 2, StressNode: -1})
+	// Stress node index beyond the cluster: ignored.
+	far := Run(p, RunConfig{Scheme: PVFS, Workers: 2, Servers: 2, StressNode: 99})
+	if math.Abs(far.ExecTime-clean.ExecTime) > 1e-9 {
+		t.Errorf("out-of-cluster stress changed exec time: %.2f vs %.2f", far.ExecTime, clean.ExecTime)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Original.String() != "original" || PVFS.String() != "over-PVFS" || CEFT.String() != "over-CEFT-PVFS" {
+		t.Error("scheme names wrong")
+	}
+	if !strings.Contains(Scheme(9).String(), "9") {
+		t.Error("unknown scheme string")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := testParams()
+	mustPanic := func(name string, cfg RunConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		Run(p, cfg)
+	}
+	mustPanic("no workers", RunConfig{Scheme: Original, Workers: 0})
+	mustPanic("no servers", RunConfig{Scheme: PVFS, Workers: 1, Servers: 0})
+	mustPanic("odd ceft", RunConfig{Scheme: CEFT, Workers: 1, Servers: 3})
+}
+
+func TestTablesRender(t *testing.T) {
+	p := testParams()
+	var sb strings.Builder
+	Fig5(p).Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "over-PVFS") {
+		t.Errorf("Fig5 render:\n%s", out)
+	}
+	sb.Reset()
+	_, t9 := Fig9(p)
+	t9.Render(&sb)
+	if !strings.Contains(sb.String(), "degradation") {
+		t.Errorf("Fig9 render:\n%s", sb.String())
+	}
+}
+
+func TestFormatDegradations(t *testing.T) {
+	s := FormatDegradations([]Fig9Result{
+		{Scheme: Original, Degradation: 10.1},
+		{Scheme: PVFS, Degradation: 21.2},
+	})
+	if !strings.Contains(s, "original 10.1x") || !strings.Contains(s, "over-PVFS 21.2x") {
+		t.Errorf("FormatDegradations = %s", s)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := DefaultParams()
+	h := p.Scaled(0.5)
+	if h.DBBytes != p.DBBytes/2 {
+		t.Errorf("Scaled: %d vs %d", h.DBBytes, p.DBBytes)
+	}
+}
+
+func TestJitterFactorsDeterministicAndBounded(t *testing.T) {
+	p := DefaultParams()
+	a := p.jitterFactors(16)
+	b := p.jitterFactors(16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("jitter not deterministic")
+		}
+		if a[i] < 1-p.PhaseJitter-1e-12 || a[i] > 1+p.PhaseJitter+1e-12 {
+			t.Fatalf("jitter %v out of bounds", a[i])
+		}
+	}
+}
+
+func TestScalingProjection(t *testing.T) {
+	// §4.3's prediction: once the database outgrows the nodes' RAM,
+	// the benefit of adding data servers grows. The projection tests
+	// the gain from 4 -> 16 servers at increasing database sizes.
+	p := testParams()
+	tb := ScalingProjection(p)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("projection rows = %d", len(tb.Rows))
+	}
+	gain := func(i int) float64 {
+		return 1 - tb.Rows[2*i+1].Result.ExecTime/tb.Rows[2*i].Result.ExecTime
+	}
+	small, large := gain(0), gain(2)
+	if large <= small {
+		t.Errorf("server-scaling gain did not grow with database size: x1 %.3f vs x64 %.3f", small, large)
+	}
+}
+
+func TestWorkerCPUBusyClaim(t *testing.T) {
+	// §4.3: "the utilization of [the CPU] on the worker node is kept
+	// close to 99% most of the time and the I/O time only occupies a
+	// very small portion of the overall execution time when the
+	// number of data servers is large."
+	p := testParams()
+	r := Run(p, RunConfig{Scheme: PVFS, Workers: 2, Servers: 16, StressNode: -1})
+	if r.IOFraction > 0.05 {
+		t.Errorf("I/O fraction %.3f at 16 servers; compute should dominate (>95%%)", r.IOFraction)
+	}
+}
+
+func TestSensitivityOrderingRobust(t *testing.T) {
+	// The Fig 9 ordering (CEFT << original < PVFS) must survive a 4x
+	// swing of the calibrated WriterBurst constant.
+	p := testParams()
+	for _, f := range []float64{0.5, 1.0, 2.0} {
+		pp := p
+		pp.WriterBurst = int64(float64(p.WriterBurst) * f)
+		rs, _ := Fig9(pp)
+		byScheme := map[Scheme]float64{}
+		for _, r := range rs {
+			byScheme[r.Scheme] = r.Degradation
+		}
+		if !(byScheme[CEFT] < byScheme[Original] && byScheme[Original] < byScheme[PVFS]) {
+			t.Errorf("burst x%.1f: ordering broken: original %.1f, PVFS %.1f, CEFT %.1f",
+				f, byScheme[Original], byScheme[PVFS], byScheme[CEFT])
+		}
+		if byScheme[CEFT] > 4 {
+			t.Errorf("burst x%.1f: CEFT degradation %.1fx too large", f, byScheme[CEFT])
+		}
+	}
+}

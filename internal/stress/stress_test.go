@@ -1,0 +1,78 @@
+package stress
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pario/internal/chio"
+)
+
+func TestRunWritesAndStops(t *testing.T) {
+	fs := chio.NewMemFS()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Stats, 1)
+	go func() {
+		st, err := Run(ctx, fs, Config{File: "F", BlockSize: 4096, MaxFileSize: 1 << 20})
+		if err != nil {
+			t.Errorf("stress run: %v", err)
+		}
+		done <- st
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	st := <-done
+	if st.Writes == 0 || st.BytesWritten == 0 {
+		t.Fatalf("no writes performed: %+v", st)
+	}
+	if st.BytesWritten != st.Writes*4096 {
+		t.Errorf("byte accounting: %d writes, %d bytes", st.Writes, st.BytesWritten)
+	}
+	if st.Throughput() <= 0 {
+		t.Error("throughput not positive")
+	}
+	fi, err := fs.Stat("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size == 0 && st.Truncations == 0 {
+		t.Error("stress file empty without truncation")
+	}
+}
+
+func TestTruncationAtLimit(t *testing.T) {
+	fs := chio.NewMemFS()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Stats, 1)
+	go func() {
+		// Tiny limit forces many truncations quickly.
+		st, _ := Run(ctx, fs, Config{File: "F", BlockSize: 1024, MaxFileSize: 8 * 1024})
+		done <- st
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	st := <-done
+	if st.Truncations == 0 {
+		t.Errorf("no truncations: %+v", st)
+	}
+	fi, err := fs.Stat("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size > 8*1024+1024 {
+		t.Errorf("file grew past the limit: %d", fi.Size)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.File != "stress.dat" || c.BlockSize != 1<<20 || c.MaxFileSize != 2<<30 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestStatsThroughputZeroElapsed(t *testing.T) {
+	if (Stats{}).Throughput() != 0 {
+		t.Error("zero-elapsed throughput should be 0")
+	}
+}

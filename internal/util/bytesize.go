@@ -1,0 +1,75 @@
+// Package util provides small shared helpers: byte-size formatting,
+// summary statistics, and a deterministic splittable random number
+// generator used by the workload generators and the simulator.
+package util
+
+import "fmt"
+
+// Byte size units.
+const (
+	KB int64 = 1 << (10 * (iota + 1))
+	MB
+	GB
+	TB
+)
+
+// FormatBytes renders n as a human-readable byte count ("2.70GB").
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.2fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.2fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.2fKB", float64(n)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// ParseBytes parses strings like "64KB", "2.7GB" or "512" into a byte
+// count. It accepts the suffixes B, KB, MB, GB and TB (case-insensitive).
+func ParseBytes(s string) (int64, error) {
+	var value float64
+	var unit string
+	n, err := fmt.Sscanf(s, "%f%s", &value, &unit)
+	if err != nil && n < 1 {
+		return 0, fmt.Errorf("util: cannot parse byte size %q", s)
+	}
+	mult := int64(1)
+	switch {
+	case unit == "" || equalFold(unit, "B"):
+		mult = 1
+	case equalFold(unit, "KB") || equalFold(unit, "K"):
+		mult = KB
+	case equalFold(unit, "MB") || equalFold(unit, "M"):
+		mult = MB
+	case equalFold(unit, "GB") || equalFold(unit, "G"):
+		mult = GB
+	case equalFold(unit, "TB") || equalFold(unit, "T"):
+		mult = TB
+	default:
+		return 0, fmt.Errorf("util: unknown byte unit %q in %q", unit, s)
+	}
+	return int64(value * float64(mult)), nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

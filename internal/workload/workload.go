@@ -1,0 +1,257 @@
+// Package workload generates the synthetic stand-in for the NCBI nt
+// database (which is not redistributable at experiment scale) and
+// extracts query sequences from it, reproducing the paper's setup: a
+// 568-letter nucleotide query drawn from a real sequence, searched
+// against a multi-gigabyte non-redundant nucleotide database. Only
+// the size and shape of the data matter to the I/O study, so the
+// generator matches nt's statistics (sequence count, mean length,
+// skewed length distribution, per-sequence composition bias) rather
+// than its biological content.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pario/internal/blastdb"
+	"pario/internal/chio"
+	"pario/internal/seq"
+	"pario/internal/util"
+)
+
+// DBSpec describes a synthetic database.
+type DBSpec struct {
+	// Name is the database title (alias file name stem).
+	Name string
+	// TotalLetters is the approximate database size in bases (the
+	// paper's nt: ~2.7 GB).
+	TotalLetters int64
+	// MeanLen is the mean sequence length (nt 2003: ~1530 bases).
+	MeanLen int
+	// SigmaLog is the log-normal shape parameter of the length
+	// distribution (~1.0 matches nt's long tail).
+	SigmaLog float64
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// NtLike returns the spec used throughout the experiments: an nt-
+// shaped database scaled to totalLetters.
+func NtLike(name string, totalLetters int64, seed uint64) DBSpec {
+	return DBSpec{
+		Name:         name,
+		TotalLetters: totalLetters,
+		MeanLen:      1530,
+		SigmaLog:     1.0,
+		Seed:         seed,
+	}
+}
+
+// Source streams synthetic sequences until TotalLetters is reached.
+type Source struct {
+	spec      DBSpec
+	rng       *util.RNG
+	generated int64
+	count     int
+	mu        float64
+}
+
+// NewSource starts a deterministic sequence stream for spec.
+func NewSource(spec DBSpec) *Source {
+	if spec.MeanLen <= 0 {
+		spec.MeanLen = 1530
+	}
+	if spec.SigmaLog <= 0 {
+		spec.SigmaLog = 1.0
+	}
+	// Log-normal with mean MeanLen: mu = ln(mean) - sigma^2/2.
+	mu := math.Log(float64(spec.MeanLen)) - spec.SigmaLog*spec.SigmaLog/2
+	return &Source{spec: spec, rng: util.NewRNG(spec.Seed), mu: mu}
+}
+
+// normal draws a standard normal deviate (Box-Muller).
+func (s *Source) normal() float64 {
+	u1 := s.rng.Float64()
+	for u1 == 0 {
+		u1 = s.rng.Float64()
+	}
+	u2 := s.rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// nextLen draws a sequence length from the clamped log-normal.
+func (s *Source) nextLen() int {
+	l := int(math.Exp(s.mu + s.spec.SigmaLog*s.normal()))
+	if l < 100 {
+		l = 100
+	}
+	if l > 200_000 {
+		l = 200_000
+	}
+	return l
+}
+
+// Next returns the next synthetic sequence, or io.EOF once the
+// database has reached its target size.
+func (s *Source) Next() (*seq.Sequence, error) {
+	if s.generated >= s.spec.TotalLetters {
+		return nil, io.EOF
+	}
+	n := s.nextLen()
+	if rem := s.spec.TotalLetters - s.generated; int64(n) > rem {
+		n = int(rem)
+		if n < 100 {
+			n = 100
+		}
+	}
+	// Per-sequence GC bias in [0.32, 0.68], like real genomic data.
+	gc := 0.32 + 0.36*s.rng.Float64()
+	data := make([]byte, n)
+	for i := range data {
+		r := s.rng.Float64()
+		switch {
+		case r < gc/2:
+			data[i] = 'G'
+		case r < gc:
+			data[i] = 'C'
+		case r < gc+(1-gc)/2:
+			data[i] = 'A'
+		default:
+			data[i] = 'T'
+		}
+	}
+	s.count++
+	s.generated += int64(n)
+	return &seq.Sequence{
+		ID:   fmt.Sprintf("synth|%s|%07d", s.spec.Name, s.count),
+		Desc: fmt.Sprintf("synthetic nt-like sequence %d, %d bp", s.count, n),
+		Kind: seq.Nucleotide,
+		Data: data,
+	}, nil
+}
+
+// Generated reports how many letters and sequences have been emitted.
+func (s *Source) Generated() (letters int64, sequences int) {
+	return s.generated, s.count
+}
+
+// WriteFasta streams the whole synthetic database as FASTA.
+func WriteFasta(w io.Writer, spec DBSpec) (letters int64, sequences int, err error) {
+	src := NewSource(spec)
+	for {
+		sq, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := seq.WriteFasta(w, 70, sq); err != nil {
+			return 0, 0, err
+		}
+	}
+	letters, sequences = src.Generated()
+	return letters, sequences, nil
+}
+
+// Build formats a synthetic database with the given fragment count
+// directly onto fs (no intermediate FASTA file).
+func Build(fs chio.FileSystem, spec DBSpec, fragments int) (*blastdb.Alias, error) {
+	if fragments < 1 {
+		return nil, fmt.Errorf("workload: fragment count %d < 1", fragments)
+	}
+	writers := make([]*blastdb.FragmentWriter, fragments)
+	paths := make([]string, fragments)
+	for i := range writers {
+		paths[i] = blastdb.FragmentPath(spec.Name, i)
+		f, err := fs.Create(paths[i])
+		if err != nil {
+			return nil, err
+		}
+		w, err := blastdb.NewFragmentWriter(f, seq.Nucleotide)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		writers[i] = w
+	}
+	a := &blastdb.Alias{Title: spec.Name, Kind: seq.Nucleotide}
+	src := NewSource(spec)
+	for {
+		sq, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		best := 0
+		for i := 1; i < fragments; i++ {
+			if writers[i].Letters() < writers[best].Letters() {
+				best = i
+			}
+		}
+		if err := writers[best].Append(sq); err != nil {
+			return nil, err
+		}
+		a.Seqs++
+		a.Letters += int64(sq.Len())
+	}
+	for i, w := range writers {
+		a.Fragments = append(a.Fragments, blastdb.FragmentInfo{
+			Path:    paths[i],
+			Seqs:    int64(w.NumSequences()),
+			Letters: w.Letters(),
+		})
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.Save(fs, spec.Name); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ExtractQuery draws a query of the given length from the database,
+// the way the paper extracted its 568-letter query from ecoli.nt: a
+// random subsequence of a random database sequence long enough to
+// contain it.
+func ExtractQuery(fs chio.FileSystem, dbName string, length int, seed uint64) (*seq.Sequence, error) {
+	a, err := blastdb.ReadAlias(fs, dbName)
+	if err != nil {
+		return nil, err
+	}
+	rng := util.NewRNG(seed)
+	frags, err := blastdb.OpenAll(fs, a)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, fr := range frags {
+			fr.Close()
+		}
+	}()
+	// Scan fragments in a random order for a sequence >= length.
+	for _, fi := range rng.Perm(len(frags)) {
+		fr := frags[fi]
+		n := fr.NumSequences()
+		for _, si := range rng.Perm(n) {
+			s, err := fr.Sequence(si)
+			if err != nil {
+				return nil, err
+			}
+			if s.Len() >= length {
+				start := 0
+				if s.Len() > length {
+					start = rng.Intn(s.Len() - length)
+				}
+				q := s.Subsequence(start, start+length)
+				q.ID = fmt.Sprintf("query|%dbp|from|%s", length, s.ID)
+				return q, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("workload: no sequence of length >= %d in %s", length, dbName)
+}

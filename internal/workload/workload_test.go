@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"pario/internal/blastdb"
+	"pario/internal/chio"
+	"pario/internal/seq"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	spec := NtLike("nt", 200_000, 7)
+	a, b := NewSource(spec), NewSource(spec)
+	for {
+		sa, errA := a.Next()
+		sb, errB := b.Next()
+		if (errA == io.EOF) != (errB == io.EOF) {
+			t.Fatal("streams ended at different points")
+		}
+		if errA == io.EOF {
+			break
+		}
+		if sa.ID != sb.ID || !bytes.Equal(sa.Data, sb.Data) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	la, ca := a.Generated()
+	lb, cb := b.Generated()
+	if la != lb || ca != cb {
+		t.Fatalf("totals differ: %d/%d vs %d/%d", la, ca, lb, cb)
+	}
+}
+
+func TestSourceHitsTargetSize(t *testing.T) {
+	spec := NtLike("nt", 500_000, 3)
+	src := NewSource(spec)
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			break
+		}
+	}
+	letters, count := src.Generated()
+	// The last sequence may overshoot by at most one minimum-length
+	// sequence.
+	if letters < 500_000 || letters > 500_000+200_001 {
+		t.Errorf("generated %d letters for 500k target", letters)
+	}
+	if count == 0 {
+		t.Error("no sequences generated")
+	}
+	// Mean length should be in the rough vicinity of the spec; the
+	// log-normal is heavy-tailed so allow a wide band.
+	mean := float64(letters) / float64(count)
+	if mean < 300 || mean > 6000 {
+		t.Errorf("mean length %.0f far from spec 1530", mean)
+	}
+}
+
+func TestSequencesAreValidDNA(t *testing.T) {
+	src := NewSource(NtLike("nt", 100_000, 9))
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if s.Kind != seq.Nucleotide {
+			t.Fatal("wrong kind")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompositionVaries(t *testing.T) {
+	src := NewSource(NtLike("nt", 300_000, 11))
+	var gcs []float64
+	for {
+		s, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		gc := 0
+		for _, b := range s.Data {
+			if b == 'G' || b == 'C' {
+				gc++
+			}
+		}
+		gcs = append(gcs, float64(gc)/float64(len(s.Data)))
+	}
+	min, max := 1.0, 0.0
+	for _, g := range gcs {
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if max-min < 0.1 {
+		t.Errorf("GC content too uniform: min %.2f max %.2f", min, max)
+	}
+	if min < 0.2 || max > 0.8 {
+		t.Errorf("GC content implausible: min %.2f max %.2f", min, max)
+	}
+}
+
+func TestWriteFasta(t *testing.T) {
+	var buf bytes.Buffer
+	letters, count, err := WriteFasta(&buf, NtLike("nt", 50_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if letters == 0 || count == 0 {
+		t.Fatal("nothing generated")
+	}
+	parsed, err := seq.NewFastaReader(&buf, seq.Nucleotide).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != count {
+		t.Errorf("FASTA has %d records, generator says %d", len(parsed), count)
+	}
+	var total int64
+	for _, s := range parsed {
+		total += int64(s.Len())
+	}
+	if total != letters {
+		t.Errorf("FASTA letters %d vs generator %d", total, letters)
+	}
+}
+
+func TestBuildFormatsDatabase(t *testing.T) {
+	fs := chio.NewMemFS()
+	a, err := Build(fs, NtLike("nt", 400_000, 13), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fragments) != 4 {
+		t.Fatalf("fragments = %d", len(a.Fragments))
+	}
+	back, err := blastdb.ReadAlias(fs, "nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Letters != a.Letters || back.Seqs != a.Seqs {
+		t.Errorf("alias mismatch: %+v vs %+v", back, a)
+	}
+	// Fragments are balanced.
+	var min, max int64 = 1 << 60, 0
+	for _, fi := range a.Fragments {
+		if fi.Letters < min {
+			min = fi.Letters
+		}
+		if fi.Letters > max {
+			max = fi.Letters
+		}
+	}
+	if max-min > 200_001 {
+		t.Errorf("imbalanced fragments: %d..%d", min, max)
+	}
+	if err := checkReadable(fs, back); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkReadable(fs chio.FileSystem, a *blastdb.Alias) error {
+	frags, err := blastdb.OpenAll(fs, a)
+	if err != nil {
+		return err
+	}
+	for _, fr := range frags {
+		if _, err := fr.Sequence(0); err != nil {
+			return err
+		}
+		fr.Close()
+	}
+	return nil
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(chio.NewMemFS(), NtLike("x", 1000, 1), 0); err == nil {
+		t.Error("zero fragments accepted")
+	}
+}
+
+func TestExtractQuery(t *testing.T) {
+	fs := chio.NewMemFS()
+	if _, err := Build(fs, NtLike("nt", 300_000, 17), 2); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ExtractQuery(fs, "nt", 568, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 568 {
+		t.Fatalf("query length = %d", q.Len())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for the same seed, different for another.
+	q2, err := ExtractQuery(fs, "nt", 568, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q.Data, q2.Data) {
+		t.Error("same seed gave different queries")
+	}
+	q3, err := ExtractQuery(fs, "nt", 568, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(q.Data, q3.Data) {
+		t.Error("different seed gave the same query")
+	}
+}
+
+func TestExtractQueryTooLong(t *testing.T) {
+	fs := chio.NewMemFS()
+	if _, err := Build(fs, NtLike("nt", 50_000, 19), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractQuery(fs, "nt", 10_000_000, 1); err == nil {
+		t.Error("impossible query length accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Package workloadtest provides shared test fixtures: helpers that
+// stand up complete PVFS and CEFT-PVFS deployments on localhost for
+// integration tests across packages.
+package workloadtest
+
+import (
+	"testing"
+
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/pvfs"
+)
+
+// CEFTEnv is a running CEFT-PVFS deployment.
+type CEFTEnv struct {
+	MgrAddr      string
+	PrimaryAddrs []string
+	MirrorAddrs  []string
+	Servers      []*pvfs.DataServer
+	Stores       []*chio.MemFS
+	Client       *ceft.Client
+}
+
+// StartCEFT launches a manager plus g primary and g mirror data
+// servers and returns a connected client. Everything is torn down via
+// t.Cleanup.
+func StartCEFT(t *testing.T, g int) *CEFTEnv {
+	t.Helper()
+	mgr, err := pvfs.StartMetaServer(pvfs.MetaConfig{Addr: "127.0.0.1:0", NumServers: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &CEFTEnv{MgrAddr: mgr.Addr()}
+	for i := 0; i < 2*g; i++ {
+		store := chio.NewMemFS()
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{ID: i, Addr: "127.0.0.1:0", Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Servers = append(env.Servers, ds)
+		env.Stores = append(env.Stores, store)
+		if i < g {
+			env.PrimaryAddrs = append(env.PrimaryAddrs, ds.Addr())
+		} else {
+			env.MirrorAddrs = append(env.MirrorAddrs, ds.Addr())
+		}
+	}
+	cl, err := ceft.DialClient(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Client = cl
+	t.Cleanup(func() {
+		cl.Close()
+		for _, ds := range env.Servers {
+			ds.Close()
+		}
+		mgr.Close()
+	})
+	return env
+}
+
+// PVFSEnv is a running PVFS deployment.
+type PVFSEnv struct {
+	MgrAddr   string
+	DataAddrs []string
+	Servers   []*pvfs.DataServer
+	Stores    []*chio.MemFS
+	Client    *pvfs.Client
+}
+
+// StartPVFS launches a manager plus n data servers and returns a
+// connected client, torn down via t.Cleanup.
+func StartPVFS(t *testing.T, n int) *PVFSEnv {
+	t.Helper()
+	mgr, err := pvfs.StartMetaServer(pvfs.MetaConfig{Addr: "127.0.0.1:0", NumServers: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &PVFSEnv{MgrAddr: mgr.Addr()}
+	for i := 0; i < n; i++ {
+		store := chio.NewMemFS()
+		ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{ID: i, Addr: "127.0.0.1:0", Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Servers = append(env.Servers, ds)
+		env.Stores = append(env.Stores, store)
+		env.DataAddrs = append(env.DataAddrs, ds.Addr())
+	}
+	cl, err := pvfs.DialClient(env.MgrAddr, env.DataAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Client = cl
+	t.Cleanup(func() {
+		cl.Close()
+		for _, ds := range env.Servers {
+			ds.Close()
+		}
+		mgr.Close()
+	})
+	return env
+}
