@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full hygiene gate: vet everything, then run the whole suite with the
+# race detector (the transport layer is heavily concurrent).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./internal/pvfs/... ./internal/ceft/... ./internal/rpcpool/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

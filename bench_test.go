@@ -13,6 +13,7 @@
 package pario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -49,7 +50,7 @@ func BenchmarkFig4TracePattern(b *testing.B) {
 	var stats iotrace.Stats
 	for i := 0; i < b.N; i++ {
 		trace := iotrace.NewTrace()
-		_, err := core.ParallelSearch(query, core.SearchConfig{
+		_, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 			DBName:   "nt",
 			Workers:  8,
 			Params:   blast.Params{Program: blast.BlastN},
@@ -365,7 +366,7 @@ func BenchmarkParallelSearchWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.ParallelSearch(query, core.SearchConfig{
+				if _, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 					DBName:   "nt",
 					Workers:  w,
 					Params:   blast.Params{Program: blast.BlastN},

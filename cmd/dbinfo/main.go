@@ -41,7 +41,7 @@ func main() {
 		if *servers == "" {
 			fatal(fmt.Errorf("-mgr needs -servers"))
 		}
-		cl, err := pvfs.DialClient(*mgr, strings.Split(*servers, ","))
+		cl, err := pvfs.Dial(*mgr, strings.Split(*servers, ","))
 		if err != nil {
 			fatal(err)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -95,7 +96,7 @@ func runFig4(dbSize string, workers int, scatterPath string) {
 		fatal(err)
 	}
 	trace := iotrace.NewTrace()
-	out, err := core.ParallelSearch(query, core.SearchConfig{
+	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 		DBName:   "nt",
 		Workers:  workers,
 		Params:   blast.Params{Program: blast.BlastN},

@@ -22,9 +22,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -36,6 +38,7 @@ import (
 	"pario/internal/mpi"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
+	"pario/internal/rpcpool"
 	"pario/internal/seq"
 )
 
@@ -59,6 +62,12 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Figure 4 style I/O trace to this file")
 		outfmt   = flag.String("outfmt", "report", "report|tabular")
 
+		// Transport tuning (pvfs/ceft modes).
+		ioTimeout = flag.Duration("io-timeout", rpcpool.DefaultTimeout, "per-request parallel-FS deadline")
+		ioRetries = flag.Int("io-retries", rpcpool.DefaultRetries, "parallel-FS retry budget per request")
+		ioPool    = flag.Int("io-pool", rpcpool.DefaultPoolSize, "parallel-FS connections per server")
+		rpcStats  = flag.Bool("rpc-stats", false, "print per-server RPC latency/retry counters at exit")
+
 		// Distributed mode: run this process as one rank of a
 		// multi-process (multi-machine) job over the TCP transport.
 		router      = flag.String("router", "", "message router address; enables distributed mode")
@@ -77,12 +86,35 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the whole job, aborting in-flight parallel-FS I/O.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var metrics *iotrace.RPCMetrics
+	transportOpts := func() []rpcpool.Option {
+		opts := []rpcpool.Option{
+			rpcpool.WithTimeout(*ioTimeout),
+			rpcpool.WithRetries(*ioRetries),
+			rpcpool.WithPoolSize(*ioPool),
+		}
+		if *rpcStats {
+			if metrics == nil {
+				metrics = iotrace.NewRPCMetrics()
+			}
+			opts = append(opts, rpcpool.WithObserver(metrics))
+		}
+		return opts
+	}
+
 	var masterFS chio.FileSystem
 	var workerFS func(rank int) chio.FileSystem
 	var closers []func() error
 	defer func() {
 		for _, c := range closers {
 			c()
+		}
+		if metrics != nil {
+			fmt.Fprint(os.Stderr, metrics.Format())
 		}
 	}()
 
@@ -100,7 +132,7 @@ func main() {
 		}
 		addrs := strings.Split(*servers, ",")
 		mk := func() (chio.FileSystem, error) {
-			cl, err := pvfs.DialClient(*mgr, addrs)
+			cl, err := pvfs.Dial(*mgr, addrs, transportOpts()...)
 			if err != nil {
 				return nil, err
 			}
@@ -126,7 +158,7 @@ func main() {
 		prim := strings.Split(*primary, ",")
 		mirr := strings.Split(*mirror, ",")
 		mk := func() (chio.FileSystem, error) {
-			cl, err := ceft.DialClient(*mgr, prim, mirr, ceft.DefaultOptions())
+			cl, err := ceft.Dial(*mgr, prim, mirr, ceft.DefaultOptions(), transportOpts()...)
 			if err != nil {
 				return nil, err
 			}
@@ -169,7 +201,7 @@ func main() {
 					fatal(err)
 				}
 			}
-			if err := pblast.RunWorker(comm, workerFS(*rank), scratchFS); err != nil {
+			if err := pblast.RunWorker(ctx, comm, workerFS(*rank), scratchFS); err != nil {
 				fatal(err)
 			}
 			return
@@ -198,7 +230,7 @@ func main() {
 		out := bufio.NewWriter(os.Stdout)
 		defer out.Flush()
 		for _, q := range queries {
-			res, err := pblast.RunMaster(comm, masterFS, q, cfg)
+			res, err := pblast.RunMaster(ctx, comm, masterFS, q, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -240,7 +272,7 @@ func main() {
 	defer out.Flush()
 	if len(queries) > 1 && cfg.Mode == pblast.DatabaseSegmentation && !cfg.CopyToLocal {
 		// Multi-query batch: one (query x fragment) scheduling pass.
-		batch, err := core.ParallelSearchBatch(queries, cfg)
+		batch, err := core.ParallelSearchBatch(ctx, queries, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -255,7 +287,7 @@ func main() {
 		}
 	} else {
 		for _, q := range queries {
-			res, err := core.ParallelSearch(q, cfg)
+			res, err := core.ParallelSearch(ctx, q, cfg)
 			if err != nil {
 				fatal(err)
 			}

@@ -45,7 +45,7 @@ func main() {
 			if *mgr == "" || *servers == "" {
 				fatal(fmt.Errorf("pvfs: paths need -mgr and -servers"))
 			}
-			cl, err := pvfs.DialClient(*mgr, strings.Split(*servers, ","))
+			cl, err := pvfs.Dial(*mgr, strings.Split(*servers, ","))
 			if err != nil {
 				fatal(err)
 			}
@@ -54,7 +54,7 @@ func main() {
 			if *mgr == "" || *primary == "" || *mirror == "" {
 				fatal(fmt.Errorf("ceft: paths need -mgr, -primary and -mirror"))
 			}
-			cl, err := ceft.DialClient(*mgr, strings.Split(*primary, ","),
+			cl, err := ceft.Dial(*mgr, strings.Split(*primary, ","),
 				strings.Split(*mirror, ","), ceft.DefaultOptions())
 			if err != nil {
 				fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -60,7 +61,7 @@ func main() {
 			case <-stop:
 				return
 			default:
-				d.WritePiece(0xbeef, 0, junk) // Figure 8's synchronous 1MB appends
+				d.WritePiece(context.Background(), 0xbeef, 0, junk) // Figure 8's synchronous 1MB appends
 			}
 		}
 	}()

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -64,7 +65,7 @@ func main() {
 			c.Close()
 		}
 	}()
-	out, err := core.ParallelSearch(query, core.SearchConfig{
+	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 		DBName:   "nt",
 		Workers:  4,
 		Params:   blast.Params{Program: blast.BlastN},

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 
 	// 5. Parallel search: a master plus 4 workers (in-process ranks
 	//    of the mpi substrate), database-segmentation scheduling.
-	out, err := core.ParallelSearch(query, core.SearchConfig{
+	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 		DBName:   "demo",
 		Workers:  4,
 		Params:   blast.Params{Program: blast.BlastN},

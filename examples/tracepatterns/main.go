@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,7 +31,7 @@ func main() {
 	// The instrumentation the paper added to the NCBI library: wrap
 	// the workers' file system so every read and write is recorded.
 	trace := iotrace.NewTrace()
-	if _, err := core.ParallelSearch(query, core.SearchConfig{
+	if _, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
 		DBName:   "nt",
 		Workers:  8,
 		Params:   blast.Params{Program: blast.BlastN},

@@ -13,10 +13,17 @@
 //     from the mirror partner instead.
 //
 // The client implements chio.FileSystem, so the parallel BLAST code
-// runs over CEFT-PVFS unchanged.
+// runs over CEFT-PVFS unchanged. Transport behavior (connection
+// pooling, per-request deadlines, retries) comes from the shared
+// rpcpool options; a sub-read that times out or finds its server down
+// falls back to the mirror partner, so one hung server degrades a
+// read's latency by at most the configured deadline instead of
+// hanging it.
 package ceft
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -25,6 +32,7 @@ import (
 
 	"pario/internal/chio"
 	"pario/internal/pvfs"
+	"pario/internal/rpcpool"
 )
 
 // WriteProtocol selects how writes are duplicated onto the mirror
@@ -66,7 +74,9 @@ func (w WriteProtocol) String() string {
 	return fmt.Sprintf("WriteProtocol(%d)", int(w))
 }
 
-// Options tune the CEFT client.
+// Options tune the CEFT client's replication semantics. Transport
+// behavior (pooling, timeouts, retries) is configured separately with
+// the rpcpool options passed to Dial.
 type Options struct {
 	// DoubledReads enables the split-range doubled-parallelism read
 	// path (§4.4 of the paper). Default true.
@@ -106,6 +116,7 @@ func DefaultOptions() Options {
 // primary server i is server G+i.
 type Client struct {
 	opts    Options
+	ctx     context.Context
 	meta    *pvfs.MetaConn
 	primary []*pvfs.DataConn
 	mirror  []*pvfs.DataConn
@@ -121,6 +132,7 @@ type Client struct {
 
 	failMu    sync.Mutex
 	failovers int64
+	degraded  int64
 }
 
 // Failovers reports how many sub-reads were served by a mirror
@@ -140,6 +152,24 @@ func (cl *Client) addFailovers(n int64) {
 	cl.failMu.Unlock()
 }
 
+// DegradedWrites reports how many per-server write runs landed on
+// only one member of a mirror pair because the other was unreachable.
+// Non-zero means redundancy is reduced until the pair is resynced.
+func (cl *Client) DegradedWrites() int64 {
+	cl.failMu.Lock()
+	defer cl.failMu.Unlock()
+	return cl.degraded
+}
+
+func (cl *Client) addDegraded(n int64) {
+	if n == 0 {
+		return
+	}
+	cl.failMu.Lock()
+	cl.degraded += n
+	cl.failMu.Unlock()
+}
+
 // partners returns, for each chosen connection, its mirror-pair
 // counterpart (the degraded-mode fallback).
 func (cl *Client) partners(conns []*pvfs.DataConn) []*pvfs.DataConn {
@@ -154,33 +184,56 @@ func (cl *Client) partners(conns []*pvfs.DataConn) []*pvfs.DataConn {
 	return out
 }
 
-// DialClient connects to the manager and both server groups.
-// primaryAddrs and mirrorAddrs must have equal length.
-func DialClient(mgrAddr string, primaryAddrs, mirrorAddrs []string, opts Options) (*Client, error) {
+// Dial connects to the manager and both server groups. primaryAddrs
+// and mirrorAddrs must have equal length. o carries the CEFT
+// replication options; opts carries the transport options shared with
+// the plain PVFS backend:
+//
+//	cl, err := ceft.Dial(mgr, primaries, mirrors, ceft.DefaultOptions(),
+//		rpcpool.WithTimeout(2*time.Second),
+//		rpcpool.WithPoolSize(8))
+func Dial(mgrAddr string, primaryAddrs, mirrorAddrs []string, o Options, opts ...rpcpool.Option) (*Client, error) {
 	if len(primaryAddrs) == 0 || len(primaryAddrs) != len(mirrorAddrs) {
 		return nil, fmt.Errorf("ceft: need equal non-empty primary and mirror groups (got %d and %d)",
 			len(primaryAddrs), len(mirrorAddrs))
 	}
-	meta, err := pvfs.DialMeta(mgrAddr)
+	meta, err := pvfs.DialMeta(mgrAddr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{opts: opts, meta: meta}
+	cl := &Client{opts: o, ctx: context.Background(), meta: meta}
 	for _, a := range primaryAddrs {
-		d, err := pvfs.DialData(a)
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.primary = append(cl.primary, d)
+		cl.primary = append(cl.primary, pvfs.DialDataLazy(a, opts...))
 	}
 	for _, a := range mirrorAddrs {
-		d, err := pvfs.DialData(a)
-		if err != nil {
+		cl.mirror = append(cl.mirror, pvfs.DialDataLazy(a, opts...))
+	}
+	// Probe every data server in parallel, but only require one live
+	// member per mirror pair: a degraded cluster must stay dialable
+	// (reads fail over to the surviving partner).
+	g := len(primaryAddrs)
+	alive := make([]bool, 2*g)
+	var wg sync.WaitGroup
+	probe := func(i int, d *pvfs.DataConn) {
+		defer wg.Done()
+		_, err := d.Ping(cl.ctx)
+		alive[i] = err == nil
+	}
+	for i, d := range cl.primary {
+		wg.Add(1)
+		go probe(i, d)
+	}
+	for i, d := range cl.mirror {
+		wg.Add(1)
+		go probe(g+i, d)
+	}
+	wg.Wait()
+	for i := 0; i < g; i++ {
+		if !alive[i] && !alive[g+i] {
 			cl.Close()
-			return nil, err
+			return nil, fmt.Errorf("ceft: mirror pair %d unreachable (primary %s, mirror %s): %w",
+				i, primaryAddrs[i], mirrorAddrs[i], chio.ErrServerDown)
 		}
-		cl.mirror = append(cl.mirror, d)
 	}
 	cl.hotPrimary = make([]bool, len(cl.primary))
 	cl.hotMirror = make([]bool, len(cl.mirror))
@@ -192,6 +245,40 @@ func (cl *Client) BackendName() string { return "ceft-pvfs" }
 
 // GroupSize returns the number of servers per group.
 func (cl *Client) GroupSize() int { return len(cl.primary) }
+
+// WithContext implements chio.ContextBinder: the returned view shares
+// this client's connections, hot-set cache, and failover counters, but
+// its operations abort when ctx is done.
+//
+// The view aliases the receiver's synchronization state, so it must
+// not be copied further except through WithContext.
+func (cl *Client) WithContext(ctx context.Context) chio.FileSystem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &boundClient{Client: cl, ctx: ctx}
+}
+
+// boundClient is a context-bound view of a Client. Embedding keeps the
+// shared state (pools, hot sets, counters) in one place; only the
+// context differs per view.
+type boundClient struct {
+	*Client
+	ctx context.Context
+}
+
+func (b *boundClient) Create(name string) (chio.File, error) { return b.Client.create(b.ctx, name) }
+func (b *boundClient) Open(name string) (chio.File, error)   { return b.Client.open(b.ctx, name) }
+func (b *boundClient) Stat(name string) (chio.FileInfo, error) {
+	return b.Client.stat(b.ctx, name)
+}
+func (b *boundClient) Remove(name string) error { return b.Client.remove(b.ctx, name) }
+func (b *boundClient) List(prefix string) ([]chio.FileInfo, error) {
+	return b.Client.list(b.ctx, prefix)
+}
+func (b *boundClient) WithContext(ctx context.Context) chio.FileSystem {
+	return b.Client.WithContext(ctx)
+}
 
 // Close flushes asynchronous mirror writes and drops all connections.
 func (cl *Client) Close() error {
@@ -219,14 +306,14 @@ func (cl *Client) Close() error {
 // MinHotLoad floor, and its mirror partner is not itself hot (the
 // paper's constraint: skipping works as long as no mirroring pair is
 // entirely hot).
-func (cl *Client) refreshHotSet() {
+func (cl *Client) refreshHotSet(ctx context.Context) {
 	cl.loadMu.Lock()
 	defer cl.loadMu.Unlock()
 	if time.Since(cl.loadFetched) < cl.opts.LoadCacheTTL {
 		return
 	}
 	cl.loadFetched = time.Now()
-	loads, err := cl.meta.LoadQuery()
+	loads, err := cl.meta.LoadQuery(ctx)
 	if err != nil {
 		return // keep the previous hot set
 	}
@@ -266,11 +353,11 @@ func (cl *Client) refreshHotSet() {
 // pickConns returns, for each server index, the connection to use
 // when the preferred group is primary (or mirror), honoring hot-spot
 // skipping. skipped reports how many servers were redirected.
-func (cl *Client) pickConns(preferPrimary bool) (conns []*pvfs.DataConn, skipped int) {
+func (cl *Client) pickConns(ctx context.Context, preferPrimary bool) (conns []*pvfs.DataConn, skipped int) {
 	g := len(cl.primary)
 	conns = make([]*pvfs.DataConn, g)
 	if cl.opts.SkipHotSpots {
-		cl.refreshHotSet()
+		cl.refreshHotSet(ctx)
 	}
 	cl.loadMu.Lock()
 	defer cl.loadMu.Unlock()
@@ -295,8 +382,10 @@ func (cl *Client) pickConns(preferPrimary bool) (conns []*pvfs.DataConn, skipped
 }
 
 // Create implements chio.FileSystem.
-func (cl *Client) Create(name string) (chio.File, error) {
-	m, err := cl.meta.Create(name)
+func (cl *Client) Create(name string) (chio.File, error) { return cl.create(cl.ctx, name) }
+
+func (cl *Client) create(ctx context.Context, name string) (chio.File, error) {
+	m, err := cl.meta.Create(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +395,7 @@ func (cl *Client) Create(name string) (chio.File, error) {
 	var wg sync.WaitGroup
 	clear := func(idx int, d *pvfs.DataConn) {
 		defer wg.Done()
-		errs[idx] = d.RemovePiece(m.Handle)
+		errs[idx] = d.RemovePiece(ctx, m.Handle)
 	}
 	for i, d := range cl.primary {
 		wg.Add(1)
@@ -317,26 +406,38 @@ func (cl *Client) Create(name string) (chio.File, error) {
 		go clear(g+i, d)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Tolerate a clear failure when the pair partner was cleared: on a
+	// degraded cluster the dead member holds no piece to go stale (it
+	// must be resynced before rejoining anyway).
+	var deg int64
+	for i := 0; i < g; i++ {
+		if errs[i] != nil && errs[g+i] != nil {
+			return nil, errs[i]
+		}
+		if errs[i] != nil || errs[g+i] != nil {
+			deg++
 		}
 	}
-	return &file{cl: cl, meta: m}, nil
+	cl.addDegraded(deg)
+	return &file{cl: cl, ctx: ctx, meta: m}, nil
 }
 
 // Open implements chio.FileSystem.
-func (cl *Client) Open(name string) (chio.File, error) {
-	m, err := cl.meta.Lookup(name)
+func (cl *Client) Open(name string) (chio.File, error) { return cl.open(cl.ctx, name) }
+
+func (cl *Client) open(ctx context.Context, name string) (chio.File, error) {
+	m, err := cl.meta.Lookup(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	return &file{cl: cl, meta: m}, nil
+	return &file{cl: cl, ctx: ctx, meta: m}, nil
 }
 
 // Stat implements chio.FileSystem.
-func (cl *Client) Stat(name string) (chio.FileInfo, error) {
-	m, err := cl.meta.Stat(name)
+func (cl *Client) Stat(name string) (chio.FileInfo, error) { return cl.stat(cl.ctx, name) }
+
+func (cl *Client) stat(ctx context.Context, name string) (chio.FileInfo, error) {
+	m, err := cl.meta.Stat(ctx, name)
 	if err != nil {
 		return chio.FileInfo{}, err
 	}
@@ -344,15 +445,17 @@ func (cl *Client) Stat(name string) (chio.FileInfo, error) {
 }
 
 // Remove implements chio.FileSystem.
-func (cl *Client) Remove(name string) error {
-	m, err := cl.meta.Remove(name)
+func (cl *Client) Remove(name string) error { return cl.remove(cl.ctx, name) }
+
+func (cl *Client) remove(ctx context.Context, name string) error {
+	m, err := cl.meta.Remove(ctx, name)
 	if err != nil {
 		return err
 	}
 	var wg sync.WaitGroup
 	rm := func(d *pvfs.DataConn) {
 		defer wg.Done()
-		d.RemovePiece(m.Handle)
+		d.RemovePiece(ctx, m.Handle)
 	}
 	for _, d := range cl.primary {
 		wg.Add(1)
@@ -367,8 +470,10 @@ func (cl *Client) Remove(name string) error {
 }
 
 // List implements chio.FileSystem.
-func (cl *Client) List(prefix string) ([]chio.FileInfo, error) {
-	metas, err := cl.meta.List(prefix)
+func (cl *Client) List(prefix string) ([]chio.FileInfo, error) { return cl.list(cl.ctx, prefix) }
+
+func (cl *Client) list(ctx context.Context, prefix string) ([]chio.FileInfo, error) {
+	metas, err := cl.meta.List(ctx, prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -400,40 +505,65 @@ func (cl *Client) AsyncErr() error {
 
 // file is an open CEFT file handle.
 type file struct {
-	cl   *Client
-	meta pvfs.Meta
-	mu   sync.Mutex
-	off  int64
+	cl     *Client
+	ctx    context.Context
+	mu     sync.Mutex
+	meta   pvfs.Meta
+	off    int64
+	closed bool
 }
 
-func (f *file) Name() string { return f.meta.Name }
+func (f *file) Name() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.meta.Name
+}
 
-func (f *file) refreshSize() error {
-	m, err := f.cl.meta.Stat(f.meta.Name)
+var errFileClosed = fmt.Errorf("ceft: file already closed")
+
+// handle returns the file's metadata, or an error once closed.
+func (f *file) handle() (pvfs.Meta, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return pvfs.Meta{}, errFileClosed
+	}
+	return f.meta, nil
+}
+
+func (f *file) refreshSize(m *pvfs.Meta) error {
+	fresh, err := f.cl.meta.Stat(f.ctx, m.Name)
 	if err != nil {
 		return err
 	}
-	f.meta.Size = m.Size
+	m.Size = fresh.Size
+	f.mu.Lock()
+	if !f.closed {
+		f.meta.Size = fresh.Size
+	}
+	f.mu.Unlock()
 	return nil
 }
 
 // pieceWriter issues one stripe-run write to a data server.
-type pieceWriter func(d *pvfs.DataConn, handle uint64, off int64, data []byte) error
+type pieceWriter func(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error
 
-func plainWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePiece(handle, off, data)
+func plainWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePiece(ctx, handle, off, data)
 }
 
-func dupSyncWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePieceDup(handle, off, data, true)
+func dupSyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePieceDup(ctx, handle, off, data, true)
 }
 
-func dupAsyncWrite(d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePieceDup(handle, off, data, false)
+func dupAsyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
+	return d.WritePieceDup(ctx, handle, off, data, false)
 }
 
-// writeRuns issues the per-server runs of one group using write.
-func writeRuns(conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) error {
+// writeRunsPerServer issues the per-server runs of one group using
+// write, returning one error slot per server (nil where the server
+// took all of its runs, or had none).
+func writeRunsPerServer(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) []error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
 	for server, list := range runs {
@@ -445,7 +575,7 @@ func writeRuns(conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p
 			defer wg.Done()
 			d := conns[server]
 			for _, r := range list {
-				if err := write(d, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
+				if err := write(ctx, d, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
 					errs[server] = err
 					return
 				}
@@ -453,10 +583,46 @@ func writeRuns(conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p
 		}(server, list)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	return errs
+}
+
+// writeRuns issues the per-server runs of one group using write and
+// returns the first per-server error.
+func writeRuns(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) error {
+	for _, err := range writeRunsPerServer(ctx, conns, runs, handle, p, write) {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// degradeWrites retries each failed primary server's runs as plain
+// writes on its mirror partner (RAID-10 degraded mode: a write
+// survives as long as one member of every pair takes it). Only
+// transport-level failures — the primary dead or hung — are degraded;
+// an application-level refusal (e.g. a server-side protocol without
+// mirror configuration) propagates, because silently dropping to one
+// copy there would mask a misconfiguration rather than a fault. A
+// server whose mirror partner is also down keeps its original error.
+func (cl *Client) degradeWrites(ctx context.Context, errs []error, runs [][]pvfs.StripeRun, handle uint64, p []byte) error {
+	for i, orig := range errs {
+		if orig == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return orig
+		}
+		if !errors.Is(orig, chio.ErrServerDown) && !errors.Is(orig, chio.ErrTimeout) {
+			return orig
+		}
+		d := cl.mirror[i]
+		for _, r := range runs[i] {
+			if err := d.WritePiece(ctx, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
+				return orig
+			}
+		}
+		cl.addDegraded(1)
 	}
 	return nil
 }
@@ -467,60 +633,87 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("ceft: negative write offset")
 	}
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
 	n := int64(len(p))
 	if n == 0 {
 		return 0, nil
 	}
-	runs := pvfs.Decompose(off, n, f.meta.StripeSize, len(f.cl.primary))
+	runs := pvfs.Decompose(off, n, m.StripeSize, len(f.cl.primary))
 	switch f.cl.opts.WriteProtocol {
 	case ClientSync:
+		// Both groups are written concurrently; a server failure is
+		// tolerated as long as its pair partner took the data (RAID-10
+		// degraded mode — redundancy is reduced, availability is not).
 		var wg sync.WaitGroup
-		var perr, merr error
+		var perrs, merrs []error
 		wg.Add(2)
-		go func() { defer wg.Done(); perr = writeRuns(f.cl.primary, runs, f.meta.Handle, p, plainWrite) }()
-		go func() { defer wg.Done(); merr = writeRuns(f.cl.mirror, runs, f.meta.Handle, p, plainWrite) }()
+		go func() { defer wg.Done(); perrs = writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, plainWrite) }()
+		go func() { defer wg.Done(); merrs = writeRunsPerServer(f.ctx, f.cl.mirror, runs, m.Handle, p, plainWrite) }()
 		wg.Wait()
-		if perr != nil {
-			return 0, perr
+		var deg int64
+		for i := range perrs {
+			if perrs[i] != nil && merrs[i] != nil {
+				return 0, perrs[i]
+			}
+			if perrs[i] != nil || merrs[i] != nil {
+				deg++
+			}
 		}
-		if merr != nil {
-			return 0, merr
-		}
+		f.cl.addDegraded(deg)
 	case ClientAsync:
-		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, plainWrite); err != nil {
+		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, plainWrite)
+		// A dead primary degrades to a synchronous write on its mirror
+		// partner (the background duplicate below rewrites the same
+		// bytes there, which is harmless).
+		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 		dup := append([]byte(nil), p...)
 		f.cl.asyncWG.Add(1)
 		go func() {
 			defer f.cl.asyncWG.Done()
-			f.cl.recordAsyncErr(writeRuns(f.cl.mirror, runs, f.meta.Handle, dup, plainWrite))
+			// The mirror duplicate outlives the caller's request
+			// context by design (the protocol's weaker guarantee), so
+			// it is not bound to f.ctx.
+			f.cl.recordAsyncErr(writeRuns(context.Background(), f.cl.mirror, runs, m.Handle, dup, plainWrite))
 		}()
 	case ServerSync:
-		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, dupSyncWrite); err != nil {
+		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, dupSyncWrite)
+		// A dead primary degrades to plain writes on its mirror; an
+		// alive primary's refusal (forward failure, missing mirror
+		// config) still propagates.
+		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 	case ServerAsync:
-		if err := writeRuns(f.cl.primary, runs, f.meta.Handle, p, dupAsyncWrite); err != nil {
+		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, dupAsyncWrite)
+		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 	default:
 		return 0, fmt.Errorf("ceft: unknown write protocol %v", f.cl.opts.WriteProtocol)
 	}
-	if err := f.cl.meta.GrowSize(f.meta.Name, off+n); err != nil {
+	if err := f.cl.meta.GrowSize(f.ctx, m.Name, off+n); err != nil {
 		return 0, err
 	}
-	if off+n > f.meta.Size {
+	f.mu.Lock()
+	if !f.closed && off+n > f.meta.Size {
 		f.meta.Size = off + n
 	}
+	f.mu.Unlock()
 	return int(n), nil
 }
 
 // readRuns issues per-server read runs against the chosen conns.
 // fallback, when non-nil, provides each server's mirror partner: a
-// failed sub-read is retried there, which is CEFT's RAID-10 degraded
-// mode (a dead server's data remains available on its mirror).
-func readRuns(conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
+// failed sub-read — including one that exhausted the transport's
+// deadline/retry budget with chio.ErrTimeout or chio.ErrServerDown —
+// is retried there, which is CEFT's RAID-10 degraded mode (a dead or
+// hung server's data remains available on its mirror).
+func readRuns(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
 	var failedOver int64
@@ -534,12 +727,12 @@ func readRuns(conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle 
 			defer wg.Done()
 			d := conns[server]
 			for _, r := range list {
-				data, err := d.ReadPiece(handle, r.ServerOff, r.Length)
-				if err != nil && fallback != nil && fallback[server] != nil && fallback[server] != d {
+				data, err := d.ReadPiece(ctx, handle, r.ServerOff, r.Length)
+				if err != nil && ctx.Err() == nil && fallback != nil && fallback[server] != nil && fallback[server] != d {
 					mu.Lock()
 					failedOver++
 					mu.Unlock()
-					data, err = fallback[server].ReadPiece(handle, r.ServerOff, r.Length)
+					data, err = fallback[server].ReadPiece(ctx, handle, r.ServerOff, r.Length)
 				}
 				if err != nil {
 					errs[server] = err
@@ -567,19 +760,23 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("ceft: negative read offset")
 	}
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
 	want := int64(len(p))
-	if off+want > f.meta.Size {
-		if err := f.refreshSize(); err != nil {
+	if off+want > m.Size {
+		if err := f.refreshSize(&m); err != nil {
 			return 0, err
 		}
 	}
-	if off >= f.meta.Size {
+	if off >= m.Size {
 		return 0, io.EOF
 	}
 	n := want
 	var outErr error
-	if off+n > f.meta.Size {
-		n = f.meta.Size - off
+	if off+n > m.Size {
+		n = m.Size - off
 		outErr = io.EOF
 	}
 	for i := int64(0); i < n; i++ {
@@ -587,10 +784,10 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	}
 	g := len(f.cl.primary)
 	if !f.cl.opts.DoubledReads {
-		conns, _ := f.cl.pickConns(true)
-		runs := pvfs.Decompose(off, n, f.meta.StripeSize, g)
+		conns, _ := f.cl.pickConns(f.ctx, true)
+		runs := pvfs.Decompose(off, n, m.StripeSize, g)
 		var fo int64
-		if err := readRuns(conns, f.cl.partners(conns), runs, f.meta.Handle, p[:n], &fo); err != nil {
+		if err := readRuns(f.ctx, conns, f.cl.partners(conns), runs, m.Handle, p[:n], &fo); err != nil {
 			return 0, err
 		}
 		f.cl.addFailovers(fo)
@@ -599,17 +796,17 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	// Doubled parallelism: first half from the primary group, second
 	// half from the mirror group, concurrently (2G servers active).
 	half := n / 2
-	primConns, _ := f.cl.pickConns(true)
-	mirrConns, _ := f.cl.pickConns(false)
+	primConns, _ := f.cl.pickConns(f.ctx, true)
+	mirrConns, _ := f.cl.pickConns(f.ctx, false)
 	var wg sync.WaitGroup
 	var err1, err2 error
 	if half > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runs := pvfs.Decompose(off, half, f.meta.StripeSize, g)
+			runs := pvfs.Decompose(off, half, m.StripeSize, g)
 			var fo int64
-			err1 = readRuns(primConns, f.cl.partners(primConns), runs, f.meta.Handle, p[:half], &fo)
+			err1 = readRuns(f.ctx, primConns, f.cl.partners(primConns), runs, m.Handle, p[:half], &fo)
 			f.cl.addFailovers(fo)
 		}()
 	}
@@ -617,9 +814,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runs := pvfs.Decompose(off+half, n-half, f.meta.StripeSize, g)
+			runs := pvfs.Decompose(off+half, n-half, m.StripeSize, g)
 			var fo int64
-			err2 = readRuns(mirrConns, f.cl.partners(mirrConns), runs, f.meta.Handle, p[half:n], &fo)
+			err2 = readRuns(f.ctx, mirrConns, f.cl.partners(mirrConns), runs, m.Handle, p[half:n], &fo)
 			f.cl.addFailovers(fo)
 		}()
 	}
@@ -656,6 +853,15 @@ func (f *file) Write(p []byte) (int, error) {
 }
 
 func (f *file) Seek(offset int64, whence int) (int64, error) {
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
+	if whence == io.SeekEnd {
+		if err := f.refreshSize(&m); err != nil {
+			return 0, err
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var next int64
@@ -665,10 +871,7 @@ func (f *file) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		next = f.off + offset
 	case io.SeekEnd:
-		if err := f.refreshSize(); err != nil {
-			return 0, err
-		}
-		next = f.meta.Size + offset
+		next = m.Size + offset
 	default:
 		return 0, fmt.Errorf("ceft: bad whence %d", whence)
 	}
@@ -679,10 +882,19 @@ func (f *file) Seek(offset int64, whence int) (int64, error) {
 	return next, nil
 }
 
-// Close settles the configured duplication protocol: client-async
+// Close settles the configured duplication protocol (client-async
 // waits for the client's background mirror writes; server-async asks
-// every primary server to flush its forward queue.
+// every primary server to flush its forward queue) and invalidates the
+// handle. A second Close is a safe no-op.
 func (f *file) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.meta = pvfs.Meta{}
+	f.mu.Unlock()
 	switch f.cl.opts.WriteProtocol {
 	case ClientAsync:
 		f.cl.asyncWG.Wait()
@@ -690,7 +902,7 @@ func (f *file) Close() error {
 	case ServerAsync:
 		var first error
 		for _, d := range f.cl.primary {
-			if err := d.FlushForwards(); err != nil && first == nil {
+			if err := d.FlushForwards(f.ctx); err != nil && first == nil {
 				first = err
 			}
 		}

@@ -2,6 +2,7 @@ package ceft
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -50,7 +51,7 @@ func start(t *testing.T, g int, stripe int64, opts Options, heartbeats bool) *cl
 			mirr = append(mirr, ds.Addr())
 		}
 	}
-	cl, err := DialClient(mgr.Addr(), prim, mirr, opts)
+	cl, err := Dial(mgr.Addr(), prim, mirr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func (c *cluster) injectLoad(t *testing.T, loads map[int]float64) {
 	}
 	defer m.Close()
 	for id, v := range loads {
-		if err := m.ReportLoad(id, v); err != nil {
+		if err := m.ReportLoad(context.Background(), id, v); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -371,10 +372,10 @@ func TestSeekEndAndEOF(t *testing.T) {
 }
 
 func TestGroupSizeValidation(t *testing.T) {
-	if _, err := DialClient("127.0.0.1:1", nil, nil, DefaultOptions()); err == nil {
+	if _, err := Dial("127.0.0.1:1", nil, nil, DefaultOptions()); err == nil {
 		t.Error("empty groups accepted")
 	}
-	if _, err := DialClient("127.0.0.1:1", []string{"a"}, []string{"a", "b"}, DefaultOptions()); err == nil {
+	if _, err := Dial("127.0.0.1:1", []string{"a"}, []string{"a", "b"}, DefaultOptions()); err == nil {
 		t.Error("mismatched groups accepted")
 	}
 }
@@ -408,7 +409,7 @@ func TestHeartbeatDrivenSkip(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				d.WritePiece(0xdead, 0, junk)
+				d.WritePiece(context.Background(), 0xdead, 0, junk)
 			}
 		}
 	}()

@@ -46,7 +46,7 @@ func startMirrored(t *testing.T, g int, stripe int64, opts Options) *cluster {
 	}
 	c.servers = append(c.servers, mirrorServers...)
 	c.stores = append(c.stores, mirrorStores...)
-	cl, err := DialClient(mgr.Addr(), prim, mirrorAddrs, opts)
+	cl, err := Dial(mgr.Addr(), prim, mirrorAddrs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,28 @@
 // parallel BLAST implementation is written purely against these
 // interfaces, mirroring how the paper intrusively replaced the NCBI
 // library's I/O calls with parallel-FS client calls.
+//
+// # Error contract
+//
+// Backends report failures by wrapping the package's sentinel errors,
+// so callers branch with errors.Is regardless of backend:
+//
+//   - ErrNotExist: the named file is absent.
+//   - ErrTimeout: an operation exceeded its configured deadline (a
+//     per-request transport timeout or the caller's context deadline).
+//     The server may still be alive; retrying later can succeed.
+//   - ErrServerDown: a storage server is unreachable — connection
+//     refused, reset, or closed mid-exchange. CEFT-PVFS reacts to this
+//     (and to ErrTimeout) by falling back to the mirror partner;
+//     plain PVFS surfaces it after its retry budget is exhausted.
+//
+// Context cancellation is reported as the context's own error
+// (context.Canceled), never wrapped in a transport sentinel, so
+// deliberate aborts are distinguishable from faults.
 package chio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +40,36 @@ import (
 
 // ErrNotExist is returned when a named file is absent.
 var ErrNotExist = errors.New("chio: file does not exist")
+
+// ErrTimeout is wrapped by backends when an operation exceeds its
+// configured deadline. See the package doc's error contract.
+var ErrTimeout = errors.New("chio: i/o timeout")
+
+// ErrServerDown is wrapped by backends when a storage server is
+// unreachable (refused, reset, or disconnected mid-exchange). See the
+// package doc's error contract.
+var ErrServerDown = errors.New("chio: server down")
+
+// ContextBinder is implemented by FileSystems whose operations can be
+// governed by a context (cancellation and deadlines). WithContext
+// returns a view of the same backend — sharing connections and state —
+// whose operations abort when ctx is done.
+type ContextBinder interface {
+	WithContext(ctx context.Context) FileSystem
+}
+
+// BindContext returns fs bound to ctx when fs supports it (directly or
+// through a wrapper that forwards ContextBinder), and fs unchanged
+// otherwise. Passing a nil or background context returns fs unchanged.
+func BindContext(fs FileSystem, ctx context.Context) FileSystem {
+	if ctx == nil || ctx == context.Background() {
+		return fs
+	}
+	if b, ok := fs.(ContextBinder); ok {
+		return b.WithContext(ctx)
+	}
+	return fs
+}
 
 // FileInfo describes a stored file.
 type FileInfo struct {
@@ -450,6 +499,52 @@ func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
 
 // List implements FileSystem.
 func (f *FaultFS) List(prefix string) ([]FileInfo, error) { return f.Inner.List(prefix) }
+
+// WithContext implements ContextBinder by forwarding to the wrapped
+// backend. The returned view shares this wrapper's armed state, so
+// Arm/Disarm affect bound views too.
+func (f *FaultFS) WithContext(ctx context.Context) FileSystem {
+	inner := BindContext(f.Inner, ctx)
+	if inner == f.Inner {
+		return f
+	}
+	return &faultView{fs: f, inner: inner}
+}
+
+// faultView is a context-bound view of a FaultFS: fault state lives in
+// fs, I/O goes to the rebound inner backend.
+type faultView struct {
+	fs    *FaultFS
+	inner FileSystem
+}
+
+func (v *faultView) BackendName() string { return v.inner.BackendName() + "+fault" }
+
+func (v *faultView) Create(name string) (File, error) { return v.inner.Create(name) }
+
+func (v *faultView) Open(name string) (File, error) {
+	if err := v.fs.faultErr(); err != nil {
+		return nil, err
+	}
+	inner, err := v.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: v.fs}, nil
+}
+
+func (v *faultView) Stat(name string) (FileInfo, error) {
+	if err := v.fs.faultErr(); err != nil {
+		return FileInfo{}, err
+	}
+	return v.inner.Stat(name)
+}
+
+func (v *faultView) Remove(name string) error { return v.inner.Remove(name) }
+
+func (v *faultView) List(prefix string) ([]FileInfo, error) { return v.inner.List(prefix) }
+
+func (v *faultView) WithContext(ctx context.Context) FileSystem { return v.fs.WithContext(ctx) }
 
 type faultFile struct {
 	File

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,6 +18,7 @@ import (
 	"pario/internal/iotrace"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
+	"pario/internal/rpcpool"
 	"pario/internal/seq"
 	"pario/internal/workload"
 )
@@ -112,7 +114,9 @@ type SearchConfig struct {
 }
 
 // ParallelSearch runs the master/worker parallel BLAST in-process.
-func ParallelSearch(query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, error) {
+// Cancelling ctx aborts the search, including in-flight parallel-FS
+// I/O when the backends support chio.ContextBinder.
+func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, error) {
 	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
 		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
@@ -134,7 +138,7 @@ func ParallelSearch(query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, err
 			}
 		}
 	}
-	return pblast.RunInProcess(cfg.Workers, query, pblast.Config{
+	return pblast.RunInProcess(ctx, cfg.Workers, query, pblast.Config{
 		DBName:      cfg.DBName,
 		Params:      cfg.Params,
 		Mode:        cfg.Mode,
@@ -186,9 +190,10 @@ func StartPVFS(n int, store func(i int) chio.FileSystem) (*PVFSDeployment, error
 	return d, nil
 }
 
-// Client dials a new PVFS client onto the deployment.
-func (d *PVFSDeployment) Client() (*pvfs.Client, error) {
-	return pvfs.DialClient(d.Mgr.Addr(), d.DataAddrs)
+// Client dials a new PVFS client onto the deployment. opts tune the
+// transport (pool size, timeout, retries, stripe size).
+func (d *PVFSDeployment) Client(opts ...rpcpool.Option) (*pvfs.Client, error) {
+	return pvfs.Dial(d.Mgr.Addr(), d.DataAddrs, opts...)
 }
 
 // Close stops every server.
@@ -280,9 +285,10 @@ func StartCEFT(g int, store func(i int) chio.FileSystem) (*CEFTDeployment, error
 	return d, nil
 }
 
-// Client dials a new CEFT client onto the deployment.
-func (d *CEFTDeployment) Client(opts ceft.Options) (*ceft.Client, error) {
-	return ceft.DialClient(d.Mgr.Addr(), d.PrimaryAddrs, d.MirrorAddrs, opts)
+// Client dials a new CEFT client onto the deployment. o carries the
+// replication options; topts tune the shared transport.
+func (d *CEFTDeployment) Client(o ceft.Options, topts ...rpcpool.Option) (*ceft.Client, error) {
+	return ceft.Dial(d.Mgr.Addr(), d.PrimaryAddrs, d.MirrorAddrs, o, topts...)
 }
 
 // Close stops every server.
@@ -304,7 +310,7 @@ func (d *CEFTDeployment) Close() error {
 // ParallelSearchBatch runs a multi-query batch through the parallel
 // master/worker: the task space is (query x fragment), dynamically
 // scheduled — how batch workloads (e.g. EST sets) were processed.
-func ParallelSearchBatch(queries []*seq.Sequence, cfg SearchConfig) (*pblast.BatchOutcome, error) {
+func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg SearchConfig) (*pblast.BatchOutcome, error) {
 	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
 		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
@@ -316,7 +322,7 @@ func ParallelSearchBatch(queries []*seq.Sequence, cfg SearchConfig) (*pblast.Bat
 			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
 		}
 	}
-	return pblast.RunInProcessBatch(cfg.Workers, queries, pblast.Config{
+	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, pblast.Config{
 		DBName:      cfg.DBName,
 		Params:      cfg.Params,
 		CopyToLocal: cfg.CopyToLocal,

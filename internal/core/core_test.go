@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -70,7 +71,7 @@ func TestParallelSearchLocalBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:   "nt",
 		Workers:  4,
 		Params:   blast.Params{Program: blast.BlastN},
@@ -115,7 +116,7 @@ func TestParallelSearchOverPVFSWithTrace(t *testing.T) {
 	trace := iotrace.NewTrace()
 	var mu sync.Mutex
 	var clients []*struct{ c interface{ Close() error } }
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:   "nt",
 		Workers:  3,
 		Params:   blast.Params{Program: blast.BlastN},
@@ -162,7 +163,7 @@ func TestParallelSearchCopyToLocal(t *testing.T) {
 	}
 	var mu sync.Mutex
 	scratches := map[int]chio.FileSystem{}
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:      "nt",
 		Workers:     2,
 		Params:      blast.Params{Program: blast.BlastN},
@@ -207,7 +208,7 @@ func TestParallelSearchOverCEFT(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var clients []*ceft.Client
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:   "nt",
 		Workers:  2,
 		Params:   blast.Params{Program: blast.BlastN},
@@ -244,7 +245,7 @@ func TestQuerySegmentationMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:   "nt",
 		Workers:  2,
 		Params:   blast.Params{Program: blast.BlastN},
@@ -266,7 +267,7 @@ func TestSearchConfigValidation(t *testing.T) {
 		GenerateDatabase(fs, "nt", 10_000, 1, 1)
 		return fs
 	}(), "nt", 100, 1)
-	if _, err := ParallelSearch(q, SearchConfig{DBName: "nt"}); err == nil {
+	if _, err := ParallelSearch(context.Background(), q, SearchConfig{DBName: "nt"}); err == nil {
 		t.Error("missing FS accepted")
 	}
 }
@@ -287,7 +288,7 @@ func TestTabularAndReportOverParallelResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ParallelSearch(query, SearchConfig{
+	out, err := ParallelSearch(context.Background(), query, SearchConfig{
 		DBName:   "nt",
 		Workers:  2,
 		Params:   blast.Params{Program: blast.BlastN},
@@ -326,7 +327,7 @@ func TestQuerySegmentationReadsMoreIO(t *testing.T) {
 	}
 	readBytes := func(mode pblast.Mode) float64 {
 		trace := iotrace.NewTrace()
-		_, err := ParallelSearch(query, SearchConfig{
+		_, err := ParallelSearch(context.Background(), query, SearchConfig{
 			DBName:   "nt",
 			Workers:  4,
 			Params:   blast.Params{Program: blast.BlastN},
@@ -359,7 +360,7 @@ func TestParallelSearchBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ParallelSearchBatch([]*seq.Sequence{q1, q2}, SearchConfig{
+	out, err := ParallelSearchBatch(context.Background(), []*seq.Sequence{q1, q2}, SearchConfig{
 		DBName:   "nt",
 		Workers:  3,
 		Params:   blast.Params{Program: blast.BlastN},

@@ -5,6 +5,7 @@
 package iotrace
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -204,6 +205,12 @@ func (f *FS) Remove(name string) error { return f.Inner.Remove(name) }
 
 // List implements chio.FileSystem.
 func (f *FS) List(prefix string) ([]chio.FileInfo, error) { return f.Inner.List(prefix) }
+
+// WithContext implements chio.ContextBinder by forwarding to the
+// wrapped backend, so tracing composes with context-aware backends.
+func (f *FS) WithContext(ctx context.Context) chio.FileSystem {
+	return &FS{Inner: chio.BindContext(f.Inner, ctx), Trace: f.Trace, Worker: f.Worker}
+}
 
 type file struct {
 	chio.File

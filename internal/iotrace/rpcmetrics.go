@@ -1,0 +1,104 @@
+package iotrace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pario/internal/chio"
+)
+
+// ServerStats aggregates the transport-level RPC statistics of one
+// server, as observed by a client's retry loop.
+type ServerStats struct {
+	Server string
+	// Calls counts finished RPCs (each including all its retries).
+	Calls int64
+	// Errors counts calls that failed after exhausting retries.
+	Errors int64
+	// Timeouts counts failed calls classified as chio.ErrTimeout.
+	Timeouts int64
+	// Retries sums the retry attempts across all calls.
+	Retries int64
+	// TotalLatency sums end-to-end call latency (including backoff
+	// pauses); divide by Calls for the mean.
+	TotalLatency time.Duration
+	// MaxLatency is the slowest call observed.
+	MaxLatency time.Duration
+}
+
+// Mean returns the average call latency.
+func (s ServerStats) Mean() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Calls)
+}
+
+// RPCMetrics collects per-server RPC latency/retry/error counters. It
+// implements rpcpool.Observer, so it plugs into a client dial:
+//
+//	m := iotrace.NewRPCMetrics()
+//	cl, err := pvfs.Dial(mgr, iods, rpcpool.WithObserver(m))
+//
+// The per-server view is what the paper's hot-spot analysis needs: a
+// disk-stressed server shows up as one address with ballooning mean
+// latency and retry counts while its peers stay flat.
+type RPCMetrics struct {
+	mu      sync.Mutex
+	servers map[string]*ServerStats
+}
+
+// NewRPCMetrics returns an empty collector.
+func NewRPCMetrics() *RPCMetrics {
+	return &RPCMetrics{servers: make(map[string]*ServerStats)}
+}
+
+// ObserveCall implements rpcpool.Observer.
+func (m *RPCMetrics) ObserveCall(server string, latency time.Duration, retries int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.servers[server]
+	if s == nil {
+		s = &ServerStats{Server: server}
+		m.servers[server] = s
+	}
+	s.Calls++
+	s.Retries += int64(retries)
+	s.TotalLatency += latency
+	if latency > s.MaxLatency {
+		s.MaxLatency = latency
+	}
+	if err != nil {
+		s.Errors++
+		if errors.Is(err, chio.ErrTimeout) {
+			s.Timeouts++
+		}
+	}
+}
+
+// Snapshot returns the per-server statistics sorted by server address.
+func (m *RPCMetrics) Snapshot() []ServerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ServerStats, 0, len(m.servers))
+	for _, s := range m.servers {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}
+
+// Format renders one line per server: calls, errors, retries, and
+// latency mean/max.
+func (m *RPCMetrics) Format() string {
+	var sb strings.Builder
+	for _, s := range m.Snapshot() {
+		fmt.Fprintf(&sb, "%s: calls=%d errors=%d (timeouts=%d) retries=%d latency mean=%v max=%v\n",
+			s.Server, s.Calls, s.Errors, s.Timeouts, s.Retries, s.Mean(), s.MaxLatency)
+	}
+	return sb.String()
+}

@@ -9,6 +9,7 @@ package pblast
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -124,7 +125,15 @@ type Outcome struct {
 // RunMaster drives the search from rank 0. fs is the master's view of
 // the shared store (used to read the database alias). The query is
 // searched against cfg.DBName and the merged result returned.
-func RunMaster(c mpi.Comm, fs chio.FileSystem, query *seq.Sequence, cfg Config) (*Outcome, error) {
+//
+// ctx governs the whole search: cancelling it aborts the scheduling
+// loop, and when fs supports chio.ContextBinder the master's I/O —
+// including in-flight parallel-FS reads — aborts with it.
+func RunMaster(ctx context.Context, c mpi.Comm, fs chio.FileSystem, query *seq.Sequence, cfg Config) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fs = chio.BindContext(fs, ctx)
 	if c.Rank() != 0 {
 		return nil, fmt.Errorf("pblast: RunMaster called on rank %d", c.Rank())
 	}
@@ -149,7 +158,7 @@ func RunMaster(c mpi.Comm, fs chio.FileSystem, query *seq.Sequence, cfg Config) 
 	}
 
 	out := &Outcome{TaskTimes: make(map[int]time.Duration)}
-	collected, err := scheduleTasks(c, cfg, nTasks, out)
+	collected, err := scheduleTasks(ctx, c, cfg, nTasks, out)
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +190,9 @@ type taskResult struct {
 }
 
 // scheduleTasks runs the master's fault-tolerant scheduling loop until
-// every task in [0, nTasks) has a result, then releases the workers.
-func scheduleTasks(c mpi.Comm, cfg Config, nTasks int, out *Outcome) ([]taskResult, error) {
+// every task in [0, nTasks) has a result or ctx is cancelled, then
+// releases the workers.
+func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out *Outcome) ([]taskResult, error) {
 	var collected []taskResult
 
 	// Fault-tolerant scheduling state: tasks move pending -> assigned
@@ -234,11 +244,18 @@ func scheduleTasks(c mpi.Comm, cfg Config, nTasks int, out *Outcome) ([]taskResu
 	}
 
 	for doneTasks < nTasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var m mpi.Message
 		var err error
 		ok := true
 		if cfg.TaskTimeout > 0 {
 			m, ok, err = mpi.RecvTimeout(c, mpi.AnySource, mpi.AnyTag, cfg.TaskTimeout/2)
+		} else if ctxHasDeadlineOrCancel(ctx) {
+			// Poll so cancellation is noticed even while no messages
+			// arrive (a hung worker would otherwise block Recv forever).
+			m, ok, err = mpi.RecvTimeout(c, mpi.AnySource, mpi.AnyTag, 100*time.Millisecond)
 		} else {
 			m, err = c.Recv(mpi.AnySource, mpi.AnyTag)
 		}
@@ -318,6 +335,12 @@ func decodeGob(data []byte, v interface{}) error {
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }
 
+// ctxHasDeadlineOrCancel reports whether ctx can ever be cancelled —
+// i.e. whether a blocking Recv must be replaced by a polling one.
+func ctxHasDeadlineOrCancel(ctx context.Context) bool {
+	return ctx.Done() != nil
+}
+
 func (cfg Config) queryOverlap() int {
 	if cfg.QueryOverlap > 0 {
 		return cfg.QueryOverlap
@@ -360,7 +383,18 @@ func splitQuery(length, n, overlap int, p blast.Params) []piece {
 // worker's file system onto the shared database store; scratch is the
 // worker's local scratch space, used only when the job requests
 // CopyToLocal (pass nil otherwise).
-func RunWorker(c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem) error {
+//
+// Cancelling ctx makes the worker exit between tasks, and when fs
+// supports chio.ContextBinder its in-flight parallel-FS reads abort
+// too, so a cancelled query releases the I/O path immediately.
+func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fs = chio.BindContext(fs, ctx)
+	if scratch != nil {
+		scratch = chio.BindContext(scratch, ctx)
+	}
 	var j job
 	if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
 		return err
@@ -375,6 +409,9 @@ func RunWorker(c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem) error {
 		return err
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := c.Send(0, tagReady, nil); err != nil {
 			return clean(err)
 		}
@@ -588,8 +625,13 @@ type BatchOutcome struct {
 // RunMasterBatch drives a multi-query search: the task space is the
 // (query x fragment) matrix, scheduled dynamically onto idle workers —
 // how mpiBLAST-era installations processed EST batches. Batch mode
-// implies database segmentation.
-func RunMasterBatch(c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg Config) (*BatchOutcome, error) {
+// implies database segmentation. ctx governs the batch as in
+// RunMaster.
+func RunMasterBatch(ctx context.Context, c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg Config) (*BatchOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fs = chio.BindContext(fs, ctx)
 	if c.Rank() != 0 {
 		return nil, fmt.Errorf("pblast: RunMasterBatch called on rank %d", c.Rank())
 	}
@@ -619,7 +661,7 @@ func RunMasterBatch(c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg
 		}
 	}
 	inner := &Outcome{TaskTimes: make(map[int]time.Duration)}
-	collected, err := scheduleTasks(c, cfg, nTasks, inner)
+	collected, err := scheduleTasks(ctx, c, cfg, nTasks, inner)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package pblast
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -83,7 +84,7 @@ func checkFound(t *testing.T, out *Outcome) {
 func TestDatabaseSegmentationSharedMem(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 8)
-	out, err := RunInProcess(4, query, Config{
+	out, err := RunInProcess(context.Background(), 4, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -103,7 +104,7 @@ func TestResultsMatchSerialSearch(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 5)
 
-	out, err := RunInProcess(3, query, Config{
+	out, err := RunInProcess(context.Background(), 3, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -150,7 +151,7 @@ func TestCopyToLocalMeasuresCopyTime(t *testing.T) {
 	query := buildTestDB(t, shared, "nt", 4)
 	var mu sync.Mutex
 	scratches := map[int]chio.FileSystem{}
-	out, err := RunInProcess(2, query, Config{
+	out, err := RunInProcess(context.Background(), 2, query, Config{
 		DBName:      "nt",
 		Params:      blast.Params{Program: blast.BlastN},
 		CopyToLocal: true,
@@ -183,7 +184,7 @@ func TestCopyToLocalMeasuresCopyTime(t *testing.T) {
 func TestCopyToLocalWithoutScratchFails(t *testing.T) {
 	shared := chio.NewMemFS()
 	query := buildTestDB(t, shared, "nt", 2)
-	_, err := RunInProcess(1, query, Config{
+	_, err := RunInProcess(context.Background(), 1, query, Config{
 		DBName:      "nt",
 		Params:      blast.Params{Program: blast.BlastN},
 		CopyToLocal: true,
@@ -198,7 +199,7 @@ func TestQuerySegmentation(t *testing.T) {
 	query := buildTestDB(t, fs, "nt", 3)
 	// The planted alignment is 300 letters; with 4 pieces of ~142 the
 	// overlap must be large enough that one piece spans it entirely.
-	out, err := RunInProcess(4, query, Config{
+	out, err := RunInProcess(context.Background(), 4, query, Config{
 		DBName:       "nt",
 		Params:       blast.Params{Program: blast.BlastN},
 		Mode:         QuerySegmentation,
@@ -213,14 +214,14 @@ func TestQuerySegmentation(t *testing.T) {
 func TestQuerySegmentationCoordinatesShifted(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 2)
-	qOut, err := RunInProcess(4, query, Config{
+	qOut, err := RunInProcess(context.Background(), 4, query, Config{
 		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
 		Mode: QuerySegmentation, QueryOverlap: 200,
 	}, fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dOut, err := RunInProcess(4, query, Config{
+	dOut, err := RunInProcess(context.Background(), 4, query, Config{
 		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
 	if err != nil {
@@ -274,7 +275,7 @@ func TestOverPVFS(t *testing.T) {
 		iods = append(iods, ds)
 		addrs = append(addrs, ds.Addr())
 	}
-	masterCl, err := pvfs.DialClient(mgr.Addr(), addrs)
+	masterCl, err := pvfs.Dial(mgr.Addr(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,11 +289,11 @@ func TestOverPVFS(t *testing.T) {
 			cl.Close()
 		}
 	}()
-	out, err := RunInProcess(3, query, Config{
+	out, err := RunInProcess(context.Background(), 3, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, masterCl, func(rank int) chio.FileSystem {
-		cl, err := pvfs.DialClient(mgr.Addr(), addrs)
+		cl, err := pvfs.Dial(mgr.Addr(), addrs)
 		if err != nil {
 			t.Errorf("worker %d dial: %v", rank, err)
 			return chio.NewMemFS()
@@ -318,11 +319,11 @@ func TestOverCEFT(t *testing.T) {
 			cl.Close()
 		}
 	}()
-	out, err := RunInProcess(2, query, Config{
+	out, err := RunInProcess(context.Background(), 2, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, env.Client, func(rank int) chio.FileSystem {
-		cl, err := ceft.DialClient(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
+		cl, err := ceft.Dial(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
 		if err != nil {
 			t.Errorf("worker %d dial: %v", rank, err)
 			return chio.NewMemFS()
@@ -346,7 +347,7 @@ func TestMasterValidation(t *testing.T) {
 	defer w.Close()
 	fs := chio.NewMemFS()
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: []byte("ACGT")}
-	if _, err := RunMaster(w.Comm(0), fs, q, Config{DBName: "x"}); err == nil {
+	if _, err := RunMaster(context.Background(), w.Comm(0), fs, q, Config{DBName: "x"}); err == nil {
 		t.Error("master with no workers accepted")
 	}
 }
@@ -354,7 +355,7 @@ func TestMasterValidation(t *testing.T) {
 func TestMissingDatabaseFails(t *testing.T) {
 	fs := chio.NewMemFS()
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
-	_, err := RunInProcess(2, q, Config{
+	_, err := RunInProcess(context.Background(), 2, q, Config{
 		DBName: "absent",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -366,7 +367,7 @@ func TestMissingDatabaseFails(t *testing.T) {
 func TestOutcomeTimingsPopulated(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 4)
-	out, err := RunInProcess(2, query, Config{
+	out, err := RunInProcess(context.Background(), 2, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -408,7 +409,7 @@ func TestOverTCPTransport(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			workerErrs[r] = RunWorker(c, fs, nil)
+			workerErrs[r] = RunWorker(context.Background(), c, fs, nil)
 		}(r)
 	}
 	c0, err := mpi.Dial(router.Addr(), 0, 3)
@@ -416,7 +417,7 @@ func TestOverTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c0.Close()
-	out, err := RunMaster(c0, fs, query, Config{
+	out, err := RunMaster(context.Background(), c0, fs, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	})
@@ -467,10 +468,10 @@ func TestWorkerCrashReassignment(t *testing.T) {
 			// Let the crasher claim a task first, so a task is
 			// guaranteed to be lost and need reassignment.
 			time.Sleep(100 * time.Millisecond)
-			errs[r] = RunWorker(world.Comm(r), fs, nil)
+			errs[r] = RunWorker(context.Background(), world.Comm(r), fs, nil)
 		}(r)
 	}
-	out, masterErr := RunMaster(world.Comm(0), fs, query, Config{
+	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, Config{
 		DBName:      "nt",
 		Params:      blast.Params{Program: blast.BlastN},
 		TaskTimeout: 300 * time.Millisecond,
@@ -499,7 +500,7 @@ func TestNoReassignmentWithoutTimeout(t *testing.T) {
 	// runs report zero reassignments.
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 4)
-	out, err := RunInProcess(3, query, Config{
+	out, err := RunInProcess(context.Background(), 3, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -580,8 +581,8 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 		}
 	}()
 	wg.Add(1)
-	go func() { defer wg.Done(); errs[2] = RunWorker(world.Comm(2), fs, nil) }()
-	out, masterErr := RunMaster(world.Comm(0), fs, query, Config{
+	go func() { defer wg.Done(); errs[2] = RunWorker(context.Background(), world.Comm(2), fs, nil) }()
+	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, Config{
 		DBName:      "nt",
 		Params:      blast.Params{Program: blast.BlastN},
 		TaskTimeout: 200 * time.Millisecond,
@@ -648,7 +649,7 @@ func TestBatchMultiQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	out, err := RunInProcessBatch(3, []*seq.Sequence{q1, q2}, Config{
+	out, err := RunInProcessBatch(context.Background(), 3, []*seq.Sequence{q1, q2}, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
@@ -678,14 +679,14 @@ func TestBatchMatchesIndividualRuns(t *testing.T) {
 	q1 := buildTestDB(t, fs, "nt", 4)
 	q2 := q1.Subsequence(50, 450)
 	q2.ID = "sub"
-	batch, err := RunInProcessBatch(2, []*seq.Sequence{q1, q2}, Config{
+	batch, err := RunInProcessBatch(context.Background(), 2, []*seq.Sequence{q1, q2}, Config{
 		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
 	}, fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for qi, q := range []*seq.Sequence{q1, q2} {
-		single, err := RunInProcess(2, q, Config{
+		single, err := RunInProcess(context.Background(), 2, q, Config{
 			DBName: "nt", Params: blast.Params{Program: blast.BlastN},
 		}, fs, sameFS(fs), nil)
 		if err != nil {
@@ -709,12 +710,12 @@ func TestBatchMatchesIndividualRuns(t *testing.T) {
 func TestBatchValidation(t *testing.T) {
 	fs := chio.NewMemFS()
 	buildTestDB(t, fs, "nt", 2)
-	if _, err := RunInProcessBatch(1, nil, Config{DBName: "nt",
+	if _, err := RunInProcessBatch(context.Background(), 1, nil, Config{DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN}}, fs, sameFS(fs), nil); err == nil {
 		t.Error("empty batch accepted")
 	}
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
-	if _, err := RunInProcessBatch(1, []*seq.Sequence{q}, Config{DBName: "nt",
+	if _, err := RunInProcessBatch(context.Background(), 1, []*seq.Sequence{q}, Config{DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 		Mode:   QuerySegmentation}, fs, sameFS(fs), nil); err == nil {
 		t.Error("batch with query segmentation accepted")
@@ -729,7 +730,7 @@ func TestWorkerTaskFailureSurfacesToMaster(t *testing.T) {
 	query := buildTestDB(t, shared, "nt", 3)
 	ffs := chio.NewFaultFS(shared)
 	ffs.Arm(errors.New("simulated disk failure"))
-	_, err := RunInProcess(2, query, Config{
+	_, err := RunInProcess(context.Background(), 2, query, Config{
 		DBName: "nt",
 		Params: blast.Params{Program: blast.BlastN},
 	}, shared /* master reads alias fine */, func(int) chio.FileSystem { return ffs }, nil)

@@ -1,6 +1,7 @@
 package pblast
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -14,9 +15,12 @@ import (
 // masterFS is the master's view of the shared store; workerFS(rank)
 // returns each worker's view (rank in [1, nWorkers]); scratch(rank)
 // returns the worker's local scratch (may return nil when the config
-// does not copy to local disks). This is the entry point the
-// examples, experiments and tests use for single-machine runs.
+// does not copy to local disks). Cancelling ctx aborts the whole
+// search, including in-flight parallel-FS I/O on backends that
+// support chio.ContextBinder. This is the entry point the examples,
+// experiments and tests use for single-machine runs.
 func RunInProcess(
+	ctx context.Context,
 	nWorkers int,
 	query *seq.Sequence,
 	cfg Config,
@@ -43,10 +47,10 @@ func RunInProcess(
 			if scratch != nil {
 				sc = scratch(r)
 			}
-			workerErrs[r] = RunWorker(world.Comm(r), workerFS(r), sc)
+			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc)
 		}(r)
 	}
-	out, masterErr := RunMaster(world.Comm(0), masterFS, query, cfg)
+	out, masterErr := RunMaster(ctx, world.Comm(0), masterFS, query, cfg)
 	// Shut the world down before joining the workers: with fault-
 	// tolerant scheduling, stragglers may still be computing
 	// reassigned duplicates and only learn of completion this way.
@@ -65,6 +69,7 @@ func RunInProcess(
 
 // RunInProcessBatch is RunInProcess for multi-query batches.
 func RunInProcessBatch(
+	ctx context.Context,
 	nWorkers int,
 	queries []*seq.Sequence,
 	cfg Config,
@@ -90,10 +95,10 @@ func RunInProcessBatch(
 			if scratch != nil {
 				sc = scratch(r)
 			}
-			workerErrs[r] = RunWorker(world.Comm(r), workerFS(r), sc)
+			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc)
 		}(r)
 	}
-	out, masterErr := RunMasterBatch(world.Comm(0), masterFS, queries, cfg)
+	out, masterErr := RunMasterBatch(ctx, world.Comm(0), masterFS, queries, cfg)
 	world.Close()
 	wg.Wait()
 	if masterErr != nil {

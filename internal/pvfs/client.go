@@ -1,38 +1,68 @@
 package pvfs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
 	"pario/internal/chio"
+	"pario/internal/rpcpool"
 )
 
 // Client is a PVFS client. It implements chio.FileSystem: metadata
 // operations go to the manager, data operations are decomposed into
 // per-server stripe runs and issued to all data servers in parallel.
+// A Client is safe for concurrent use; stripe fetches from concurrent
+// readers multiplex over the per-server connection pools.
 type Client struct {
-	meta *conn
-	data []*conn
+	cfg  rpcpool.Config
+	ctx  context.Context
+	meta *transport
+	data []*transport
 }
 
-// DialClient connects to the manager and every data server.
-func DialClient(mgrAddr string, dataAddrs []string) (*Client, error) {
+// Dial connects to the manager and every data server. Transport
+// behavior (pool size, per-request timeout, retry budget, stripe-size
+// hint for created files) is set with rpcpool options shared with the
+// CEFT backend:
+//
+//	cl, err := pvfs.Dial(mgr, iods,
+//		rpcpool.WithTimeout(2*time.Second),
+//		rpcpool.WithRetries(3))
+func Dial(mgrAddr string, dataAddrs []string, opts ...rpcpool.Option) (*Client, error) {
 	if len(dataAddrs) == 0 {
 		return nil, fmt.Errorf("pvfs: no data servers")
 	}
-	m, err := dialConn(mgrAddr)
-	if err != nil {
-		return nil, err
-	}
-	cl := &Client{meta: m}
+	cfg := rpcpool.Apply(opts...)
+	cl := &Client{cfg: cfg, ctx: context.Background(), meta: newTransport(mgrAddr, cfg)}
 	for _, a := range dataAddrs {
-		dc, err := dialConn(a)
+		cl.data = append(cl.data, newTransport(a, cfg))
+	}
+	// Establish one connection per server up front so a bad address
+	// fails Dial instead of the first operation.
+	warmCtx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		warmCtx, cancel = context.WithTimeout(warmCtx, cfg.Timeout)
+		defer cancel()
+	}
+	all := append([]*transport{cl.meta}, cl.data...)
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, tr := range all {
+		wg.Add(1)
+		go func(i int, tr *transport) {
+			defer wg.Done()
+			errs[i] = tr.warm(warmCtx)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.data = append(cl.data, dc)
 	}
 	return cl, nil
 }
@@ -43,7 +73,19 @@ func (cl *Client) BackendName() string { return "pvfs" }
 // NumServers returns the data server count.
 func (cl *Client) NumServers() int { return len(cl.data) }
 
-// Close releases all connections.
+// WithContext implements chio.ContextBinder: the returned view shares
+// this client's connection pools, but its operations (including
+// in-flight stripe reads) abort when ctx is done.
+func (cl *Client) WithContext(ctx context.Context) chio.FileSystem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c2 := *cl
+	c2.ctx = ctx
+	return &c2
+}
+
+// Close releases all pooled connections.
 func (cl *Client) Close() error {
 	var first error
 	if cl.meta != nil {
@@ -57,8 +99,8 @@ func (cl *Client) Close() error {
 	return first
 }
 
-func (cl *Client) metaCall(req *Request) (*Response, error) {
-	resp, err := cl.meta.call(req)
+func (cl *Client) metaCall(ctx context.Context, req *Request) (*Response, error) {
+	resp, err := cl.meta.call(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +116,7 @@ func (cl *Client) metaCall(req *Request) (*Response, error) {
 // Create implements chio.FileSystem: it allocates (or truncates) the
 // file and clears any stale pieces on the data servers.
 func (cl *Client) Create(name string) (chio.File, error) {
-	resp, err := cl.metaCall(&Request{Op: OpCreate, Name: name})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpCreate, Name: name, Stripe: cl.cfg.StripeSize})
 	if err != nil {
 		return nil, err
 	}
@@ -84,9 +126,9 @@ func (cl *Client) Create(name string) (chio.File, error) {
 	var wg sync.WaitGroup
 	for i, d := range cl.data {
 		wg.Add(1)
-		go func(i int, d *conn) {
+		go func(i int, d *transport) {
 			defer wg.Done()
-			r, err := d.call(&Request{Op: OpPieceRemove, Handle: m.Handle})
+			r, err := d.call(cl.ctx, &Request{Op: OpPieceRemove, Handle: m.Handle})
 			if err == nil && !r.OK {
 				err = r.err()
 			}
@@ -104,7 +146,7 @@ func (cl *Client) Create(name string) (chio.File, error) {
 
 // Open implements chio.FileSystem.
 func (cl *Client) Open(name string) (chio.File, error) {
-	resp, err := cl.metaCall(&Request{Op: OpLookup, Name: name})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpLookup, Name: name})
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +155,7 @@ func (cl *Client) Open(name string) (chio.File, error) {
 
 // Stat implements chio.FileSystem.
 func (cl *Client) Stat(name string) (chio.FileInfo, error) {
-	resp, err := cl.metaCall(&Request{Op: OpStat, Name: name})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpStat, Name: name})
 	if err != nil {
 		return chio.FileInfo{}, err
 	}
@@ -122,7 +164,7 @@ func (cl *Client) Stat(name string) (chio.FileInfo, error) {
 
 // Remove implements chio.FileSystem.
 func (cl *Client) Remove(name string) error {
-	resp, err := cl.metaCall(&Request{Op: OpRemove, Name: name})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpRemove, Name: name})
 	if err != nil {
 		return err
 	}
@@ -130,9 +172,9 @@ func (cl *Client) Remove(name string) error {
 	var wg sync.WaitGroup
 	for _, d := range cl.data {
 		wg.Add(1)
-		go func(d *conn) {
+		go func(d *transport) {
 			defer wg.Done()
-			d.call(&Request{Op: OpPieceRemove, Handle: m.Handle})
+			d.call(cl.ctx, &Request{Op: OpPieceRemove, Handle: m.Handle})
 		}(d)
 	}
 	wg.Wait()
@@ -141,7 +183,7 @@ func (cl *Client) Remove(name string) error {
 
 // List implements chio.FileSystem.
 func (cl *Client) List(prefix string) ([]chio.FileInfo, error) {
-	resp, err := cl.metaCall(&Request{Op: OpList, Name: prefix})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpList, Name: prefix})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +196,7 @@ func (cl *Client) List(prefix string) ([]chio.FileInfo, error) {
 
 // LoadMap fetches the manager's latest per-server load reports.
 func (cl *Client) LoadMap() (map[int]float64, error) {
-	resp, err := cl.metaCall(&Request{Op: OpLoadQuery})
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpLoadQuery})
 	if err != nil {
 		return nil, err
 	}
@@ -209,21 +251,43 @@ func decompose(off, length, stripe int64, nServers int) [][]stripeRun {
 
 // file is an open PVFS file.
 type file struct {
-	cl   *Client
-	meta Meta
-	mu   sync.Mutex
-	off  int64
+	cl     *Client
+	mu     sync.Mutex
+	meta   Meta
+	off    int64
+	closed bool
 }
 
-func (f *file) Name() string { return f.meta.Name }
+func (f *file) Name() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.meta.Name
+}
+
+var errFileClosed = fmt.Errorf("pvfs: file already closed")
+
+// handle returns the file's metadata, or an error once closed.
+func (f *file) handle() (Meta, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Meta{}, errFileClosed
+	}
+	return f.meta, nil
+}
 
 // refreshSize re-fetches the file size from the manager.
-func (f *file) refreshSize() error {
-	resp, err := f.cl.metaCall(&Request{Op: OpStat, Name: f.meta.Name})
+func (f *file) refreshSize(m *Meta) error {
+	resp, err := f.cl.metaCall(f.cl.ctx, &Request{Op: OpStat, Name: m.Name})
 	if err != nil {
 		return err
 	}
-	f.meta.Size = resp.Meta.Size
+	m.Size = resp.Meta.Size
+	f.mu.Lock()
+	if !f.closed {
+		f.meta.Size = resp.Meta.Size
+	}
+	f.mu.Unlock()
 	return nil
 }
 
@@ -232,27 +296,31 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pvfs: negative read offset")
 	}
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
 	want := int64(len(p))
-	if off+want > f.meta.Size {
+	if off+want > m.Size {
 		// The file may have grown since open.
-		if err := f.refreshSize(); err != nil {
+		if err := f.refreshSize(&m); err != nil {
 			return 0, err
 		}
 	}
-	if off >= f.meta.Size {
+	if off >= m.Size {
 		return 0, io.EOF
 	}
 	n := want
 	var outErr error
-	if off+n > f.meta.Size {
-		n = f.meta.Size - off
+	if off+n > m.Size {
+		n = m.Size - off
 		outErr = io.EOF
 	}
 	// Zero the destination first: holes read back as zeros.
 	for i := int64(0); i < n; i++ {
 		p[i] = 0
 	}
-	runs := decompose(off, n, f.meta.StripeSize, len(f.cl.data))
+	runs := decompose(off, n, m.StripeSize, len(f.cl.data))
 	errs := make([]error, len(f.cl.data))
 	var wg sync.WaitGroup
 	for server, list := range runs {
@@ -264,9 +332,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 			defer wg.Done()
 			d := f.cl.data[server]
 			for _, r := range list {
-				resp, err := d.call(&Request{
+				resp, err := d.call(f.cl.ctx, &Request{
 					Op:     OpPieceRead,
-					Handle: f.meta.Handle,
+					Handle: m.Handle,
 					Offset: r.serverOff,
 					Length: r.length,
 				})
@@ -296,11 +364,15 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pvfs: negative write offset")
 	}
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
 	n := int64(len(p))
 	if n == 0 {
 		return 0, nil
 	}
-	runs := decompose(off, n, f.meta.StripeSize, len(f.cl.data))
+	runs := decompose(off, n, m.StripeSize, len(f.cl.data))
 	errs := make([]error, len(f.cl.data))
 	var wg sync.WaitGroup
 	for server, list := range runs {
@@ -312,9 +384,9 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 			defer wg.Done()
 			d := f.cl.data[server]
 			for _, r := range list {
-				resp, err := d.call(&Request{
+				resp, err := d.call(f.cl.ctx, &Request{
 					Op:     OpPieceWrite,
-					Handle: f.meta.Handle,
+					Handle: m.Handle,
 					Offset: r.serverOff,
 					Data:   p[r.bufOff : r.bufOff+r.length],
 				})
@@ -335,12 +407,14 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	}
-	if _, err := f.cl.metaCall(&Request{Op: OpSetSize, Name: f.meta.Name, Length: off + n}); err != nil {
+	if _, err := f.cl.metaCall(f.cl.ctx, &Request{Op: OpSetSize, Name: m.Name, Length: off + n}); err != nil {
 		return 0, err
 	}
-	if off+n > f.meta.Size {
+	f.mu.Lock()
+	if !f.closed && off+n > f.meta.Size {
 		f.meta.Size = off + n
 	}
+	f.mu.Unlock()
 	return int(n), nil
 }
 
@@ -367,6 +441,15 @@ func (f *file) Write(p []byte) (int, error) {
 }
 
 func (f *file) Seek(offset int64, whence int) (int64, error) {
+	m, err := f.handle()
+	if err != nil {
+		return 0, err
+	}
+	if whence == io.SeekEnd {
+		if err := f.refreshSize(&m); err != nil {
+			return 0, err
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var next int64
@@ -376,10 +459,7 @@ func (f *file) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		next = f.off + offset
 	case io.SeekEnd:
-		if err := f.refreshSize(); err != nil {
-			return 0, err
-		}
-		next = f.meta.Size + offset
+		next = m.Size + offset
 	default:
 		return 0, fmt.Errorf("pvfs: bad whence %d", whence)
 	}
@@ -390,4 +470,16 @@ func (f *file) Seek(offset int64, whence int) (int64, error) {
 	return next, nil
 }
 
-func (f *file) Close() error { return nil }
+// Close invalidates the handle: subsequent operations on the file
+// fail, and a second Close is a safe no-op. The client's pooled
+// connections are shared across files and stay open.
+func (f *file) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.meta = Meta{}
+	return nil
+}

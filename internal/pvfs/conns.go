@@ -1,30 +1,38 @@
 package pvfs
 
 import (
+	"context"
 	"fmt"
 
 	"pario/internal/chio"
+	"pario/internal/rpcpool"
 )
 
 // MetaConn is a typed client connection to the metadata server. It is
 // exported so that CEFT-PVFS (and tools) can drive the manager
-// directly.
-type MetaConn struct{ c *conn }
-
-// DialMeta connects to a manager.
-func DialMeta(addr string) (*MetaConn, error) {
-	c, err := dialConn(addr)
-	if err != nil {
-		return nil, err
-	}
-	return &MetaConn{c: c}, nil
+// directly. It rides the shared transport layer, so calls are pooled,
+// deadline-bounded, and retried per the dial options.
+type MetaConn struct {
+	t      *transport
+	stripe int64
 }
 
-// Close releases the connection.
-func (m *MetaConn) Close() error { return m.c.close() }
+// DialMeta connects to a manager.
+func DialMeta(addr string, opts ...rpcpool.Option) (*MetaConn, error) {
+	cfg := rpcpool.Apply(opts...)
+	m := &MetaConn{t: newTransport(addr, cfg), stripe: cfg.StripeSize}
+	if err := m.t.warm(context.Background()); err != nil {
+		m.t.close()
+		return nil, err
+	}
+	return m, nil
+}
 
-func (m *MetaConn) call(req *Request) (*Response, error) {
-	resp, err := m.c.call(req)
+// Close releases the pooled connections.
+func (m *MetaConn) Close() error { return m.t.close() }
+
+func (m *MetaConn) call(ctx context.Context, req *Request) (*Response, error) {
+	resp, err := m.t.call(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -38,8 +46,8 @@ func (m *MetaConn) call(req *Request) (*Response, error) {
 }
 
 // Create creates or truncates a file and returns its metadata.
-func (m *MetaConn) Create(name string) (Meta, error) {
-	resp, err := m.call(&Request{Op: OpCreate, Name: name})
+func (m *MetaConn) Create(ctx context.Context, name string) (Meta, error) {
+	resp, err := m.call(ctx, &Request{Op: OpCreate, Name: name, Stripe: m.stripe})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -47,8 +55,8 @@ func (m *MetaConn) Create(name string) (Meta, error) {
 }
 
 // Lookup returns an existing file's metadata.
-func (m *MetaConn) Lookup(name string) (Meta, error) {
-	resp, err := m.call(&Request{Op: OpLookup, Name: name})
+func (m *MetaConn) Lookup(ctx context.Context, name string) (Meta, error) {
+	resp, err := m.call(ctx, &Request{Op: OpLookup, Name: name})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -56,8 +64,8 @@ func (m *MetaConn) Lookup(name string) (Meta, error) {
 }
 
 // Stat returns an existing file's metadata.
-func (m *MetaConn) Stat(name string) (Meta, error) {
-	resp, err := m.call(&Request{Op: OpStat, Name: name})
+func (m *MetaConn) Stat(ctx context.Context, name string) (Meta, error) {
+	resp, err := m.call(ctx, &Request{Op: OpStat, Name: name})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -66,8 +74,8 @@ func (m *MetaConn) Stat(name string) (Meta, error) {
 
 // Remove deletes the name and returns the removed metadata (so the
 // caller can clear pieces).
-func (m *MetaConn) Remove(name string) (Meta, error) {
-	resp, err := m.call(&Request{Op: OpRemove, Name: name})
+func (m *MetaConn) Remove(ctx context.Context, name string) (Meta, error) {
+	resp, err := m.call(ctx, &Request{Op: OpRemove, Name: name})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -75,20 +83,20 @@ func (m *MetaConn) Remove(name string) (Meta, error) {
 }
 
 // GrowSize records that the file now extends to at least size bytes.
-func (m *MetaConn) GrowSize(name string, size int64) error {
-	_, err := m.call(&Request{Op: OpSetSize, Name: name, Length: size})
+func (m *MetaConn) GrowSize(ctx context.Context, name string, size int64) error {
+	_, err := m.call(ctx, &Request{Op: OpSetSize, Name: name, Length: size})
 	return err
 }
 
 // Truncate sets the file size exactly.
-func (m *MetaConn) Truncate(name string, size int64) error {
-	_, err := m.call(&Request{Op: OpSetSize, Name: name, Length: -size - 1})
+func (m *MetaConn) Truncate(ctx context.Context, name string, size int64) error {
+	_, err := m.call(ctx, &Request{Op: OpSetSize, Name: name, Length: -size - 1})
 	return err
 }
 
 // List returns metadata for every file whose name has the prefix.
-func (m *MetaConn) List(prefix string) ([]Meta, error) {
-	resp, err := m.call(&Request{Op: OpList, Name: prefix})
+func (m *MetaConn) List(ctx context.Context, prefix string) ([]Meta, error) {
+	resp, err := m.call(ctx, &Request{Op: OpList, Name: prefix})
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +104,8 @@ func (m *MetaConn) List(prefix string) ([]Meta, error) {
 }
 
 // LoadQuery fetches the latest per-server load heartbeats.
-func (m *MetaConn) LoadQuery() (map[int]float64, error) {
-	resp, err := m.call(&Request{Op: OpLoadQuery})
+func (m *MetaConn) LoadQuery(ctx context.Context) (map[int]float64, error) {
+	resp, err := m.call(ctx, &Request{Op: OpLoadQuery})
 	if err != nil {
 		return nil, err
 	}
@@ -106,105 +114,100 @@ func (m *MetaConn) LoadQuery() (map[int]float64, error) {
 
 // ReportLoad pushes a load heartbeat (used by data servers and by
 // tests that inject synthetic load).
-func (m *MetaConn) ReportLoad(serverID int, load float64) error {
-	_, err := m.call(&Request{Op: OpLoadReport, ServerID: serverID, Load: load})
+func (m *MetaConn) ReportLoad(ctx context.Context, serverID int, load float64) error {
+	_, err := m.call(ctx, &Request{Op: OpLoadReport, ServerID: serverID, Load: load})
 	return err
 }
 
-// DataConn is a typed client connection to one data server.
-type DataConn struct{ c *conn }
-
-// DialData connects to a data server.
-func DialData(addr string) (*DataConn, error) {
-	c, err := dialConn(addr)
-	if err != nil {
-		return nil, err
-	}
-	return &DataConn{c: c}, nil
+// DataConn is a typed client connection to one data server, riding the
+// shared transport layer.
+type DataConn struct {
+	t *transport
 }
 
-// Close releases the connection.
-func (d *DataConn) Close() error { return d.c.close() }
+// DialData connects to a data server.
+func DialData(addr string, opts ...rpcpool.Option) (*DataConn, error) {
+	d := &DataConn{t: newTransport(addr, rpcpool.Apply(opts...))}
+	if err := d.t.warm(context.Background()); err != nil {
+		d.t.close()
+		return nil, err
+	}
+	return d, nil
+}
 
-// ReadPiece reads up to n bytes of the piece at the server-local
-// offset. Short or empty results mean the piece is shorter (holes
-// read as missing bytes; callers zero-fill).
-func (d *DataConn) ReadPiece(handle uint64, off, n int64) ([]byte, error) {
-	resp, err := d.c.call(&Request{Op: OpPieceRead, Handle: handle, Offset: off, Length: n})
+// DialDataLazy returns a DataConn without probing the server; the
+// first request dials. CEFT uses it so a degraded cluster — one dead
+// server in a mirror pair — can still be dialed.
+func DialDataLazy(addr string, opts ...rpcpool.Option) *DataConn {
+	return &DataConn{t: newTransport(addr, rpcpool.Apply(opts...))}
+}
+
+// Addr returns the server address this connection was dialed with.
+func (d *DataConn) Addr() string { return d.t.addr }
+
+// Close releases the pooled connections.
+func (d *DataConn) Close() error { return d.t.close() }
+
+func (d *DataConn) call(ctx context.Context, req *Request) (*Response, error) {
+	resp, err := d.t.call(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	if !resp.OK {
 		return nil, resp.err()
 	}
+	return resp, nil
+}
+
+// ReadPiece reads up to n bytes of the piece at the server-local
+// offset. Short or empty results mean the piece is shorter (holes
+// read as missing bytes; callers zero-fill).
+func (d *DataConn) ReadPiece(ctx context.Context, handle uint64, off, n int64) ([]byte, error) {
+	resp, err := d.call(ctx, &Request{Op: OpPieceRead, Handle: handle, Offset: off, Length: n})
+	if err != nil {
+		return nil, err
+	}
 	return resp.Data, nil
 }
 
 // WritePiece writes data at the server-local offset.
-func (d *DataConn) WritePiece(handle uint64, off int64, data []byte) error {
-	resp, err := d.c.call(&Request{Op: OpPieceWrite, Handle: handle, Offset: off, Data: data})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return resp.err()
-	}
-	return nil
+func (d *DataConn) WritePiece(ctx context.Context, handle uint64, off int64, data []byte) error {
+	_, err := d.call(ctx, &Request{Op: OpPieceWrite, Handle: handle, Offset: off, Data: data})
+	return err
 }
 
 // WritePieceDup writes data at the server-local offset and has the
 // server duplicate it to its mirror partner: synchronously (ack after
 // the mirror confirms) or asynchronously (ack immediately, forward in
 // the background) — CEFT's two server-side duplication protocols.
-func (d *DataConn) WritePieceDup(handle uint64, off int64, data []byte, sync bool) error {
+func (d *DataConn) WritePieceDup(ctx context.Context, handle uint64, off int64, data []byte, sync bool) error {
 	op := OpPieceWriteDupAsync
 	if sync {
 		op = OpPieceWriteDupSync
 	}
-	resp, err := d.c.call(&Request{Op: op, Handle: handle, Offset: off, Data: data})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return resp.err()
-	}
-	return nil
+	_, err := d.call(ctx, &Request{Op: op, Handle: handle, Offset: off, Data: data})
+	return err
 }
 
 // FlushForwards blocks until the server has delivered every
 // asynchronous mirror forward accepted so far, returning the first
 // forwarding error if any occurred.
-func (d *DataConn) FlushForwards() error {
-	resp, err := d.c.call(&Request{Op: OpFlushForwards})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return resp.err()
-	}
-	return nil
+func (d *DataConn) FlushForwards(ctx context.Context) error {
+	_, err := d.call(ctx, &Request{Op: OpFlushForwards})
+	return err
 }
 
 // RemovePiece deletes the server's piece of the handle.
-func (d *DataConn) RemovePiece(handle uint64) error {
-	resp, err := d.c.call(&Request{Op: OpPieceRemove, Handle: handle})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return resp.err()
-	}
-	return nil
+func (d *DataConn) RemovePiece(ctx context.Context, handle uint64) error {
+	_, err := d.call(ctx, &Request{Op: OpPieceRemove, Handle: handle})
+	return err
 }
 
 // Ping round-trips to the server and returns its ID.
-func (d *DataConn) Ping() (int, error) {
-	resp, err := d.c.call(&Request{Op: OpPing})
+func (d *DataConn) Ping(ctx context.Context) (int, error) {
+	resp, err := d.call(ctx, &Request{Op: OpPing})
 	if err != nil {
 		return 0, err
-	}
-	if !resp.OK {
-		return 0, resp.err()
 	}
 	return int(resp.N), nil
 }

@@ -2,12 +2,16 @@ package pvfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
 
 	"pario/internal/chio"
 )
+
+// bg is the ambient context for conn-level tests.
+var bg = context.Background()
 
 // startMeta spins up a bare manager.
 func startMeta(t *testing.T, servers int) *MetaServer {
@@ -40,42 +44,42 @@ func TestMetaConnLifecycle(t *testing.T) {
 	}
 	defer m.Close()
 
-	meta, err := m.Create("f")
+	meta, err := m.Create(bg, "f")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.Handle == 0 || meta.NumServers != 4 || meta.StripeSize != DefaultStripeSize {
 		t.Errorf("create meta: %+v", meta)
 	}
-	if err := m.GrowSize("f", 1000); err != nil {
+	if err := m.GrowSize(bg, "f", 1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.GrowSize("f", 500); err != nil { // grow-only: no shrink
+	if err := m.GrowSize(bg, "f", 500); err != nil { // grow-only: no shrink
 		t.Fatal(err)
 	}
-	got, err := m.Stat("f")
+	got, err := m.Stat(bg, "f")
 	if err != nil || got.Size != 1000 {
 		t.Fatalf("stat after grow: %+v %v", got, err)
 	}
-	if err := m.Truncate("f", 200); err != nil {
+	if err := m.Truncate(bg, "f", 200); err != nil {
 		t.Fatal(err)
 	}
-	got, err = m.Lookup("f")
+	got, err = m.Lookup(bg, "f")
 	if err != nil || got.Size != 200 {
 		t.Fatalf("lookup after truncate: %+v %v", got, err)
 	}
-	metas, err := m.List("")
+	metas, err := m.List(bg, "")
 	if err != nil || len(metas) != 1 || metas[0].Name != "f" {
 		t.Fatalf("list: %+v %v", metas, err)
 	}
-	removed, err := m.Remove("f")
+	removed, err := m.Remove(bg, "f")
 	if err != nil || removed.Handle != meta.Handle {
 		t.Fatalf("remove: %+v %v", removed, err)
 	}
-	if _, err := m.Lookup("f"); !errors.Is(err, chio.ErrNotExist) {
+	if _, err := m.Lookup(bg, "f"); !errors.Is(err, chio.ErrNotExist) {
 		t.Errorf("lookup after remove: %v", err)
 	}
-	if _, err := m.Remove("f"); !errors.Is(err, chio.ErrNotExist) {
+	if _, err := m.Remove(bg, "f"); !errors.Is(err, chio.ErrNotExist) {
 		t.Errorf("double remove: %v", err)
 	}
 }
@@ -87,13 +91,13 @@ func TestMetaConnLoadReporting(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.ReportLoad(0, 3.5); err != nil {
+	if err := m.ReportLoad(bg, 0, 3.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.ReportLoad(1, 0.25); err != nil {
+	if err := m.ReportLoad(bg, 1, 0.25); err != nil {
 		t.Fatal(err)
 	}
-	loads, err := m.LoadQuery()
+	loads, err := m.LoadQuery(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,23 +114,23 @@ func TestDataConnPieceOps(t *testing.T) {
 	}
 	defer d.Close()
 
-	if id, err := d.Ping(); err != nil || id != 3 {
+	if id, err := d.Ping(bg); err != nil || id != 3 {
 		t.Fatalf("ping: %d %v", id, err)
 	}
 	payload := []byte("stripe piece data")
-	if err := d.WritePiece(77, 10, payload); err != nil {
+	if err := d.WritePiece(bg, 77, 10, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.ReadPiece(77, 10, int64(len(payload)))
+	got, err := d.ReadPiece(bg, 77, 10, int64(len(payload)))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("read back: %q %v", got, err)
 	}
 	// Reading a missing piece returns empty data, not an error (holes).
-	got, err = d.ReadPiece(9999, 0, 100)
+	got, err = d.ReadPiece(bg, 9999, 0, 100)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("hole read: %d bytes, %v", len(got), err)
 	}
-	if err := d.RemovePiece(77); err != nil {
+	if err := d.RemovePiece(bg, 77); err != nil {
 		t.Fatal(err)
 	}
 	fis, _ := store.List("")
@@ -134,7 +138,7 @@ func TestDataConnPieceOps(t *testing.T) {
 		t.Errorf("piece remains after remove: %v", fis)
 	}
 	// Removing an absent piece is idempotent.
-	if err := d.RemovePiece(77); err != nil {
+	if err := d.RemovePiece(bg, 77); err != nil {
 		t.Errorf("double remove: %v", err)
 	}
 }
@@ -149,7 +153,7 @@ func TestDataConnDupOps(t *testing.T) {
 	defer d.Close()
 
 	// Synchronous duplication: both stores updated on return.
-	if err := d.WritePieceDup(5, 0, []byte("sync-dup"), true); err != nil {
+	if err := d.WritePieceDup(bg, 5, 0, []byte("sync-dup"), true); err != nil {
 		t.Fatal(err)
 	}
 	pd, _ := chio.ReadFull(primaryStore, pieceName(5))
@@ -159,10 +163,10 @@ func TestDataConnDupOps(t *testing.T) {
 	}
 
 	// Asynchronous duplication: mirror updated by flush time.
-	if err := d.WritePieceDup(6, 0, []byte("async-dup"), false); err != nil {
+	if err := d.WritePieceDup(bg, 6, 0, []byte("async-dup"), false); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.FlushForwards(); err != nil {
+	if err := d.FlushForwards(bg); err != nil {
 		t.Fatal(err)
 	}
 	md, _ = chio.ReadFull(mirrorStore, pieceName(6))
@@ -178,7 +182,7 @@ func TestDupWithoutMirrorFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	if err := d.WritePieceDup(1, 0, []byte("x"), true); err == nil {
+	if err := d.WritePieceDup(bg, 1, 0, []byte("x"), true); err == nil {
 		t.Error("sync dup without mirror accepted")
 	}
 }
@@ -257,7 +261,7 @@ func TestForcedCloseUnblocksClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	if _, err := d.Ping(); err != nil {
+	if _, err := d.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
@@ -270,7 +274,7 @@ func TestForcedCloseUnblocksClients(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Close hung with a client attached")
 	}
-	if _, err := d.Ping(); err == nil {
+	if _, err := d.Ping(bg); err == nil {
 		t.Error("ping succeeded against a closed server")
 	}
 }
@@ -292,7 +296,7 @@ func TestPVFSOverLocalDiskStores(t *testing.T) {
 		t.Cleanup(func() { ds.Close() })
 		addrs = append(addrs, ds.Addr())
 	}
-	cl, err := DialClient(mgr.Addr(), addrs)
+	cl, err := Dial(mgr.Addr(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}

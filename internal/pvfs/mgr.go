@@ -66,10 +66,14 @@ func (ms *MetaServer) handle(req *Request) *Response {
 	case OpCreate:
 		m, ok := ms.files[req.Name]
 		if !ok {
+			stripe := ms.stripe
+			if req.Stripe > 0 {
+				stripe = req.Stripe
+			}
 			m = &Meta{
 				Name:       req.Name,
 				Handle:     ms.nextHandle,
-				StripeSize: ms.stripe,
+				StripeSize: stripe,
 				NumServers: ms.numServers,
 			}
 			ms.nextHandle++

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // DefaultStripeSize is the stripe unit used in the paper.
@@ -61,6 +62,9 @@ type Request struct {
 	// Load carries a heartbeat value for OpLoadReport.
 	Load     float64
 	ServerID int
+	// Stripe carries the client's stripe-size hint for OpCreate; zero
+	// means the manager's configured default.
+	Stripe int64
 }
 
 // Meta describes one file's metadata.
@@ -124,6 +128,14 @@ func (cn *conn) call(req *Request) (*Response, error) {
 }
 
 func (cn *conn) close() error { return cn.c.Close() }
+
+// Close lets a *conn satisfy io.Closer so the transport pool can
+// manage it.
+func (cn *conn) Close() error { return cn.close() }
+
+// setDeadline bounds (or, with the zero time, unbounds) the next
+// request/response exchange on the underlying socket.
+func (cn *conn) setDeadline(t time.Time) error { return cn.c.SetDeadline(t) }
 
 // serve runs the request loop of a server connection, dispatching to
 // handle until the peer disconnects.

@@ -46,7 +46,7 @@ func startCluster(t *testing.T, nServers int, stripe int64) *testCluster {
 		tc.stores = append(tc.stores, store)
 		addrs = append(addrs, ds.Addr())
 	}
-	cl, err := DialClient(mgr.Addr(), addrs)
+	cl, err := Dial(mgr.Addr(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := DialClient(tc.mgr.Addr(), addrs)
+			cl, err := Dial(tc.mgr.Addr(), addrs)
 			if err != nil {
 				errs[c] = err
 				return
@@ -470,7 +470,7 @@ func TestDecomposeCoversRangeProperty(t *testing.T) {
 }
 
 func TestDialClientNoServers(t *testing.T) {
-	if _, err := DialClient("127.0.0.1:1", nil); err == nil {
+	if _, err := Dial("127.0.0.1:1", nil); err == nil {
 		t.Error("no data servers accepted")
 	}
 }

@@ -1,0 +1,153 @@
+package pvfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"time"
+
+	"pario/internal/chio"
+	"pario/internal/rpcpool"
+)
+
+// transport is the resilient RPC path to one server: a bounded
+// connection pool plus the Config's deadline/retry policy. All client
+// traffic (Client, MetaConn, DataConn) flows through transports, so
+// concurrent stripe fetches parallelize across pooled connections
+// instead of serializing on a single conn mutex, and a hung or dead
+// server yields a bounded chio.ErrTimeout / chio.ErrServerDown instead
+// of blocking forever.
+type transport struct {
+	addr string
+	cfg  rpcpool.Config
+	pool *rpcpool.Pool[*conn]
+}
+
+func newTransport(addr string, cfg rpcpool.Config) *transport {
+	size := cfg.PoolSize
+	if size < 1 {
+		size = rpcpool.DefaultPoolSize
+	}
+	return &transport{
+		addr: addr,
+		cfg:  cfg,
+		pool: rpcpool.New(size, func() (*conn, error) { return dialConn(addr) }),
+	}
+}
+
+// warm verifies the server is reachable by establishing one pooled
+// connection, so Dial fails fast on a bad address.
+func (t *transport) warm(ctx context.Context) error {
+	if err := t.pool.Warm(ctx); err != nil {
+		return classifyErr(t.addr, err)
+	}
+	return nil
+}
+
+func (t *transport) close() error { return t.pool.Close() }
+
+// call performs one RPC with the transport's retry policy: up to
+// Retries+1 attempts, each on a (possibly fresh) pooled connection
+// under a per-attempt deadline, with jittered exponential backoff
+// between attempts. The protocol's operations are idempotent, so every
+// transport fault is safe to retry; only context cancellation is not.
+// Errors are classified per the chio error contract, and the Observer
+// (if any) sees one event per call.
+func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	attempts := t.cfg.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var resp *Response
+	var err error
+	retries := 0
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if serr := rpcpool.Sleep(ctx, t.cfg.Backoff(i-1)); serr != nil {
+				break
+			}
+			retries++
+		}
+		resp, err = t.attempt(ctx, req)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+	}
+	if err != nil {
+		err = classifyErr(t.addr, err)
+	}
+	if obs := t.cfg.Observer; obs != nil {
+		obs.ObserveCall(t.addr, time.Since(start), retries, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// attempt runs a single request/response exchange on a pooled
+// connection. The connection's socket deadline is the tighter of the
+// per-attempt Timeout and the context deadline, and cancellation of
+// ctx mid-exchange forces the socket deadline into the past so an
+// in-flight gob decode aborts immediately. A failed connection is
+// discarded (the pool redials on demand); a healthy one goes back for
+// reuse.
+func (t *transport) attempt(ctx context.Context, req *Request) (*Response, error) {
+	cn, err := t.pool.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var deadline time.Time
+	if t.cfg.Timeout > 0 {
+		deadline = time.Now().Add(t.cfg.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	cn.setDeadline(deadline)
+	stop := context.AfterFunc(ctx, func() { cn.setDeadline(time.Now().Add(-time.Second)) })
+	resp, err := cn.call(req)
+	stop()
+	if err != nil {
+		t.pool.Discard(cn)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	cn.setDeadline(time.Time{})
+	t.pool.Put(cn)
+	return resp, nil
+}
+
+// classifyErr maps transport faults onto the chio error contract:
+// deadline expiry becomes chio.ErrTimeout, an unreachable or
+// disconnected server becomes chio.ErrServerDown, and context
+// cancellation passes through unwrapped so deliberate aborts stay
+// distinguishable from faults.
+func classifyErr(addr string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, chio.ErrTimeout) || errors.Is(err, chio.ErrServerDown) ||
+		errors.Is(err, context.Canceled) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %s: %v", chio.ErrTimeout, addr, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %s: %v", chio.ErrTimeout, addr, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("%w: %s: %v", chio.ErrServerDown, addr, err)
+	}
+	return err
+}

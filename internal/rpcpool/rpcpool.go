@@ -1,0 +1,262 @@
+// Package rpcpool is the shared client-transport layer of the
+// parallel file systems: a bounded per-server connection pool plus the
+// retry/timeout policy both the PVFS and CEFT-PVFS clients dial with.
+// The paper's striped-read bandwidth (Figures 6-9) depends on many
+// workers issuing stripe fetches to every data server concurrently;
+// a single blocking connection per server serializes them and a single
+// slow server stalls every worker forever. The pool multiplexes
+// concurrent stripe fetches over up to PoolSize connections per
+// server, and the Config's deadline/retry policy turns a hung or dead
+// server into a bounded, classified error the layers above can act on
+// (CEFT retries the mirror partner; PVFS surfaces chio.ErrTimeout or
+// chio.ErrServerDown).
+package rpcpool
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultPoolSize     = 4
+	DefaultTimeout      = 10 * time.Second
+	DefaultRetries      = 2
+	DefaultRetryBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff   = 2 * time.Second
+)
+
+// Config is the transport configuration shared by every parallel-FS
+// client backend (pvfs.Dial and ceft.Dial both accept the same
+// Option values that mutate it).
+type Config struct {
+	// StripeSize is the stripe unit requested when this client creates
+	// files. Zero (the default) defers to the metadata server's
+	// configured stripe; set it only to override per client.
+	StripeSize int64
+	// PoolSize is the maximum number of concurrent connections kept
+	// per server.
+	PoolSize int
+	// Timeout bounds each request/response attempt. Zero means no
+	// per-attempt deadline (the context alone governs cancellation).
+	Timeout time.Duration
+	// Retries is how many times a failed attempt is retried (so a call
+	// makes at most Retries+1 attempts).
+	Retries int
+	// RetryBackoff is the base pause before the first retry; it grows
+	// exponentially per attempt with full jitter.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Observer, when non-nil, receives one event per finished call
+	// (after all retries) — the hook iotrace.RPCMetrics plugs into.
+	Observer Observer
+}
+
+// DefaultConfig returns a production-sane fault policy; the stripe
+// size is left to the metadata server.
+func DefaultConfig() Config {
+	return Config{
+		PoolSize:     DefaultPoolSize,
+		Timeout:      DefaultTimeout,
+		Retries:      DefaultRetries,
+		RetryBackoff: DefaultRetryBackoff,
+		MaxBackoff:   DefaultMaxBackoff,
+	}
+}
+
+// Apply folds opts over the defaults.
+func Apply(opts ...Option) Config {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// Option mutates a transport Config. The same option values are
+// accepted by every backend's Dial.
+type Option func(*Config)
+
+// WithStripeSize overrides the metadata server's stripe unit for
+// files this client creates.
+func WithStripeSize(n int64) Option { return func(c *Config) { c.StripeSize = n } }
+
+// WithPoolSize bounds the connections kept per server.
+func WithPoolSize(n int) Option { return func(c *Config) { c.PoolSize = n } }
+
+// WithTimeout bounds each request/response attempt.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithRetries sets how many times a failed attempt is retried.
+func WithRetries(n int) Option { return func(c *Config) { c.Retries = n } }
+
+// WithRetryBackoff sets the base and maximum retry backoff.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *Config) { c.RetryBackoff, c.MaxBackoff = base, max }
+}
+
+// WithObserver installs a per-call statistics sink.
+func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
+
+// Observer receives one event per finished RPC (after retries).
+// Implementations must be safe for concurrent use; iotrace.RPCMetrics
+// is the standard one.
+type Observer interface {
+	ObserveCall(server string, latency time.Duration, retries int, err error)
+}
+
+// Backoff returns the pause before retry attempt (0-based): an
+// exponentially grown base with full jitter, capped at MaxBackoff.
+func (c Config) Backoff(attempt int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Full jitter over [d/2, d): desynchronizes the retry herd when
+	// many workers hit the same stressed server at once.
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// Sleep pauses for d or until ctx is done, returning ctx's error in
+// the latter case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("rpcpool: pool closed")
+
+// Pool is a bounded pool of connections to one server. Connections
+// are dialed lazily up to the bound; Get blocks (context-aware) when
+// all are checked out. The zero value is not usable; use New.
+type Pool[C io.Closer] struct {
+	dial  func() (C, error)
+	slots chan struct{} // capacity = bound; a held token = one live or in-flight conn
+
+	mu     sync.Mutex
+	idle   []C
+	closed bool
+}
+
+// New returns a pool of at most size connections created by dial.
+func New[C io.Closer](size int, dial func() (C, error)) *Pool[C] {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool[C]{dial: dial, slots: make(chan struct{}, size)}
+}
+
+// Get returns an idle connection, dialing a new one when under the
+// bound, or blocks until one is returned or ctx is done.
+func (p *Pool[C]) Get(ctx context.Context) (C, error) {
+	var zero C
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.slots
+		return zero, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := p.dial()
+	if err != nil {
+		<-p.slots
+		return zero, err
+	}
+	return c, nil
+}
+
+// Put returns a healthy connection for reuse.
+func (p *Pool[C]) Put(c C) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		<-p.slots
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	<-p.slots
+}
+
+// Discard drops a broken connection, freeing its slot so a fresh one
+// can be dialed.
+func (p *Pool[C]) Discard(c C) {
+	c.Close()
+	<-p.slots
+}
+
+// Warm establishes (and parks) one connection, verifying the server
+// is reachable — what Dial uses to fail fast on a bad address.
+func (p *Pool[C]) Warm(ctx context.Context) error {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return err
+	}
+	p.Put(c)
+	return nil
+}
+
+// Close closes every idle connection and fails subsequent Gets.
+// Checked-out connections are closed as they come back.
+func (p *Pool[C]) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	var first error
+	for _, c := range idle {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -45,7 +45,7 @@ func StartCEFT(t *testing.T, g int) *CEFTEnv {
 			env.MirrorAddrs = append(env.MirrorAddrs, ds.Addr())
 		}
 	}
-	cl, err := ceft.DialClient(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
+	cl, err := ceft.Dial(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func StartPVFS(t *testing.T, n int) *PVFSEnv {
 		env.Stores = append(env.Stores, store)
 		env.DataAddrs = append(env.DataAddrs, ds.Addr())
 	}
-	cl, err := pvfs.DialClient(env.MgrAddr, env.DataAddrs)
+	cl, err := pvfs.Dial(env.MgrAddr, env.DataAddrs)
 	if err != nil {
 		t.Fatal(err)
 	}
