@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench
+.PHONY: build test check race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Full hygiene gate: vet everything, then run the whole suite with the
-# race detector (the transport layer is heavily concurrent).
+# Full hygiene gate: vet everything, run the whole suite with the
+# race detector (the transport layer is heavily concurrent), then make
+# sure every benchmark still at least runs.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
+
+# One iteration of every benchmark: catches bit-rotted benchmark code
+# without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 race:
 	$(GO) test -race ./internal/pvfs/... ./internal/ceft/... ./internal/rpcpool/...

@@ -26,6 +26,8 @@ import (
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/mpi"
+	"pario/internal/readahead"
+	"pario/internal/rpcpool"
 	"pario/internal/seq"
 	"pario/internal/sim"
 	"pario/internal/util"
@@ -493,6 +495,132 @@ func BenchmarkMegablastVsBlastn(b *testing.B) {
 					b.Fatal("planted match missed")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkReadAtCoalesced compares the vectored piece-read path
+// against the legacy one-RPC-per-stripe-run path on a strided ReadAt
+// (many runs per server), reporting data-server rpcs/op alongside
+// allocs/op.
+func BenchmarkReadAtCoalesced(b *testing.B) {
+	for _, legacy := range []bool{false, true} {
+		name := "coalesced"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			dep, err := core.StartPVFS(4, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			m := iotrace.NewRPCMetrics()
+			opts := []rpcpool.Option{rpcpool.WithObserver(m)}
+			if legacy {
+				opts = append(opts, rpcpool.WithoutCoalescing())
+			}
+			cl, err := dep.Client(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			payload := make([]byte, 4<<20) // 64 stripes: 16 runs per server
+			if err := chio.WriteFull(cl, "bench", payload); err != nil {
+				b.Fatal(err)
+			}
+			f, err := cl.Open("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			buf := make([]byte, len(payload))
+			dataRPCs := func() int64 {
+				var n int64
+				for _, s := range m.Snapshot() {
+					if s.Server != dep.Mgr.Addr() {
+						n += s.Calls
+					}
+				}
+				return n
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			before := dataRPCs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dataRPCs()-before)/float64(b.N), "rpcs/op")
+		})
+	}
+}
+
+// BenchmarkSequentialScanReadahead measures a sequential scan in
+// 16 KB application reads with and without the readahead/block-cache
+// layer, reporting data-server rpcs/op (one op = one full 4 MB scan).
+func BenchmarkSequentialScanReadahead(b *testing.B) {
+	for _, ra := range []bool{false, true} {
+		name := "off"
+		if ra {
+			name = "on"
+		}
+		b.Run("readahead="+name, func(b *testing.B) {
+			dep, err := core.StartPVFS(4, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			m := iotrace.NewRPCMetrics()
+			cl, err := dep.Client(rpcpool.WithObserver(m), rpcpool.WithBatchObserver(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			payload := make([]byte, 4<<20)
+			if err := chio.WriteFull(cl, "bench", payload); err != nil {
+				b.Fatal(err)
+			}
+			dataRPCs := func() int64 {
+				var n int64
+				for _, s := range m.Snapshot() {
+					if s.Server != dep.Mgr.Addr() {
+						n += s.Calls
+					}
+				}
+				return n
+			}
+			buf := make([]byte, 16<<10)
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			before := dataRPCs()
+			for i := 0; i < b.N; i++ {
+				// A fresh wrap per op keeps every scan cold: rpcs/op
+				// measures the layer's fetch plan, not cache carryover.
+				var fs chio.FileSystem = cl
+				if ra {
+					fs = readahead.Wrap(cl, readahead.WithBlockSize(1<<20), readahead.WithWindow(2))
+				}
+				f, err := fs.Open("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var off int64
+				for off < int64(len(payload)) {
+					n, err := f.ReadAt(buf, off)
+					if err != nil && err != io.EOF {
+						b.Fatal(err)
+					}
+					off += int64(n)
+				}
+				f.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dataRPCs()-before)/float64(b.N), "rpcs/op")
 		})
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"pario/internal/mpi"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
+	"pario/internal/readahead"
 	"pario/internal/rpcpool"
 	"pario/internal/seq"
 )
@@ -67,6 +68,13 @@ func main() {
 		ioRetries = flag.Int("io-retries", rpcpool.DefaultRetries, "parallel-FS retry budget per request")
 		ioPool    = flag.Int("io-pool", rpcpool.DefaultPoolSize, "parallel-FS connections per server")
 		rpcStats  = flag.Bool("rpc-stats", false, "print per-server RPC latency/retry counters at exit")
+		noCoal    = flag.Bool("no-coalesce", false, "issue one RPC per stripe run instead of vectored batches (A/B comparison)")
+
+		// Client-side readahead/block cache (any -io mode).
+		raEnable = flag.Bool("readahead", false, "enable the client-side readahead/block cache on worker reads")
+		raBlock  = flag.Int64("ra-block", readahead.DefaultBlockSize, "readahead block size in bytes")
+		raCache  = flag.Int("ra-cache", readahead.DefaultCapacity, "readahead cache capacity in blocks")
+		raWindow = flag.Int("ra-window", readahead.DefaultWindow, "readahead prefetch depth in blocks (0 disables prefetch)")
 
 		// Distributed mode: run this process as one rank of a
 		// multi-process (multi-machine) job over the TCP transport.
@@ -97,11 +105,31 @@ func main() {
 			rpcpool.WithRetries(*ioRetries),
 			rpcpool.WithPoolSize(*ioPool),
 		}
+		if *noCoal {
+			opts = append(opts, rpcpool.WithoutCoalescing())
+		}
 		if *rpcStats {
 			if metrics == nil {
 				metrics = iotrace.NewRPCMetrics()
 			}
-			opts = append(opts, rpcpool.WithObserver(metrics))
+			opts = append(opts, rpcpool.WithObserver(metrics), rpcpool.WithBatchObserver(metrics))
+		}
+		return opts
+	}
+
+	// One counter sink shared by every worker's readahead layer.
+	var cacheStats *iotrace.CacheStats
+	raOpts := func() []readahead.Option {
+		opts := []readahead.Option{
+			readahead.WithBlockSize(*raBlock),
+			readahead.WithCapacity(*raCache),
+			readahead.WithWindow(*raWindow),
+		}
+		if *rpcStats {
+			if cacheStats == nil {
+				cacheStats = &iotrace.CacheStats{}
+			}
+			opts = append(opts, readahead.WithStats(cacheStats))
 		}
 		return opts
 	}
@@ -115,6 +143,9 @@ func main() {
 		}
 		if metrics != nil {
 			fmt.Fprint(os.Stderr, metrics.Format())
+		}
+		if cacheStats != nil {
+			fmt.Fprintln(os.Stderr, cacheStats.Snapshot().Format())
 		}
 	}()
 
@@ -201,7 +232,11 @@ func main() {
 					fatal(err)
 				}
 			}
-			if err := pblast.RunWorker(ctx, comm, workerFS(*rank), scratchFS); err != nil {
+			fs := workerFS(*rank)
+			if *raEnable {
+				fs = readahead.Wrap(fs, raOpts()...)
+			}
+			if err := pblast.RunWorker(ctx, comm, fs, scratchFS); err != nil {
 				fatal(err)
 			}
 			return
@@ -266,13 +301,17 @@ func main() {
 		trace = iotrace.NewTrace()
 		cfg.Trace = trace
 	}
+	var searchOpts []core.SearchOption
+	if *raEnable {
+		searchOpts = append(searchOpts, core.WithReadahead(raOpts()...))
+	}
 
 	start := time.Now()
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	if len(queries) > 1 && cfg.Mode == pblast.DatabaseSegmentation && !cfg.CopyToLocal {
 		// Multi-query batch: one (query x fragment) scheduling pass.
-		batch, err := core.ParallelSearchBatch(ctx, queries, cfg)
+		batch, err := core.ParallelSearchBatch(ctx, queries, cfg, searchOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -287,7 +326,7 @@ func main() {
 		}
 	} else {
 		for _, q := range queries {
-			res, err := core.ParallelSearch(ctx, q, cfg)
+			res, err := core.ParallelSearch(ctx, q, cfg, searchOpts...)
 			if err != nil {
 				fatal(err)
 			}

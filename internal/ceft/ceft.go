@@ -545,25 +545,38 @@ func (f *file) refreshSize(m *pvfs.Meta) error {
 	return nil
 }
 
-// pieceWriter issues one stripe-run write to a data server.
-type pieceWriter func(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error
+// runsWriter issues all of one server's stripe runs. Plain writes
+// coalesce into one vectored RPC; the server-side duplication
+// protocols stay one RPC per run because the dup ops carry a single
+// (offset, data) pair on the wire.
+type runsWriter func(ctx context.Context, d *pvfs.DataConn, handle uint64, runs []pvfs.StripeRun, p []byte) error
 
-func plainWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePiece(ctx, handle, off, data)
+func plainWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, runs []pvfs.StripeRun, p []byte) error {
+	return d.WriteRuns(ctx, handle, runs, p)
 }
 
-func dupSyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePieceDup(ctx, handle, off, data, true)
+func dupSyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, runs []pvfs.StripeRun, p []byte) error {
+	for _, r := range runs {
+		if err := d.WritePieceDup(ctx, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length], true); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func dupAsyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, off int64, data []byte) error {
-	return d.WritePieceDup(ctx, handle, off, data, false)
+func dupAsyncWrite(ctx context.Context, d *pvfs.DataConn, handle uint64, runs []pvfs.StripeRun, p []byte) error {
+	for _, r := range runs {
+		if err := d.WritePieceDup(ctx, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length], false); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeRunsPerServer issues the per-server runs of one group using
 // write, returning one error slot per server (nil where the server
 // took all of its runs, or had none).
-func writeRunsPerServer(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) []error {
+func writeRunsPerServer(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write runsWriter) []error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
 	for server, list := range runs {
@@ -573,13 +586,7 @@ func writeRunsPerServer(ctx context.Context, conns []*pvfs.DataConn, runs [][]pv
 		wg.Add(1)
 		go func(server int, list []pvfs.StripeRun) {
 			defer wg.Done()
-			d := conns[server]
-			for _, r := range list {
-				if err := write(ctx, d, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
-					errs[server] = err
-					return
-				}
-			}
+			errs[server] = write(ctx, conns[server], handle, list, p)
 		}(server, list)
 	}
 	wg.Wait()
@@ -588,7 +595,7 @@ func writeRunsPerServer(ctx context.Context, conns []*pvfs.DataConn, runs [][]pv
 
 // writeRuns issues the per-server runs of one group using write and
 // returns the first per-server error.
-func writeRuns(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write pieceWriter) error {
+func writeRuns(ctx context.Context, conns []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, write runsWriter) error {
 	for _, err := range writeRunsPerServer(ctx, conns, runs, handle, p, write) {
 		if err != nil {
 			return err
@@ -616,11 +623,8 @@ func (cl *Client) degradeWrites(ctx context.Context, errs []error, runs [][]pvfs
 		if !errors.Is(orig, chio.ErrServerDown) && !errors.Is(orig, chio.ErrTimeout) {
 			return orig
 		}
-		d := cl.mirror[i]
-		for _, r := range runs[i] {
-			if err := d.WritePiece(ctx, handle, r.ServerOff, p[r.BufOff:r.BufOff+r.Length]); err != nil {
-				return orig
-			}
+		if err := cl.mirror[i].WriteRuns(ctx, handle, runs[i], p); err != nil {
+			return orig
 		}
 		cl.addDegraded(1)
 	}
@@ -696,23 +700,31 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	default:
 		return 0, fmt.Errorf("ceft: unknown write protocol %v", f.cl.opts.WriteProtocol)
 	}
-	if err := f.cl.meta.GrowSize(f.ctx, m.Name, off+n); err != nil {
-		return 0, err
+	// The size RPC is needed only when the write extends the file: the
+	// cached size can lag the manager's but never exceeds it, so
+	// off+n <= cached size proves the manager already records it.
+	if off+n > m.Size {
+		if err := f.cl.meta.GrowSize(f.ctx, m.Name, off+n); err != nil {
+			return 0, err
+		}
+		f.mu.Lock()
+		if !f.closed && off+n > f.meta.Size {
+			f.meta.Size = off + n
+		}
+		f.mu.Unlock()
 	}
-	f.mu.Lock()
-	if !f.closed && off+n > f.meta.Size {
-		f.meta.Size = off + n
-	}
-	f.mu.Unlock()
 	return int(n), nil
 }
 
-// readRuns issues per-server read runs against the chosen conns.
-// fallback, when non-nil, provides each server's mirror partner: a
-// failed sub-read — including one that exhausted the transport's
-// deadline/retry budget with chio.ErrTimeout or chio.ErrServerDown —
-// is retried there, which is CEFT's RAID-10 degraded mode (a dead or
-// hung server's data remains available on its mirror).
+// readRuns issues per-server read runs against the chosen conns, each
+// server's runs coalesced into one vectored RPC. fallback, when
+// non-nil, provides each server's mirror partner: when the vectored
+// read fails — including by exhausting the transport's deadline/retry
+// budget with chio.ErrTimeout or chio.ErrServerDown — each of that
+// server's runs is retried individually on the mirror, which is
+// CEFT's RAID-10 degraded mode (a dead or hung server's data remains
+// available on its mirror, and a partial failure degrades per run
+// rather than failing the whole request).
 func readRuns(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
@@ -726,19 +738,22 @@ func readRuns(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pv
 		go func(server int, list []pvfs.StripeRun) {
 			defer wg.Done()
 			d := conns[server]
+			err := d.ReadRuns(ctx, handle, list, p)
+			if err == nil {
+				return
+			}
+			if ctx.Err() != nil || fallback == nil || fallback[server] == nil || fallback[server] == d {
+				errs[server] = err
+				return
+			}
 			for _, r := range list {
-				data, err := d.ReadPiece(ctx, handle, r.ServerOff, r.Length)
-				if err != nil && ctx.Err() == nil && fallback != nil && fallback[server] != nil && fallback[server] != d {
-					mu.Lock()
-					failedOver++
-					mu.Unlock()
-					data, err = fallback[server].ReadPiece(ctx, handle, r.ServerOff, r.Length)
-				}
-				if err != nil {
-					errs[server] = err
+				mu.Lock()
+				failedOver++
+				mu.Unlock()
+				if ferr := fallback[server].ReadRun(ctx, handle, r, p); ferr != nil {
+					errs[server] = ferr
 					return
 				}
-				copy(p[r.BufOff:r.BufOff+r.Length], data)
 			}
 		}(server, list)
 	}
@@ -779,9 +794,8 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		n = m.Size - off
 		outErr = io.EOF
 	}
-	for i := int64(0); i < n; i++ {
-		p[i] = 0
-	}
+	// No up-front zeroing pass: the runs tile [0, n) of p exactly, and
+	// the vectored read path zero-fills each run's hole/EOF tail.
 	g := len(f.cl.primary)
 	if !f.cl.opts.DoubledReads {
 		conns, _ := f.cl.pickConns(f.ctx, true)

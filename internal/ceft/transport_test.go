@@ -291,3 +291,41 @@ func TestConcurrentCEFTReadersShareOneClient(t *testing.T) {
 		}
 	}
 }
+
+func TestVectoredReadDegradesPerRun(t *testing.T) {
+	// A dead mirror-pair member must degrade a multi-run vectored read
+	// per run on the partner — not fail the whole request. The stripe
+	// is small relative to the read, so each server's share of the read
+	// is several runs coalesced into one vectored RPC.
+	opts := DefaultOptions()
+	opts.DoubledReads = false
+	opts.SkipHotSpots = false
+	c := start(t, 2, 512, opts, false)
+	payload := make([]byte, 16*1024) // 16 stripes -> 8 runs per server
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := chio.WriteFull(c.client, "f", payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.client.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	c.servers[0].Close() // kill primary 0: its vectored read must fail over
+
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("vectored read after primary death: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded vectored read returned corrupt data")
+	}
+	// Per-run fallback: server 0 held 8 runs of this read, and each
+	// must have been retried individually on the mirror.
+	if fo := c.client.Failovers(); fo < 8 {
+		t.Errorf("failovers = %d, want >= 8 (one per run of the dead server)", fo)
+	}
+}

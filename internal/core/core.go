@@ -18,6 +18,7 @@ import (
 	"pario/internal/iotrace"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
+	"pario/internal/readahead"
 	"pario/internal/rpcpool"
 	"pario/internal/seq"
 	"pario/internal/workload"
@@ -113,14 +114,60 @@ type SearchConfig struct {
 	Trace *iotrace.Trace
 }
 
+// SearchOption tunes ParallelSearch/ParallelSearchBatch beyond the
+// SearchConfig struct.
+type SearchOption func(*searchOpts)
+
+type searchOpts struct {
+	readahead     bool
+	readaheadOpts []readahead.Option
+}
+
+// WithReadahead wraps every worker's view of the shared store in the
+// client-side block cache and sequential prefetcher of package
+// readahead, so small sequential fragment reads are served from cached
+// blocks and the next blocks' fetches overlap the worker's compute.
+// The raOpts tune block size, capacity, prefetch window, and the
+// shared counter sink.
+func WithReadahead(raOpts ...readahead.Option) SearchOption {
+	return func(o *searchOpts) {
+		o.readahead = true
+		o.readaheadOpts = raOpts
+	}
+}
+
+func applySearchOpts(opts []SearchOption) searchOpts {
+	var o searchOpts
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// wrapWorkerFS applies the per-worker wrappers in their fixed order:
+// readahead next to the backend, iotrace outermost (so traces record
+// the application's own access pattern, not the cache's block
+// fetches).
+func wrapWorkerFS(workerFS func(int) chio.FileSystem, o searchOpts) func(int) chio.FileSystem {
+	if o.readahead {
+		inner := workerFS
+		workerFS = func(rank int) chio.FileSystem {
+			return readahead.Wrap(inner(rank), o.readaheadOpts...)
+		}
+	}
+	return workerFS
+}
+
 // ParallelSearch runs the master/worker parallel BLAST in-process.
 // Cancelling ctx aborts the search, including in-flight parallel-FS
 // I/O when the backends support chio.ContextBinder.
-func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, error) {
+func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, opts ...SearchOption) (*pblast.Outcome, error) {
 	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
 		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
-	workerFS := cfg.WorkerFS
+	workerFS := wrapWorkerFS(cfg.WorkerFS, applySearchOpts(opts))
 	scratch := cfg.Scratch
 	if cfg.Trace != nil {
 		inner := workerFS
@@ -310,11 +357,11 @@ func (d *CEFTDeployment) Close() error {
 // ParallelSearchBatch runs a multi-query batch through the parallel
 // master/worker: the task space is (query x fragment), dynamically
 // scheduled — how batch workloads (e.g. EST sets) were processed.
-func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg SearchConfig) (*pblast.BatchOutcome, error) {
+func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg SearchConfig, opts ...SearchOption) (*pblast.BatchOutcome, error) {
 	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
 		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
-	workerFS := cfg.WorkerFS
+	workerFS := wrapWorkerFS(cfg.WorkerFS, applySearchOpts(opts))
 	scratch := cfg.Scratch
 	if cfg.Trace != nil {
 		inner := workerFS

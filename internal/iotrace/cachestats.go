@@ -1,0 +1,66 @@
+package iotrace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CacheStats aggregates the client-side readahead/block-cache counters
+// of package readahead: whether the working set is being served from
+// cached blocks (hits) or going to the data servers (misses), and
+// whether the prefetcher's speculation is paying off (issued vs
+// wasted). All methods are safe for concurrent use; a single CacheStats
+// is typically shared by every worker's readahead layer.
+type CacheStats struct {
+	hits           atomic.Int64
+	misses         atomic.Int64
+	prefetchIssued atomic.Int64
+	prefetchWasted atomic.Int64
+}
+
+// Hit records a block read served from the cache (including blocks a
+// still-in-flight prefetch delivered).
+func (c *CacheStats) Hit() { c.hits.Add(1) }
+
+// Miss records a block read that had to fetch from the backend.
+func (c *CacheStats) Miss() { c.misses.Add(1) }
+
+// PrefetchIssued records one speculative block fetch started.
+func (c *CacheStats) PrefetchIssued() { c.prefetchIssued.Add(1) }
+
+// PrefetchWasted records a prefetched block evicted without ever being
+// read.
+func (c *CacheStats) PrefetchWasted() { c.prefetchWasted.Add(1) }
+
+// CacheSnapshot is a point-in-time copy of the counters.
+type CacheSnapshot struct {
+	Hits           int64
+	Misses         int64
+	PrefetchIssued int64
+	PrefetchWasted int64
+}
+
+// Snapshot returns the current counter values.
+func (c *CacheStats) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		PrefetchIssued: c.prefetchIssued.Load(),
+		PrefetchWasted: c.prefetchWasted.Load(),
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no traffic.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Format renders the counters as one line.
+func (s CacheSnapshot) Format() string {
+	return fmt.Sprintf("readahead: hits=%d misses=%d (%.1f%% hit rate) prefetch issued=%d wasted=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.PrefetchIssued, s.PrefetchWasted)
+}

@@ -28,7 +28,18 @@ type ServerStats struct {
 	TotalLatency time.Duration
 	// MaxLatency is the slowest call observed.
 	MaxLatency time.Duration
+	// Batches counts coalesced batches on the striped I/O path (one per
+	// ReadAt/WriteAt slice of runs destined for this server).
+	Batches int64
+	// BatchRuns sums the stripe runs those batches carried.
+	BatchRuns int64
+	// BatchRPCs sums the round trips those batches actually issued;
+	// BatchRuns-BatchRPCs is the RPCs saved by vectored coalescing.
+	BatchRPCs int64
 }
+
+// RPCsSaved returns the round trips vectored coalescing avoided.
+func (s ServerStats) RPCsSaved() int64 { return s.BatchRuns - s.BatchRPCs }
 
 // Mean returns the average call latency.
 func (s ServerStats) Mean() time.Duration {
@@ -80,6 +91,21 @@ func (m *RPCMetrics) ObserveCall(server string, latency time.Duration, retries i
 	}
 }
 
+// ObserveBatch implements rpcpool.BatchObserver: runs stripe runs
+// destined for server were issued as rpcs round trips.
+func (m *RPCMetrics) ObserveBatch(server string, runs, rpcs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.servers[server]
+	if s == nil {
+		s = &ServerStats{Server: server}
+		m.servers[server] = s
+	}
+	s.Batches++
+	s.BatchRuns += int64(runs)
+	s.BatchRPCs += int64(rpcs)
+}
+
 // Snapshot returns the per-server statistics sorted by server address.
 func (m *RPCMetrics) Snapshot() []ServerStats {
 	m.mu.Lock()
@@ -97,8 +123,13 @@ func (m *RPCMetrics) Snapshot() []ServerStats {
 func (m *RPCMetrics) Format() string {
 	var sb strings.Builder
 	for _, s := range m.Snapshot() {
-		fmt.Fprintf(&sb, "%s: calls=%d errors=%d (timeouts=%d) retries=%d latency mean=%v max=%v\n",
+		fmt.Fprintf(&sb, "%s: calls=%d errors=%d (timeouts=%d) retries=%d latency mean=%v max=%v",
 			s.Server, s.Calls, s.Errors, s.Timeouts, s.Retries, s.Mean(), s.MaxLatency)
+		if s.Batches > 0 {
+			fmt.Fprintf(&sb, " coalesced runs=%d rpcs=%d saved=%d",
+				s.BatchRuns, s.BatchRPCs, s.RPCsSaved())
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

@@ -203,20 +203,13 @@ func (cl *Client) LoadMap() (map[int]float64, error) {
 	return resp.Loads, nil
 }
 
-// stripeRun is a contiguous byte range on one data server.
-type stripeRun struct {
-	server    int
-	serverOff int64 // offset within the server's piece
-	bufOff    int64 // offset within the user buffer
-	length    int64
-}
-
 // decompose splits the logical range [off, off+length) into one run
 // per data server (consecutive stripes of one server are contiguous
 // in its piece, so at most... they merge into runs; we emit per-server
-// merged run lists).
-func decompose(off, length, stripe int64, nServers int) [][]stripeRun {
-	runs := make([][]stripeRun, nServers)
+// merged run lists). Each server's runs come out in ascending
+// ServerOff (and BufOff) order — the order the vectored ops require.
+func decompose(off, length, stripe int64, nServers int) [][]StripeRun {
+	runs := make([][]StripeRun, nServers)
 	start := off
 	end := off + length
 	for off < end {
@@ -233,15 +226,15 @@ func decompose(off, length, stripe int64, nServers int) [][]stripeRun {
 		// range continue the previous run (true for consecutive
 		// stripes only when nServers == 1).
 		if k := len(list); k > 0 &&
-			list[k-1].serverOff+list[k-1].length == serverOff &&
-			list[k-1].bufOff+list[k-1].length == off-start {
-			list[k-1].length += n
+			list[k-1].ServerOff+list[k-1].Length == serverOff &&
+			list[k-1].BufOff+list[k-1].Length == off-start {
+			list[k-1].Length += n
 		} else {
-			runs[server] = append(list, stripeRun{
-				server:    server,
-				serverOff: serverOff,
-				bufOff:    off - start,
-				length:    n,
+			runs[server] = append(list, StripeRun{
+				Server:    server,
+				ServerOff: serverOff,
+				BufOff:    off - start,
+				Length:    n,
 			})
 		}
 		off += n
@@ -316,10 +309,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		n = m.Size - off
 		outErr = io.EOF
 	}
-	// Zero the destination first: holes read back as zeros.
-	for i := int64(0); i < n; i++ {
-		p[i] = 0
-	}
+	// The runs tile [0, n) of p exactly, and the vectored read path
+	// zero-fills each run's hole/EOF tail itself, so no up-front
+	// whole-buffer zeroing pass is needed.
 	runs := decompose(off, n, m.StripeSize, len(f.cl.data))
 	errs := make([]error, len(f.cl.data))
 	var wg sync.WaitGroup
@@ -328,26 +320,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 			continue
 		}
 		wg.Add(1)
-		go func(server int, list []stripeRun) {
+		go func(server int, list []StripeRun) {
 			defer wg.Done()
-			d := f.cl.data[server]
-			for _, r := range list {
-				resp, err := d.call(f.cl.ctx, &Request{
-					Op:     OpPieceRead,
-					Handle: m.Handle,
-					Offset: r.serverOff,
-					Length: r.length,
-				})
-				if err != nil {
-					errs[server] = err
-					return
-				}
-				if !resp.OK {
-					errs[server] = resp.err()
-					return
-				}
-				copy(p[r.bufOff:r.bufOff+r.length], resp.Data)
-			}
+			errs[server] = readRunsVec(f.cl.ctx, f.cl.data[server], m.Handle, list, p)
 		}(server, list)
 	}
 	wg.Wait()
@@ -380,25 +355,9 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 			continue
 		}
 		wg.Add(1)
-		go func(server int, list []stripeRun) {
+		go func(server int, list []StripeRun) {
 			defer wg.Done()
-			d := f.cl.data[server]
-			for _, r := range list {
-				resp, err := d.call(f.cl.ctx, &Request{
-					Op:     OpPieceWrite,
-					Handle: m.Handle,
-					Offset: r.serverOff,
-					Data:   p[r.bufOff : r.bufOff+r.length],
-				})
-				if err != nil {
-					errs[server] = err
-					return
-				}
-				if !resp.OK {
-					errs[server] = resp.err()
-					return
-				}
-			}
+			errs[server] = writeRunsVec(f.cl.ctx, f.cl.data[server], m.Handle, list, p)
 		}(server, list)
 	}
 	wg.Wait()
@@ -407,14 +366,20 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	}
-	if _, err := f.cl.metaCall(f.cl.ctx, &Request{Op: OpSetSize, Name: m.Name, Length: off + n}); err != nil {
-		return 0, err
+	// The size RPC is needed only when the write extends the file. Our
+	// cached size can lag the manager's (another writer may have grown
+	// the file) but never exceeds it, so off+n <= cached size proves the
+	// manager already records at least off+n and the RPC is redundant.
+	if off+n > m.Size {
+		if _, err := f.cl.metaCall(f.cl.ctx, &Request{Op: OpSetSize, Name: m.Name, Length: off + n}); err != nil {
+			return 0, err
+		}
+		f.mu.Lock()
+		if !f.closed && off+n > f.meta.Size {
+			f.meta.Size = off + n
+		}
+		f.mu.Unlock()
 	}
-	f.mu.Lock()
-	if !f.closed && off+n > f.meta.Size {
-		f.meta.Size = off + n
-	}
-	f.mu.Unlock()
 	return int(n), nil
 }
 

@@ -197,6 +197,28 @@ func (d *DataConn) FlushForwards(ctx context.Context) error {
 	return err
 }
 
+// ReadRuns reads every stripe run in runs (which must all name this
+// server) into p, scattering each run's bytes at its BufOff and
+// zero-filling hole/EOF tails. Multiple runs coalesce into a single
+// vectored RPC unless the connection was dialed WithoutCoalescing.
+func (d *DataConn) ReadRuns(ctx context.Context, handle uint64, runs []StripeRun, p []byte) error {
+	return readRunsVec(ctx, d.t, handle, runs, p)
+}
+
+// ReadRun reads one stripe run into p[r.BufOff:r.BufOff+r.Length],
+// decoding the payload directly into the destination (no per-RPC
+// payload allocation) and zero-filling any hole/EOF tail.
+func (d *DataConn) ReadRun(ctx context.Context, handle uint64, r StripeRun, p []byte) error {
+	return readRunInto(ctx, d.t, handle, r, p)
+}
+
+// WriteRuns writes every stripe run in runs (which must all name this
+// server) from p, coalescing multiple runs into a single vectored RPC
+// unless the connection was dialed WithoutCoalescing.
+func (d *DataConn) WriteRuns(ctx context.Context, handle uint64, runs []StripeRun, p []byte) error {
+	return writeRunsVec(ctx, d.t, handle, runs, p)
+}
+
 // RemovePiece deletes the server's piece of the handle.
 func (d *DataConn) RemovePiece(ctx context.Context, handle uint64) error {
 	_, err := d.call(ctx, &Request{Op: OpPieceRemove, Handle: handle})
@@ -222,19 +244,9 @@ type StripeRun struct {
 }
 
 // Decompose splits the logical byte range [off, off+length) into
-// per-server run lists under round-robin striping.
+// per-server run lists under round-robin striping. Each server's list
+// is in ascending ServerOff (and BufOff) order, the order the vectored
+// piece ops require.
 func Decompose(off, length, stripe int64, nServers int) [][]StripeRun {
-	internal := decompose(off, length, stripe, nServers)
-	out := make([][]StripeRun, len(internal))
-	for i, list := range internal {
-		for _, r := range list {
-			out[i] = append(out[i], StripeRun{
-				Server:    r.server,
-				ServerOff: r.serverOff,
-				BufOff:    r.bufOff,
-				Length:    r.length,
-			})
-		}
-	}
-	return out
+	return decompose(off, length, stripe, nServers)
 }

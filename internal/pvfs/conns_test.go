@@ -227,7 +227,8 @@ func TestMetaServerUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.close()
-	resp, err := cn.call(&Request{Op: 200})
+	var resp Response
+	err = cn.call(&Request{Op: 200}, &resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,8 @@ func TestDataServerUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cn.close()
-	resp, err := cn.call(&Request{Op: 250})
+	var resp Response
+	err = cn.call(&Request{Op: 250}, &resp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,8 +171,14 @@ func (ds *DataServer) handle(req *Request) *Response {
 	defer ds.recordDone()
 	if t := atomic.LoadInt64(&ds.throttleNsPerKiB); t > 0 {
 		n := req.Length
-		if req.Op == OpPieceWrite {
+		switch req.Op {
+		case OpPieceWrite, OpPieceWritev:
 			n = int64(len(req.Data))
+		case OpPieceReadv:
+			n = 0
+			for _, s := range req.Segs {
+				n += s.Length
+			}
 		}
 		kib := (n + 1023) / 1024
 		time.Sleep(time.Duration(t * kib))
@@ -192,8 +198,12 @@ func (ds *DataServer) handle(req *Request) *Response {
 			return errResp("piece read: %v", err)
 		}
 		return &Response{OK: true, Data: buf[:n]}
+	case OpPieceReadv:
+		return ds.handleReadv(req)
 	case OpPieceWrite:
 		return ds.handleWrite(req)
+	case OpPieceWritev:
+		return ds.handleWritev(req)
 	case OpPieceRemove:
 		err := ds.store.Remove(pieceName(req.Handle))
 		if err != nil && !isNotExist(err) {
@@ -229,6 +239,68 @@ func (ds *DataServer) handle(req *Request) *Response {
 		return &Response{OK: true}
 	}
 	return errResp("data server: unknown op %d", req.Op)
+}
+
+// handleReadv serves a vectored piece read: the piece is opened once
+// and every requested segment read positionally into one response
+// buffer — the server side of list-I/O. Segments past the piece's end
+// (holes, EOF) come back short; SegLens tells the client how much of
+// each segment was served so it can zero-fill the rest.
+func (ds *DataServer) handleReadv(req *Request) *Response {
+	lens := make([]int64, len(req.Segs))
+	f, err := ds.store.Open(pieceName(req.Handle))
+	if err != nil {
+		// Piece never written: every segment is a hole.
+		return &Response{OK: true, SegLens: lens}
+	}
+	defer f.Close()
+	var total int64
+	for _, s := range req.Segs {
+		total += s.Length
+	}
+	buf := make([]byte, 0, total)
+	for i, s := range req.Segs {
+		start := len(buf)
+		buf = buf[:start+int(s.Length)]
+		n, err := f.ReadAt(buf[start:], s.Offset)
+		if err != nil && err != io.EOF {
+			return errResp("piece readv: %v", err)
+		}
+		lens[i] = int64(n)
+		buf = buf[:start+n]
+	}
+	return &Response{OK: true, Data: buf, SegLens: lens}
+}
+
+// handleWritev applies a vectored piece write: the piece is opened (or
+// created) once and every segment written positionally from the
+// request's concatenated payload.
+func (ds *DataServer) handleWritev(req *Request) *Response {
+	var total int64
+	for _, s := range req.Segs {
+		total += s.Length
+	}
+	if total != int64(len(req.Data)) {
+		return errResp("piece writev: payload %d bytes, segments claim %d", len(req.Data), total)
+	}
+	ds.filesMu.Lock()
+	f, err := ds.store.Open(pieceName(req.Handle))
+	if err != nil {
+		f, err = ds.store.Create(pieceName(req.Handle))
+	}
+	ds.filesMu.Unlock()
+	if err != nil {
+		return errResp("piece create: %v", err)
+	}
+	defer f.Close()
+	data := req.Data
+	for _, s := range req.Segs {
+		if _, err := f.WriteAt(data[:s.Length], s.Offset); err != nil {
+			return errResp("piece writev: %v", err)
+		}
+		data = data[s.Length:]
+	}
+	return &Response{OK: true, N: int64(len(req.Data))}
 }
 
 // handleWrite applies a piece write to this server's store.
@@ -272,7 +344,8 @@ func (ds *DataServer) forward(req *Request) error {
 	}
 	fwd := *req
 	fwd.Op = OpPieceWrite
-	resp, err := ds.fwdConn.call(&fwd)
+	var resp Response
+	err := ds.fwdConn.call(&fwd, &resp)
 	if err != nil {
 		ds.fwdConn.close()
 		ds.fwdConn = nil
@@ -341,7 +414,8 @@ func (ds *DataServer) sendHeartbeat() {
 		}
 		ds.hbConn = c
 	}
-	_, err := ds.hbConn.call(&Request{Op: OpLoadReport, ServerID: ds.ID, Load: ds.Load()})
+	var resp Response
+	err := ds.hbConn.call(&Request{Op: OpLoadReport, ServerID: ds.ID, Load: ds.Load()}, &resp)
 	if err != nil {
 		ds.hbConn.close()
 		ds.hbConn = nil

@@ -49,7 +49,22 @@ const (
 	// OpFlushForwards blocks until every queued asynchronous forward
 	// accepted so far has been delivered to the mirror.
 	OpFlushForwards
+	// OpPieceReadv reads every segment in Request.Segs in one round
+	// trip: the response carries the segments' bytes concatenated in
+	// request order, with Response.SegLens giving each segment's actual
+	// length (short segments are holes or EOF; the client zero-fills).
+	OpPieceReadv
+	// OpPieceWritev writes every segment in Request.Segs in one round
+	// trip; Request.Data carries the segments' bytes concatenated in
+	// request order (each Seg.Length bytes long).
+	OpPieceWritev
 )
+
+// Seg is one server-local byte range of a vectored piece request.
+type Seg struct {
+	Offset int64
+	Length int64
+}
 
 // Request is the single wire request shape for both server kinds.
 type Request struct {
@@ -65,6 +80,9 @@ type Request struct {
 	// Stripe carries the client's stripe-size hint for OpCreate; zero
 	// means the manager's configured default.
 	Stripe int64
+	// Segs carries the server-local ranges of a vectored piece request
+	// (OpPieceReadv / OpPieceWritev), in ascending offset order.
+	Segs []Seg
 }
 
 // Meta describes one file's metadata.
@@ -85,6 +103,9 @@ type Response struct {
 	Metas    []Meta
 	Data     []byte
 	N        int64
+	// SegLens answers OpPieceReadv: the actual byte count served for
+	// each requested segment (Data holds the concatenation).
+	SegLens []int64
 	// Loads maps data-server index to its last reported load.
 	Loads map[int]float64
 }
@@ -94,6 +115,16 @@ func (r *Response) err() error {
 		return nil
 	}
 	return fmt.Errorf("pvfs: %s", r.Err)
+}
+
+// reset clears the response for reuse while keeping the capacity of
+// its Data buffer, so pooled responses decode without reallocating the
+// payload (gob reuses a slice whose capacity suffices). Every field
+// must be cleared: gob omits zero-valued fields on the wire, so a
+// recycled response would otherwise leak values from a previous call.
+func (r *Response) reset() {
+	data := r.Data[:0]
+	*r = Response{Data: data}
 }
 
 // conn is a synchronous RPC connection: one outstanding request at a
@@ -113,18 +144,20 @@ func dialConn(addr string) (*conn, error) {
 	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
 }
 
-// call performs one request/response exchange.
-func (cn *conn) call(req *Request) (*Response, error) {
+// call performs one request/response exchange, decoding the reply
+// into resp (which is reset first, so it may be a recycled value
+// holding a reusable Data buffer).
+func (cn *conn) call(req *Request, resp *Response) error {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
 	if err := cn.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("pvfs: sending request: %w", err)
+		return fmt.Errorf("pvfs: sending request: %w", err)
 	}
-	var resp Response
-	if err := cn.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("pvfs: reading response: %w", err)
+	resp.reset()
+	if err := cn.dec.Decode(resp); err != nil {
+		return fmt.Errorf("pvfs: reading response: %w", err)
 	}
-	return &resp, nil
+	return nil
 }
 
 func (cn *conn) close() error { return cn.c.Close() }

@@ -414,16 +414,16 @@ func TestDecompose(t *testing.T) {
 	// 3 servers, stripe 10: range [5, 35) covers stripes 0..3.
 	runs := decompose(5, 30, 10, 3)
 	// server 0: stripe 0 [5,10) -> serverOff 5 len 5; stripe 3 [30,35) -> serverOff 10 len 5
-	if len(runs[0]) != 2 || runs[0][0].serverOff != 5 || runs[0][0].length != 5 ||
-		runs[0][1].serverOff != 10 || runs[0][1].length != 5 {
+	if len(runs[0]) != 2 || runs[0][0].ServerOff != 5 || runs[0][0].Length != 5 ||
+		runs[0][1].ServerOff != 10 || runs[0][1].Length != 5 {
 		t.Errorf("server 0 runs: %+v", runs[0])
 	}
 	// server 1: stripe 1 full -> serverOff 0 len 10.
-	if len(runs[1]) != 1 || runs[1][0].serverOff != 0 || runs[1][0].length != 10 || runs[1][0].bufOff != 5 {
+	if len(runs[1]) != 1 || runs[1][0].ServerOff != 0 || runs[1][0].Length != 10 || runs[1][0].BufOff != 5 {
 		t.Errorf("server 1 runs: %+v", runs[1])
 	}
 	// server 2: stripe 2 full.
-	if len(runs[2]) != 1 || runs[2][0].bufOff != 15 {
+	if len(runs[2]) != 1 || runs[2][0].BufOff != 15 {
 		t.Errorf("server 2 runs: %+v", runs[2])
 	}
 }
@@ -431,7 +431,7 @@ func TestDecompose(t *testing.T) {
 func TestDecomposeMergesAdjacent(t *testing.T) {
 	// 1 server: everything is one run.
 	runs := decompose(0, 1000, 10, 1)
-	if len(runs[0]) != 1 || runs[0][0].length != 1000 {
+	if len(runs[0]) != 1 || runs[0][0].Length != 1000 {
 		t.Errorf("single-server runs not merged: %+v", runs[0])
 	}
 }
@@ -446,10 +446,10 @@ func TestDecomposeCoversRangeProperty(t *testing.T) {
 		covered := make([]bool, length)
 		for _, list := range runs {
 			for _, r := range list {
-				if r.bufOff < 0 || r.bufOff+r.length > length {
+				if r.BufOff < 0 || r.BufOff+r.Length > length {
 					return false
 				}
-				for i := r.bufOff; i < r.bufOff+r.length; i++ {
+				for i := r.BufOff; i < r.BufOff+r.Length; i++ {
 					if covered[i] {
 						return false // overlap
 					}

@@ -6,12 +6,31 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"syscall"
 	"time"
 
 	"pario/internal/chio"
 	"pario/internal/rpcpool"
 )
+
+// respPool recycles Response values — and, crucially, their Data
+// buffers — across calls. The striped read path issues one RPC per
+// server per ReadAt; decoding each reply into a fresh Response used to
+// allocate a stripe-sized []byte per RPC, which dominated hot-path
+// garbage. gob's decoder reuses a slice whose capacity suffices, so a
+// pooled Response's payload buffer is written in place.
+var respPool = sync.Pool{New: func() interface{} { return new(Response) }}
+
+// getResp returns a recycled (or fresh) Response for a pooled call.
+func getResp() *Response { return respPool.Get().(*Response) }
+
+// putResp returns a Response to the pool once its payload has been
+// consumed. The caller must not retain resp.Data afterwards.
+func putResp(resp *Response) {
+	resp.reset()
+	respPool.Put(resp)
+}
 
 // transport is the resilient RPC path to one server: a bounded
 // connection pool plus the Config's deadline/retry policy. All client
@@ -57,12 +76,22 @@ func (t *transport) close() error { return t.pool.Close() }
 // Errors are classified per the chio error contract, and the Observer
 // (if any) sees one event per call.
 func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
+	resp := new(Response)
+	if err := t.callInto(ctx, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// callInto is call decoding into a caller-supplied Response, so hot
+// paths can recycle responses (and their payload buffers) through
+// respPool instead of allocating one per RPC.
+func (t *transport) callInto(ctx context.Context, req *Request, resp *Response) error {
 	start := time.Now()
 	attempts := t.cfg.Retries + 1
 	if attempts < 1 {
 		attempts = 1
 	}
-	var resp *Response
 	var err error
 	retries := 0
 	for i := 0; i < attempts; i++ {
@@ -72,7 +101,7 @@ func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
 			}
 			retries++
 		}
-		resp, err = t.attempt(ctx, req)
+		err = t.attempt(ctx, req, resp)
 		if err == nil || ctx.Err() != nil {
 			break
 		}
@@ -83,10 +112,15 @@ func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
 	if obs := t.cfg.Observer; obs != nil {
 		obs.ObserveCall(t.addr, time.Since(start), retries, err)
 	}
-	if err != nil {
-		return nil, err
+	return err
+}
+
+// observeBatch reports one coalesced batch (runs stripe runs issued as
+// rpcs round trips) to the configured BatchObserver, if any.
+func (t *transport) observeBatch(runs, rpcs int) {
+	if obs := t.cfg.Batch; obs != nil {
+		obs.ObserveBatch(t.addr, runs, rpcs)
 	}
-	return resp, nil
 }
 
 // attempt runs a single request/response exchange on a pooled
@@ -96,10 +130,10 @@ func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
 // in-flight gob decode aborts immediately. A failed connection is
 // discarded (the pool redials on demand); a healthy one goes back for
 // reuse.
-func (t *transport) attempt(ctx context.Context, req *Request) (*Response, error) {
+func (t *transport) attempt(ctx context.Context, req *Request, resp *Response) error {
 	cn, err := t.pool.Get(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var deadline time.Time
 	if t.cfg.Timeout > 0 {
@@ -110,18 +144,18 @@ func (t *transport) attempt(ctx context.Context, req *Request) (*Response, error
 	}
 	cn.setDeadline(deadline)
 	stop := context.AfterFunc(ctx, func() { cn.setDeadline(time.Now().Add(-time.Second)) })
-	resp, err := cn.call(req)
+	err = cn.call(req, resp)
 	stop()
 	if err != nil {
 		t.pool.Discard(cn)
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			return cerr
 		}
-		return nil, err
+		return err
 	}
 	cn.setDeadline(time.Time{})
 	t.pool.Put(cn)
-	return resp, nil
+	return nil
 }
 
 // classifyErr maps transport faults onto the chio error contract:

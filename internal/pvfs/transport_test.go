@@ -91,11 +91,11 @@ func flakyProxy(t *testing.T, dst string, failConns int) string {
 }
 
 func TestDecomposeEdgeCases(t *testing.T) {
-	countRuns := func(runs [][]stripeRun) (n int, total int64) {
+	countRuns := func(runs [][]StripeRun) (n int, total int64) {
 		for _, list := range runs {
 			n += len(list)
 			for _, r := range list {
-				total += r.length
+				total += r.Length
 			}
 		}
 		return

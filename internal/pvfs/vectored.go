@@ -1,0 +1,146 @@
+package pvfs
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file is the client half of the vectored piece I/O path
+// (list I/O in the ROMIO/PVFS literature): every stripe run destined
+// for one data server travels in a single OpPieceReadv/OpPieceWritev
+// round trip instead of one RPC per run. A strided read that touches
+// k stripes of one server costs 1 RPC instead of k; combined with the
+// readahead layer's large blocks this is where the sequential-scan
+// RPC reduction comes from.
+
+// readRunsVec reads every run in runs (all on the server behind t)
+// into p, scattering each run's bytes at its BufOff and zero-filling
+// hole/EOF tails. Multiple runs coalesce into one OpPieceReadv unless
+// the transport was dialed WithoutCoalescing.
+func readRunsVec(ctx context.Context, t *transport, handle uint64, runs []StripeRun, p []byte) error {
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 || t.cfg.NoCoalesce {
+		for _, r := range runs {
+			if err := readRunInto(ctx, t, handle, r, p); err != nil {
+				return err
+			}
+		}
+		t.observeBatch(len(runs), len(runs))
+		return nil
+	}
+	segs := make([]Seg, len(runs))
+	for i, r := range runs {
+		segs[i] = Seg{Offset: r.ServerOff, Length: r.Length}
+	}
+	resp := getResp()
+	defer putResp(resp)
+	if err := t.callInto(ctx, &Request{Op: OpPieceReadv, Handle: handle, Segs: segs}, resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return resp.err()
+	}
+	if len(resp.SegLens) != len(runs) {
+		return fmt.Errorf("pvfs: readv returned %d segment lengths for %d segments",
+			len(resp.SegLens), len(runs))
+	}
+	data := resp.Data
+	for i, r := range runs {
+		got := resp.SegLens[i]
+		if got < 0 || got > r.Length || got > int64(len(data)) {
+			return fmt.Errorf("pvfs: readv segment %d: bad length %d (want <= %d, %d bytes left)",
+				i, got, r.Length, len(data))
+		}
+		copy(p[r.BufOff:r.BufOff+got], data[:got])
+		// Holes and EOF read back as zeros.
+		clear(p[r.BufOff+got : r.BufOff+r.Length])
+		data = data[got:]
+	}
+	t.observeBatch(len(runs), 1)
+	return nil
+}
+
+// readRunInto reads one run into p[r.BufOff:r.BufOff+r.Length],
+// decoding the reply payload directly into that region: the response's
+// Data slice is preset to the destination with zero length, and gob
+// reuses a slice whose capacity suffices, so the common case moves the
+// bytes once with no per-RPC payload allocation.
+func readRunInto(ctx context.Context, t *transport, handle uint64, r StripeRun, p []byte) error {
+	// Three-index slice: cap the destination at the run length so a
+	// corrupt over-long reply can never scribble past the run's region.
+	dst := p[r.BufOff : r.BufOff+r.Length : r.BufOff+r.Length]
+	resp := getResp()
+	saved := resp.Data // keep the pooled payload buffer across the borrow
+	resp.Data = dst[:0]
+	err := t.callInto(ctx, &Request{Op: OpPieceRead, Handle: handle, Offset: r.ServerOff, Length: r.Length}, resp)
+	if err == nil && !resp.OK {
+		err = resp.err()
+	}
+	got := 0
+	if err == nil {
+		got = len(resp.Data)
+		if got > 0 && &resp.Data[0] != &dst[0] {
+			// The decoder reallocated (reply exceeded the run length);
+			// keep only what fits.
+			got = copy(dst, resp.Data)
+		}
+		// Holes and EOF read back as zeros.
+		clear(dst[got:])
+	}
+	resp.Data = saved
+	putResp(resp)
+	return err
+}
+
+// writeRunsVec writes every run in runs (all on the server behind t)
+// from p. Multiple runs coalesce into one OpPieceWritev — the payload
+// is the runs' bytes gathered in order — unless the transport was
+// dialed WithoutCoalescing.
+func writeRunsVec(ctx context.Context, t *transport, handle uint64, runs []StripeRun, p []byte) error {
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 || t.cfg.NoCoalesce {
+		for _, r := range runs {
+			resp := getResp()
+			err := t.callInto(ctx, &Request{
+				Op:     OpPieceWrite,
+				Handle: handle,
+				Offset: r.ServerOff,
+				Data:   p[r.BufOff : r.BufOff+r.Length],
+			}, resp)
+			if err == nil && !resp.OK {
+				err = resp.err()
+			}
+			putResp(resp)
+			if err != nil {
+				return err
+			}
+		}
+		t.observeBatch(len(runs), len(runs))
+		return nil
+	}
+	segs := make([]Seg, len(runs))
+	var total int64
+	for i, r := range runs {
+		segs[i] = Seg{Offset: r.ServerOff, Length: r.Length}
+		total += r.Length
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range runs {
+		buf = append(buf, p[r.BufOff:r.BufOff+r.Length]...)
+	}
+	resp := getResp()
+	err := t.callInto(ctx, &Request{Op: OpPieceWritev, Handle: handle, Data: buf, Segs: segs}, resp)
+	if err == nil && !resp.OK {
+		err = resp.err()
+	}
+	putResp(resp)
+	if err != nil {
+		return err
+	}
+	t.observeBatch(len(runs), 1)
+	return nil
+}

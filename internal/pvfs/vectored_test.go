@@ -1,0 +1,238 @@
+package pvfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"pario/internal/iotrace"
+	"pario/internal/rpcpool"
+)
+
+// TestDecomposeRunsAscendingProperty: within each server's list, runs
+// are in strictly ascending ServerOff and BufOff order — the order the
+// vectored piece ops require on the wire.
+func TestDecomposeRunsAscendingProperty(t *testing.T) {
+	f := func(offRaw, lenRaw uint16, stripeSel, nSel uint8) bool {
+		stripe := int64(1 + stripeSel%128)
+		n := 1 + int(nSel%8)
+		off := int64(offRaw % 4096)
+		length := int64(lenRaw%4096) + 1
+		runs := decompose(off, length, stripe, n)
+		for server, list := range runs {
+			for i, r := range list {
+				if r.Server != server || r.Length <= 0 {
+					return false
+				}
+				if i > 0 {
+					prev := list[i-1]
+					if r.ServerOff <= prev.ServerOff || r.BufOff <= prev.BufOff {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectoredReadWriteRoundTrip exercises OpPieceReadv/OpPieceWritev
+// end to end through DataConn.WriteRuns/ReadRuns, including hole
+// zero-fill and EOF-short segments.
+func TestVectoredReadWriteRoundTrip(t *testing.T) {
+	tc := startCluster(t, 1, 64)
+	cl := tc.client
+	resp, err := cl.metaCall(cl.ctx, &Request{Op: OpCreate, Name: "v", Stripe: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle := resp.Meta.Handle
+	d, err := DialData(tc.iods[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Write two disjoint runs in one vectored RPC.
+	buf := make([]byte, 300)
+	for i := range buf {
+		buf[i] = byte(i + 1)
+	}
+	writeRuns := []StripeRun{
+		{ServerOff: 0, BufOff: 0, Length: 100},
+		{ServerOff: 200, BufOff: 200, Length: 100},
+	}
+	if err := d.WriteRuns(bg, handle, writeRuns, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read back three runs: the two written ranges plus the hole
+	// between them and a range past EOF.
+	got := make([]byte, 500)
+	for i := range got {
+		got[i] = 0xEE // must be overwritten or zeroed, never left
+	}
+	readRuns := []StripeRun{
+		{ServerOff: 0, BufOff: 0, Length: 100},     // written
+		{ServerOff: 100, BufOff: 100, Length: 100}, // hole -> zeros
+		{ServerOff: 200, BufOff: 200, Length: 100}, // written
+		{ServerOff: 300, BufOff: 300, Length: 200}, // past EOF -> zeros
+	}
+	if err := d.ReadRuns(bg, handle, readRuns, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:100], buf[:100]) || !bytes.Equal(got[200:300], buf[200:300]) {
+		t.Fatal("vectored read returned wrong data for written runs")
+	}
+	for i := 100; i < 200; i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %#x, want 0", i, got[i])
+		}
+	}
+	for i := 300; i < 500; i++ {
+		if got[i] != 0 {
+			t.Fatalf("past-EOF byte %d = %#x, want 0", i, got[i])
+		}
+	}
+}
+
+// TestCoalescedReadMatchesLegacy: the same strided ReadAt produces the
+// same bytes with and without coalescing, and the coalesced client
+// issues strictly fewer data-server RPCs.
+func TestCoalescedReadMatchesLegacy(t *testing.T) {
+	const nServers = 2
+	const stripe = int64(64)
+	tc := startCluster(t, nServers, stripe)
+
+	// Content spanning many stripes per server.
+	data := make([]byte, 8*1024)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	f, err := tc.client.Create("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	read := func(opts ...rpcpool.Option) ([]byte, *iotrace.RPCMetrics) {
+		m := iotrace.NewRPCMetrics()
+		opts = append(opts, rpcpool.WithObserver(m), rpcpool.WithBatchObserver(m))
+		var addrs []string
+		for _, ds := range tc.iods {
+			addrs = append(addrs, ds.Addr())
+		}
+		cl, err := Dial(tc.mgr.Addr(), addrs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		fr, err := cl.Open("db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fr.Close()
+		out := make([]byte, len(data))
+		if _, err := fr.ReadAt(out, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		return out, m
+	}
+
+	fast, fastM := read()
+	slow, slowM := read(rpcpool.WithoutCoalescing())
+	if !bytes.Equal(fast, data) {
+		t.Fatal("coalesced read data mismatch")
+	}
+	if !bytes.Equal(slow, data) {
+		t.Fatal("legacy read data mismatch")
+	}
+	count := func(m *iotrace.RPCMetrics) (rpcs, saved int64) {
+		for _, s := range m.Snapshot() {
+			rpcs += s.BatchRPCs
+			saved += s.RPCsSaved()
+		}
+		return
+	}
+	fastRPCs, fastSaved := count(fastM)
+	slowRPCs, slowSaved := count(slowM)
+	if fastRPCs >= slowRPCs {
+		t.Errorf("coalescing saved nothing: %d vs %d data RPCs", fastRPCs, slowRPCs)
+	}
+	if fastSaved == 0 {
+		t.Error("coalesced client reported zero RPCs saved")
+	}
+	if slowSaved != 0 {
+		t.Errorf("non-coalescing client reported %d RPCs saved", slowSaved)
+	}
+}
+
+// TestWriteAtSkipsSizeRPCWhenNotExtending: overwriting bytes within
+// the file's known size must not issue an OpSetSize metadata RPC.
+func TestWriteAtSkipsSizeRPCWhenNotExtending(t *testing.T) {
+	tc := startCluster(t, 2, 64)
+	f, err := tc.client.Create("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 1024)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	m := iotrace.NewRPCMetrics()
+	var addrs []string
+	for _, ds := range tc.iods {
+		addrs = append(addrs, ds.Addr())
+	}
+	cl, err := Dial(tc.mgr.Addr(), addrs, rpcpool.WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	metaAddr := tc.mgr.Addr()
+	metaCalls := func() int64 {
+		for _, s := range m.Snapshot() {
+			if s.Server == metaAddr {
+				return s.Calls
+			}
+		}
+		return 0
+	}
+	fw, err := cl.Open("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	before := metaCalls()
+	// Interior overwrite: no size RPC.
+	if _, err := fw.WriteAt(make([]byte, 100), 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := metaCalls(); got != before {
+		t.Errorf("interior overwrite issued %d metadata RPCs, want 0", got-before)
+	}
+	// Extending write: exactly one size RPC.
+	if _, err := fw.WriteAt(make([]byte, 100), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := metaCalls(); got != before+1 {
+		t.Errorf("extending write issued %d metadata RPCs, want 1", got-before)
+	}
+	// Verify the size really grew.
+	fi, err := cl.Stat("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 1100 {
+		t.Errorf("size = %d, want 1100", fi.Size)
+	}
+}

@@ -1,0 +1,311 @@
+package readahead
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"pario/internal/chio"
+	"pario/internal/iotrace"
+)
+
+// writeFile creates name on fs with the given content.
+func writeFile(t *testing.T, fs chio.FileSystem, name string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pattern returns n deterministic but position-dependent bytes.
+func pattern(n int, salt byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*31 + salt
+	}
+	return p
+}
+
+func TestReadThroughMatchesBackend(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(10_000, 1)
+	writeFile(t, mem, "db", data)
+	ra := Wrap(mem, WithBlockSize(1024), WithCapacity(4), WithWindow(2))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Mixed-size reads at mixed offsets, including re-reads.
+	for _, c := range []struct{ off, n int }{
+		{0, 100}, {100, 1024}, {1124, 3000}, {0, 100}, {9000, 1000}, {500, 8500},
+	} {
+		got := make([]byte, c.n)
+		n, err := f.ReadAt(got, int64(c.off))
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d, %d): %v", c.off, c.n, err)
+		}
+		if !bytes.Equal(got[:n], data[c.off:c.off+n]) {
+			t.Fatalf("ReadAt(%d, %d): data mismatch", c.off, c.n)
+		}
+		if n != c.n {
+			t.Fatalf("ReadAt(%d, %d): short read %d", c.off, c.n, n)
+		}
+	}
+}
+
+func TestReadAfterWriteInvalidation(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(4096, 1)
+	writeFile(t, mem, "db", data)
+	ra := Wrap(mem, WithBlockSize(1024), WithWindow(0))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Populate the cache.
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the middle through the layer; overlapping blocks must
+	// drop so the next read sees fresh bytes.
+	upd := pattern(1500, 99)
+	if _, err := f.WriteAt(upd, 1000); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[1000:], upd)
+	got := make([]byte, 4096)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after write returned stale cached data")
+	}
+}
+
+func TestWriteGrowsFileInvalidatesTail(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(1500, 1) // 1.5 blocks: block 1 is a cached short tail
+	writeFile(t, mem, "db", data)
+	ra := Wrap(mem, WithBlockSize(1024), WithWindow(0))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1500)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	// Append past the cached EOF tail without overlapping it.
+	ext := pattern(1000, 7)
+	if _, err := f.WriteAt(ext, 1500); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2500)
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, data...), ext...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("growth write left a stale short tail block cached")
+	}
+}
+
+func TestEOFAtBlockBoundary(t *testing.T) {
+	mem := chio.NewMemFS()
+	const bs = 1024
+	for _, size := range []int{bs, 3 * bs, bs - 1, 3*bs + 1} {
+		name := fmt.Sprintf("f%d", size)
+		data := pattern(size, byte(size))
+		writeFile(t, mem, name, data)
+		ra := Wrap(mem, WithBlockSize(bs), WithWindow(2))
+		f, err := ra.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full read returns everything.
+		got := make([]byte, size)
+		if n, err := f.ReadAt(got, 0); n != size || (err != nil && err != io.EOF) {
+			t.Fatalf("size %d: full read got (%d, %v)", size, n, err)
+		} else if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: full read data mismatch", size)
+		}
+		// Read past EOF returns the tail plus io.EOF.
+		got = make([]byte, 100)
+		n, err := f.ReadAt(got, int64(size)-10)
+		if n != 10 || err != io.EOF {
+			t.Fatalf("size %d: tail read got (%d, %v), want (10, EOF)", size, n, err)
+		}
+		if !bytes.Equal(got[:10], data[size-10:]) {
+			t.Fatalf("size %d: tail read data mismatch", size)
+		}
+		// Read starting exactly at EOF.
+		if n, err := f.ReadAt(got, int64(size)); n != 0 || err != io.EOF {
+			t.Fatalf("size %d: at-EOF read got (%d, %v), want (0, EOF)", size, n, err)
+		}
+		f.Close()
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(64*1024, 3)
+	writeFile(t, mem, "db", data)
+	stats := &iotrace.CacheStats{}
+	ra := Wrap(mem, WithBlockSize(4096), WithCapacity(8), WithWindow(3), WithStats(stats))
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, err := ra.Open("db")
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer f.Close()
+			buf := make([]byte, 1000)
+			for off := 0; off+len(buf) <= len(data); off += len(buf) {
+				n, err := f.ReadAt(buf, int64(off))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(buf[:n], data[off:off+n]) {
+					errs[g] = fmt.Errorf("goroutine %d: mismatch at %d", g, off)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.Hits == 0 || snap.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", snap)
+	}
+}
+
+func TestPrefetchErrorDoesNotCorruptLaterReads(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(32*1024, 5)
+	writeFile(t, mem, "db", data)
+	fault := chio.NewFaultFS(mem)
+	ra := Wrap(fault, WithBlockSize(1024), WithWindow(4))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 512)
+	// Start a sequential scan so prefetches are in flight, then arm the
+	// fault so some of them fail mid-flight, then heal and continue.
+	boom := errors.New("mid-prefetch fault")
+	for off := 0; off+len(buf) <= len(data); off += len(buf) {
+		switch off {
+		case 2048:
+			fault.Arm(boom)
+		case 8192:
+			fault.Disarm()
+		}
+		n, err := f.ReadAt(buf, int64(off))
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("off %d: unexpected error %v", off, err)
+			}
+			// Expected while armed; data must not be consumed.
+			continue
+		}
+		if !bytes.Equal(buf[:n], data[off:off+n]) {
+			t.Fatalf("off %d: corrupted read after prefetch fault", off)
+		}
+	}
+	// After healing, a full re-read matches exactly.
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("full re-read after fault mismatch")
+	}
+}
+
+func TestSequentialScanPrefetches(t *testing.T) {
+	mem := chio.NewMemFS()
+	data := pattern(16*1024, 9)
+	writeFile(t, mem, "db", data)
+	stats := &iotrace.CacheStats{}
+	ra := Wrap(mem, WithBlockSize(1024), WithWindow(4), WithStats(stats))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 256)
+	for off := 0; off+len(buf) <= len(data); off += len(buf) {
+		if _, err := f.ReadAt(buf, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.PrefetchIssued == 0 {
+		t.Error("sequential scan issued no prefetches")
+	}
+	if snap.Hits == 0 {
+		t.Error("sequential scan produced no cache hits")
+	}
+}
+
+func TestCreateDropsCache(t *testing.T) {
+	mem := chio.NewMemFS()
+	writeFile(t, mem, "db", pattern(2048, 1))
+	ra := Wrap(mem, WithBlockSize(1024), WithWindow(0))
+	f, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Recreate with different content through the layer.
+	fresh := pattern(2048, 42)
+	writeFile(t, ra, "db", fresh)
+	f2, err := ra.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, err := f2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fresh) {
+		t.Fatal("Create left stale blocks cached")
+	}
+}
+
+func TestBackendName(t *testing.T) {
+	ra := Wrap(chio.NewMemFS())
+	if ra.BackendName() != "mem+ra" {
+		t.Fatalf("BackendName = %q", ra.BackendName())
+	}
+}

@@ -55,6 +55,14 @@ type Config struct {
 	// Observer, when non-nil, receives one event per finished call
 	// (after all retries) — the hook iotrace.RPCMetrics plugs into.
 	Observer Observer
+	// Batch, when non-nil, receives one event per coalesced batch of
+	// stripe runs issued to a server (vectored piece I/O), so the RPCs
+	// saved by coalescing are observable.
+	Batch BatchObserver
+	// NoCoalesce disables vectored piece I/O: every stripe run is
+	// issued as its own RPC, the pre-list-I/O behaviour. Exists for
+	// benchmarks and A/B comparison, not production use.
+	NoCoalesce bool
 }
 
 // DefaultConfig returns a production-sane fault policy; the stripe
@@ -105,11 +113,27 @@ func WithRetryBackoff(base, max time.Duration) Option {
 // WithObserver installs a per-call statistics sink.
 func WithObserver(o Observer) Option { return func(c *Config) { c.Observer = o } }
 
+// WithBatchObserver installs a per-batch coalescing statistics sink.
+func WithBatchObserver(o BatchObserver) Option { return func(c *Config) { c.Batch = o } }
+
+// WithoutCoalescing disables vectored piece I/O (one RPC per stripe
+// run, the legacy behaviour) — for benchmarks and A/B comparison.
+func WithoutCoalescing() Option { return func(c *Config) { c.NoCoalesce = true } }
+
 // Observer receives one event per finished RPC (after retries).
 // Implementations must be safe for concurrent use; iotrace.RPCMetrics
 // is the standard one.
 type Observer interface {
 	ObserveCall(server string, latency time.Duration, retries int, err error)
+}
+
+// BatchObserver receives one event per coalesced batch on the striped
+// I/O path: runs stripe runs destined for one server were issued as
+// rpcs round trips (rpcs < runs means coalescing saved RPCs).
+// Implementations must be safe for concurrent use; iotrace.RPCMetrics
+// implements this too.
+type BatchObserver interface {
+	ObserveBatch(server string, runs, rpcs int)
 }
 
 // Backoff returns the pause before retry attempt (0-based): an

@@ -1,0 +1,129 @@
+package pario
+
+import (
+	"crypto/sha256"
+	"io"
+	"testing"
+	"time"
+
+	"pario/internal/chio"
+	"pario/internal/core"
+	"pario/internal/iotrace"
+	"pario/internal/readahead"
+	"pario/internal/rpcpool"
+)
+
+// TestSequentialScanRPCReduction is the acceptance bar for the
+// vectored-read + readahead work: a sequential scan in small
+// application reads must reach the data servers in at least 5x fewer
+// RPCs with coalescing + readahead than the legacy one-RPC-per-run
+// path, while returning byte-identical data (checksummed).
+//
+// The arithmetic at the test's shape (4 servers, 64 KB stripes, 16 KB
+// application reads, 1 MB readahead blocks): legacy issues 64 data
+// RPCs per MB; a 1 MB block fetch decomposes into 4 runs per server,
+// coalesced into one vectored RPC each, so ~4 data RPCs per MB.
+func TestSequentialScanRPCReduction(t *testing.T) {
+	const (
+		fileSize = 4 << 20 // 4 MB
+		readSize = 16 << 10
+		raBlock  = 1 << 20
+	)
+	dep, err := core.StartPVFS(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Seed the file.
+	seedCl, err := dep.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, fileSize)
+	for i := range payload {
+		payload[i] = byte(i*2654435761 + i>>8)
+	}
+	if err := chio.WriteFull(seedCl, "db", payload); err != nil {
+		t.Fatal(err)
+	}
+	seedCl.Close()
+	wantSum := sha256.Sum256(payload)
+
+	// scan reads the file sequentially in readSize chunks through fs
+	// and returns the checksum of everything read.
+	scan := func(fs chio.FileSystem) [32]byte {
+		f, err := fs.Open("db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		h := sha256.New()
+		buf := make([]byte, readSize)
+		var off int64
+		for off < fileSize {
+			n, err := f.ReadAt(buf, off)
+			if err != nil && err != io.EOF {
+				t.Fatalf("ReadAt(%d): %v", off, err)
+			}
+			if n == 0 {
+				t.Fatalf("ReadAt(%d): zero-length read before EOF", off)
+			}
+			h.Write(buf[:n])
+			off += int64(n)
+		}
+		var sum [32]byte
+		h.Sum(sum[:0])
+		return sum
+	}
+
+	// dataRPCs sums RPCs to the data servers (the manager is metadata
+	// traffic, not part of the bar).
+	dataRPCs := func(m *iotrace.RPCMetrics) int64 {
+		var n int64
+		for _, s := range m.Snapshot() {
+			if s.Server != dep.Mgr.Addr() {
+				n += s.Calls
+			}
+		}
+		return n
+	}
+
+	// Legacy path: no readahead, one RPC per stripe run.
+	legacyM := iotrace.NewRPCMetrics()
+	legacyCl, err := dep.Client(rpcpool.WithObserver(legacyM), rpcpool.WithoutCoalescing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySum := scan(legacyCl)
+	legacyCl.Close()
+
+	// New path: vectored coalescing + readahead block cache.
+	fastM := iotrace.NewRPCMetrics()
+	fastCl, err := dep.Client(rpcpool.WithObserver(fastM), rpcpool.WithBatchObserver(fastM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSum := scan(readahead.Wrap(fastCl, readahead.WithBlockSize(raBlock), readahead.WithWindow(2)))
+	// Let in-flight prefetches settle before counting their RPCs.
+	time.Sleep(100 * time.Millisecond)
+	fastRPCs := dataRPCs(fastM)
+	fastCl.Close()
+
+	if legacySum != wantSum {
+		t.Fatal("legacy scan checksum mismatch")
+	}
+	if fastSum != wantSum {
+		t.Fatal("readahead scan checksum mismatch")
+	}
+	legacyRPCs := dataRPCs(legacyM)
+	if legacyRPCs == 0 || fastRPCs == 0 {
+		t.Fatalf("implausible RPC counts: legacy=%d fast=%d", legacyRPCs, fastRPCs)
+	}
+	ratio := float64(legacyRPCs) / float64(fastRPCs)
+	t.Logf("data-server RPCs: legacy=%d readahead+coalesced=%d (%.1fx reduction)",
+		legacyRPCs, fastRPCs, ratio)
+	if ratio < 5 {
+		t.Errorf("RPC reduction %.1fx < 5x (legacy=%d, fast=%d)", ratio, legacyRPCs, fastRPCs)
+	}
+}
