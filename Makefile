@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-smoke
+.PHONY: build test check lint race bench bench-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,28 @@ build:
 test:
 	$(GO) test ./...
 
-# Full hygiene gate: vet everything, run the whole suite with the
-# race detector (the transport layer is heavily concurrent), then make
-# sure every benchmark still at least runs.
-check:
-	$(GO) vet ./...
+# Full hygiene gate: lint everything, run the whole suite with the
+# race detector (the transport layer is heavily concurrent), make
+# sure every benchmark still at least runs, then smoke the live
+# /metrics endpoint.
+check: lint
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
+	$(MAKE) metrics-smoke
+
+# go vet always; staticcheck and govulncheck when installed (the
+# container image may not carry them, and `go install` needs network).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+
+# Boot a throwaway data server with -debug-addr, scrape /metrics, and
+# require the telemetry families the dashboards depend on.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

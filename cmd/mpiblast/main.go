@@ -41,6 +41,7 @@ import (
 	"pario/internal/readahead"
 	"pario/internal/rpcpool"
 	"pario/internal/seq"
+	"pario/internal/telemetry"
 )
 
 func main() {
@@ -70,6 +71,10 @@ func main() {
 		rpcStats  = flag.Bool("rpc-stats", false, "print per-server RPC latency/retry counters at exit")
 		noCoal    = flag.Bool("no-coalesce", false, "issue one RPC per stripe run instead of vectored batches (A/B comparison)")
 
+		// Live observability endpoints.
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
+		slowRPC   = flag.Duration("slow-rpc", 0, "log spans slower than this threshold (0 disables; needs -debug-addr)")
+
 		// Client-side readahead/block cache (any -io mode).
 		raEnable = flag.Bool("readahead", false, "enable the client-side readahead/block cache on worker reads")
 		raBlock  = flag.Int64("ra-block", readahead.DefaultBlockSize, "readahead block size in bytes")
@@ -98,6 +103,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// -debug-addr turns on the live observability stack: a metrics
+	// registry and span tracer shared by every transport this process
+	// dials, exposed over HTTP for the lifetime of the job.
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(0)
+		tracer.SetSlowThreshold(*slowRPC, nil)
+		dbg, err := telemetry.StartDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "mpiblast: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+
 	var metrics *iotrace.RPCMetrics
 	transportOpts := func() []rpcpool.Option {
 		opts := []rpcpool.Option{
@@ -108,9 +132,18 @@ func main() {
 		if *noCoal {
 			opts = append(opts, rpcpool.WithoutCoalescing())
 		}
+		if reg != nil {
+			opts = append(opts,
+				rpcpool.WithMetrics(rpcpool.NewMetrics(reg)),
+				rpcpool.WithTracer(tracer))
+		}
 		if *rpcStats {
 			if metrics == nil {
-				metrics = iotrace.NewRPCMetrics()
+				if reg != nil {
+					metrics = iotrace.NewRPCMetricsOn(reg)
+				} else {
+					metrics = iotrace.NewRPCMetrics()
+				}
 			}
 			opts = append(opts, rpcpool.WithObserver(metrics), rpcpool.WithBatchObserver(metrics))
 		}
@@ -125,9 +158,10 @@ func main() {
 			readahead.WithCapacity(*raCache),
 			readahead.WithWindow(*raWindow),
 		}
-		if *rpcStats {
+		if *rpcStats || reg != nil {
 			if cacheStats == nil {
 				cacheStats = &iotrace.CacheStats{}
+				cacheStats.Register(reg)
 			}
 			opts = append(opts, readahead.WithStats(cacheStats))
 		}
@@ -144,7 +178,7 @@ func main() {
 		if metrics != nil {
 			fmt.Fprint(os.Stderr, metrics.Format())
 		}
-		if cacheStats != nil {
+		if cacheStats != nil && *rpcStats {
 			fmt.Fprintln(os.Stderr, cacheStats.Snapshot().Format())
 		}
 	}()
@@ -259,6 +293,7 @@ func main() {
 			DBName: *db,
 			Params: blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
 		}
+		cfg.SetTelemetry(pblast.NewTelemetry(reg))
 		if *querySeg {
 			cfg.Mode = pblast.QuerySegmentation
 		}
@@ -277,11 +312,12 @@ func main() {
 	queries := loadQueries(*queryF, prog)
 
 	cfg := core.SearchConfig{
-		DBName:   *db,
-		Workers:  *workers,
-		Params:   blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
-		MasterFS: masterFS,
-		WorkerFS: workerFS,
+		DBName:    *db,
+		Workers:   *workers,
+		Params:    blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+		MasterFS:  masterFS,
+		WorkerFS:  workerFS,
+		Telemetry: pblast.NewTelemetry(reg),
 	}
 	if *querySeg {
 		cfg.Mode = pblast.QuerySegmentation

@@ -18,15 +18,17 @@ import (
 
 	"pario/internal/chio"
 	"pario/internal/pvfs"
+	"pario/internal/telemetry"
 )
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "data server index (CEFT: 0..G-1 primary, G..2G-1 mirror)")
-		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
-		store    = flag.String("store", "", "directory holding stripe pieces (required)")
-		mgr      = flag.String("mgr", "", "metadata server address for load heartbeats")
-		throttle = flag.Duration("throttle", 0, "artificial service delay per KiB (emulates a loaded disk)")
+		id        = flag.Int("id", 0, "data server index (CEFT: 0..G-1 primary, G..2G-1 mirror)")
+		listen    = flag.String("listen", "127.0.0.1:7001", "listen address")
+		store     = flag.String("store", "", "directory holding stripe pieces (required)")
+		mgr       = flag.String("mgr", "", "metadata server address for load heartbeats")
+		throttle  = flag.Duration("throttle", 0, "artificial service delay per KiB (emulates a loaded disk)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -38,13 +40,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := pvfs.StartDataServer(pvfs.DataServerConfig{
+	cfg := pvfs.DataServerConfig{
 		ID:              *id,
 		Addr:            *listen,
 		Store:           st,
 		MgrAddr:         *mgr,
 		HeartbeatPeriod: 250 * time.Millisecond,
-	})
+	}
+	var dbg *telemetry.DebugServer
+	if *debugAddr != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Tracer = telemetry.NewTracer(0)
+		dbg, err = telemetry.StartDebug(*debugAddr, cfg.Telemetry, cfg.Tracer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pvfsd: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+	ds, err := pvfs.StartDataServer(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,6 +67,9 @@ func main() {
 	fmt.Printf("pvfsd: iod %d serving on %s, store %s\n", *id, ds.Addr(), *store)
 	wait()
 	ds.Close()
+	if dbg != nil {
+		dbg.Close()
+	}
 }
 
 func wait() {

@@ -15,25 +15,38 @@ import (
 	"syscall"
 
 	"pario/internal/pvfs"
+	"pario/internal/telemetry"
 	"pario/internal/util"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
-		servers = flag.Int("servers", 1, "number of data servers files are striped over")
-		stripe  = flag.String("stripe", "64KB", "stripe size")
+		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
+		servers   = flag.Int("servers", 1, "number of data servers files are striped over")
+		stripe    = flag.String("stripe", "64KB", "stripe size")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	stripeBytes, err := util.ParseBytes(*stripe)
 	if err != nil {
 		fatal(err)
 	}
-	ms, err := pvfs.StartMetaServer(pvfs.MetaConfig{
+	cfg := pvfs.MetaConfig{
 		Addr:       *listen,
 		NumServers: *servers,
 		StripeSize: stripeBytes,
-	})
+	}
+	var dbg *telemetry.DebugServer
+	if *debugAddr != "" {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Tracer = telemetry.NewTracer(0)
+		dbg, err = telemetry.StartDebug(*debugAddr, cfg.Telemetry, cfg.Tracer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pvfsmgr: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+	ms, err := pvfs.StartMetaServer(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -41,6 +54,9 @@ func main() {
 		ms.Addr(), *servers, util.FormatBytes(stripeBytes))
 	wait()
 	ms.Close()
+	if dbg != nil {
+		dbg.Close()
+	}
 }
 
 func wait() {

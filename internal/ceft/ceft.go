@@ -33,6 +33,7 @@ import (
 	"pario/internal/chio"
 	"pario/internal/pvfs"
 	"pario/internal/rpcpool"
+	"pario/internal/telemetry"
 )
 
 // WriteProtocol selects how writes are duplicated onto the mirror
@@ -116,6 +117,7 @@ func DefaultOptions() Options {
 // primary server i is server G+i.
 type Client struct {
 	opts    Options
+	tracer  *telemetry.Tracer
 	ctx     context.Context
 	meta    *pvfs.MetaConn
 	primary []*pvfs.DataConn
@@ -201,7 +203,15 @@ func Dial(mgrAddr string, primaryAddrs, mirrorAddrs []string, o Options, opts ..
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{opts: o, ctx: context.Background(), meta: meta}
+	cl := &Client{
+		opts: o,
+		// The root-span tracer is the one the transports share via
+		// rpcpool.WithTracer, so application reads and the RPC spans
+		// they fan out into land in the same buffer.
+		tracer: rpcpool.Apply(opts...).Tracer,
+		ctx:    context.Background(),
+		meta:   meta,
+	}
 	for _, a := range primaryAddrs {
 		cl.primary = append(cl.primary, pvfs.DialDataLazy(a, opts...))
 	}
@@ -632,8 +642,17 @@ func (cl *Client) degradeWrites(ctx context.Context, errs []error, runs [][]pvfs
 }
 
 // WriteAt duplicates the write onto both groups (RAID-10) using the
-// configured duplication protocol.
+// configured duplication protocol. The root span ties the per-server
+// duplication RPCs into one trace for this application write.
 func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	ctx, sp := f.cl.tracer.Start(f.ctx, "write")
+	n, err := f.writeAt(ctx, p, off)
+	sp.AddBytes(int64(n))
+	sp.Finish(err)
+	return n, err
+}
+
+func (f *file) writeAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("ceft: negative write offset")
 	}
@@ -654,8 +673,8 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		var wg sync.WaitGroup
 		var perrs, merrs []error
 		wg.Add(2)
-		go func() { defer wg.Done(); perrs = writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, plainWrite) }()
-		go func() { defer wg.Done(); merrs = writeRunsPerServer(f.ctx, f.cl.mirror, runs, m.Handle, p, plainWrite) }()
+		go func() { defer wg.Done(); perrs = writeRunsPerServer(ctx, f.cl.primary, runs, m.Handle, p, plainWrite) }()
+		go func() { defer wg.Done(); merrs = writeRunsPerServer(ctx, f.cl.mirror, runs, m.Handle, p, plainWrite) }()
 		wg.Wait()
 		var deg int64
 		for i := range perrs {
@@ -668,11 +687,11 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		}
 		f.cl.addDegraded(deg)
 	case ClientAsync:
-		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, plainWrite)
+		perrs := writeRunsPerServer(ctx, f.cl.primary, runs, m.Handle, p, plainWrite)
 		// A dead primary degrades to a synchronous write on its mirror
 		// partner (the background duplicate below rewrites the same
 		// bytes there, which is harmless).
-		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
+		if err := f.cl.degradeWrites(ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 		dup := append([]byte(nil), p...)
@@ -685,16 +704,16 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 			f.cl.recordAsyncErr(writeRuns(context.Background(), f.cl.mirror, runs, m.Handle, dup, plainWrite))
 		}()
 	case ServerSync:
-		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, dupSyncWrite)
+		perrs := writeRunsPerServer(ctx, f.cl.primary, runs, m.Handle, p, dupSyncWrite)
 		// A dead primary degrades to plain writes on its mirror; an
 		// alive primary's refusal (forward failure, missing mirror
 		// config) still propagates.
-		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
+		if err := f.cl.degradeWrites(ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 	case ServerAsync:
-		perrs := writeRunsPerServer(f.ctx, f.cl.primary, runs, m.Handle, p, dupAsyncWrite)
-		if err := f.cl.degradeWrites(f.ctx, perrs, runs, m.Handle, p); err != nil {
+		perrs := writeRunsPerServer(ctx, f.cl.primary, runs, m.Handle, p, dupAsyncWrite)
+		if err := f.cl.degradeWrites(ctx, perrs, runs, m.Handle, p); err != nil {
 			return 0, err
 		}
 	default:
@@ -704,7 +723,7 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	// cached size can lag the manager's but never exceeds it, so
 	// off+n <= cached size proves the manager already records it.
 	if off+n > m.Size {
-		if err := f.cl.meta.GrowSize(f.ctx, m.Name, off+n); err != nil {
+		if err := f.cl.meta.GrowSize(ctx, m.Name, off+n); err != nil {
 			return 0, err
 		}
 		f.mu.Lock()
@@ -796,22 +815,28 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	}
 	// No up-front zeroing pass: the runs tile [0, n) of p exactly, and
 	// the vectored read path zero-fills each run's hole/EOF tail.
+	// The root span ties the per-server (and failover) RPC spans below
+	// into one trace for this application read.
+	ctx, sp := f.cl.tracer.Start(f.ctx, "read")
 	g := len(f.cl.primary)
 	if !f.cl.opts.DoubledReads {
-		conns, _ := f.cl.pickConns(f.ctx, true)
+		conns, _ := f.cl.pickConns(ctx, true)
 		runs := pvfs.Decompose(off, n, m.StripeSize, g)
 		var fo int64
-		if err := readRuns(f.ctx, conns, f.cl.partners(conns), runs, m.Handle, p[:n], &fo); err != nil {
+		if err := readRuns(ctx, conns, f.cl.partners(conns), runs, m.Handle, p[:n], &fo); err != nil {
+			sp.Finish(err)
 			return 0, err
 		}
 		f.cl.addFailovers(fo)
+		sp.AddBytes(n)
+		sp.Finish(nil)
 		return int(n), outErr
 	}
 	// Doubled parallelism: first half from the primary group, second
 	// half from the mirror group, concurrently (2G servers active).
 	half := n / 2
-	primConns, _ := f.cl.pickConns(f.ctx, true)
-	mirrConns, _ := f.cl.pickConns(f.ctx, false)
+	primConns, _ := f.cl.pickConns(ctx, true)
+	mirrConns, _ := f.cl.pickConns(ctx, false)
 	var wg sync.WaitGroup
 	var err1, err2 error
 	if half > 0 {
@@ -820,7 +845,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 			defer wg.Done()
 			runs := pvfs.Decompose(off, half, m.StripeSize, g)
 			var fo int64
-			err1 = readRuns(f.ctx, primConns, f.cl.partners(primConns), runs, m.Handle, p[:half], &fo)
+			err1 = readRuns(ctx, primConns, f.cl.partners(primConns), runs, m.Handle, p[:half], &fo)
 			f.cl.addFailovers(fo)
 		}()
 	}
@@ -830,17 +855,21 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 			defer wg.Done()
 			runs := pvfs.Decompose(off+half, n-half, m.StripeSize, g)
 			var fo int64
-			err2 = readRuns(f.ctx, mirrConns, f.cl.partners(mirrConns), runs, m.Handle, p[half:n], &fo)
+			err2 = readRuns(ctx, mirrConns, f.cl.partners(mirrConns), runs, m.Handle, p[half:n], &fo)
 			f.cl.addFailovers(fo)
 		}()
 	}
 	wg.Wait()
 	if err1 != nil {
+		sp.Finish(err1)
 		return 0, err1
 	}
 	if err2 != nil {
+		sp.Finish(err2)
 		return 0, err2
 	}
+	sp.AddBytes(n)
+	sp.Finish(nil)
 	return int(n), outErr
 }
 

@@ -112,6 +112,9 @@ type SearchConfig struct {
 	// Trace, when non-nil, records every worker's application-level
 	// I/O (Figure 4 instrumentation).
 	Trace *iotrace.Trace
+	// Telemetry, when non-nil, receives the master's scheduling
+	// metrics (task service times, reassignments).
+	Telemetry *pblast.Telemetry
 }
 
 // SearchOption tunes ParallelSearch/ParallelSearchBatch beyond the
@@ -185,12 +188,14 @@ func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, 
 			}
 		}
 	}
-	return pblast.RunInProcess(ctx, cfg.Workers, query, pblast.Config{
+	pcfg := pblast.Config{
 		DBName:      cfg.DBName,
 		Params:      cfg.Params,
 		Mode:        cfg.Mode,
 		CopyToLocal: cfg.CopyToLocal,
-	}, cfg.MasterFS, workerFS, scratch)
+	}
+	pcfg.SetTelemetry(cfg.Telemetry)
+	return pblast.RunInProcess(ctx, cfg.Workers, query, pcfg, cfg.MasterFS, workerFS, scratch)
 }
 
 // PVFSDeployment is a running single-machine PVFS: one metadata
@@ -369,9 +374,11 @@ func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg Searc
 			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
 		}
 	}
-	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, pblast.Config{
+	pcfg := pblast.Config{
 		DBName:      cfg.DBName,
 		Params:      cfg.Params,
 		CopyToLocal: cfg.CopyToLocal,
-	}, cfg.MasterFS, workerFS, scratch)
+	}
+	pcfg.SetTelemetry(cfg.Telemetry)
+	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, pcfg, cfg.MasterFS, workerFS, scratch)
 }

@@ -3,6 +3,8 @@ package iotrace
 import (
 	"fmt"
 	"sync/atomic"
+
+	"pario/internal/telemetry"
 )
 
 // CacheStats aggregates the client-side readahead/block-cache counters
@@ -12,10 +14,11 @@ import (
 // wasted). All methods are safe for concurrent use; a single CacheStats
 // is typically shared by every worker's readahead layer.
 type CacheStats struct {
-	hits           atomic.Int64
-	misses         atomic.Int64
-	prefetchIssued atomic.Int64
-	prefetchWasted atomic.Int64
+	hits            atomic.Int64
+	misses          atomic.Int64
+	prefetchIssued  atomic.Int64
+	prefetchWasted  atomic.Int64
+	prefetchAborted atomic.Int64
 }
 
 // Hit records a block read served from the cache (including blocks a
@@ -32,21 +35,55 @@ func (c *CacheStats) PrefetchIssued() { c.prefetchIssued.Add(1) }
 // read.
 func (c *CacheStats) PrefetchWasted() { c.prefetchWasted.Add(1) }
 
+// PrefetchAborted records a speculative fetch whose result was
+// discarded before publication — the fetch failed, or the cached file
+// generation changed underneath it.
+func (c *CacheStats) PrefetchAborted() { c.prefetchAborted.Add(1) }
+
+// Register exposes the counters on reg as scrape-time functions, so a
+// zero-value CacheStats (the readahead layer's default) shows up on
+// /metrics without changing how it is updated.
+func (c *CacheStats) Register(reg *telemetry.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("pario_readahead_hits_total",
+		"Block reads served from the readahead cache.",
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc("pario_readahead_misses_total",
+		"Block reads that fetched from the backend.",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc("pario_readahead_prefetch_issued_total",
+		"Speculative block fetches started.",
+		func() float64 { return float64(c.prefetchIssued.Load()) })
+	reg.CounterFunc("pario_readahead_prefetch_wasted_total",
+		"Prefetched blocks evicted without ever being read.",
+		func() float64 { return float64(c.prefetchWasted.Load()) })
+	reg.CounterFunc("pario_readahead_prefetch_aborted_total",
+		"Speculative fetches discarded before publication.",
+		func() float64 { return float64(c.prefetchAborted.Load()) })
+	reg.GaugeFunc("pario_readahead_hit_ratio",
+		"Cache hits over hits+misses, 0 with no traffic.",
+		func() float64 { return c.Snapshot().HitRate() })
+}
+
 // CacheSnapshot is a point-in-time copy of the counters.
 type CacheSnapshot struct {
-	Hits           int64
-	Misses         int64
-	PrefetchIssued int64
-	PrefetchWasted int64
+	Hits            int64
+	Misses          int64
+	PrefetchIssued  int64
+	PrefetchWasted  int64
+	PrefetchAborted int64
 }
 
 // Snapshot returns the current counter values.
 func (c *CacheStats) Snapshot() CacheSnapshot {
 	return CacheSnapshot{
-		Hits:           c.hits.Load(),
-		Misses:         c.misses.Load(),
-		PrefetchIssued: c.prefetchIssued.Load(),
-		PrefetchWasted: c.prefetchWasted.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		PrefetchIssued:  c.prefetchIssued.Load(),
+		PrefetchWasted:  c.prefetchWasted.Load(),
+		PrefetchAborted: c.prefetchAborted.Load(),
 	}
 }
 
@@ -61,6 +98,6 @@ func (s CacheSnapshot) HitRate() float64 {
 
 // Format renders the counters as one line.
 func (s CacheSnapshot) Format() string {
-	return fmt.Sprintf("readahead: hits=%d misses=%d (%.1f%% hit rate) prefetch issued=%d wasted=%d",
-		s.Hits, s.Misses, 100*s.HitRate(), s.PrefetchIssued, s.PrefetchWasted)
+	return fmt.Sprintf("readahead: hits=%d misses=%d (%.1f%% hit rate) prefetch issued=%d wasted=%d aborted=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.PrefetchIssued, s.PrefetchWasted, s.PrefetchAborted)
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pario/internal/chio"
@@ -22,10 +23,13 @@ type Op string
 
 // Trace operation kinds.
 const (
-	OpRead  Op = "read"
-	OpWrite Op = "write"
-	OpOpen  Op = "open"
-	OpStat  Op = "stat"
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpOpen   Op = "open"
+	OpCreate Op = "create"
+	OpStat   Op = "stat"
+	OpRemove Op = "remove"
+	OpList   Op = "list"
 )
 
 // Event is one recorded I/O operation.
@@ -40,33 +44,34 @@ type Event struct {
 
 // Trace accumulates events from any number of goroutines.
 type Trace struct {
+	on     atomic.Bool
 	mu     sync.Mutex
 	start  time.Time
 	events []Event
-	on     bool
 }
 
 // NewTrace returns an enabled trace anchored at time.Now. The paper
 // turns tracing off while timing; call SetEnabled(false) for that.
 func NewTrace() *Trace {
-	return &Trace{start: time.Now(), on: true}
+	t := &Trace{start: time.Now()}
+	t.on.Store(true)
+	return t
 }
 
 // SetEnabled switches recording on or off (off = zero overhead apart
 // from one atomic check, mirroring the paper's methodology of
 // disabling trace collection during timed runs).
 func (t *Trace) SetEnabled(on bool) {
-	t.mu.Lock()
-	t.on = on
-	t.mu.Unlock()
+	t.on.Store(on)
 }
 
 func (t *Trace) add(ev Event) {
-	t.mu.Lock()
-	if t.on {
-		ev.When = time.Since(t.start)
-		t.events = append(t.events, ev)
+	if !t.on.Load() {
+		return
 	}
+	t.mu.Lock()
+	ev.When = time.Since(t.start)
+	t.events = append(t.events, ev)
 	t.mu.Unlock()
 }
 
@@ -171,13 +176,15 @@ func Wrap(inner chio.FileSystem, trace *Trace, worker string) *FS {
 // BackendName reports the inner backend's name with a trace marker.
 func (f *FS) BackendName() string { return f.Inner.BackendName() + "+trace" }
 
-// Create implements chio.FileSystem.
+// Create implements chio.FileSystem. Creation is traced as its own op
+// (distinct from open): the two have very different costs on a striped
+// backend, where create clears stale pieces on every data server.
 func (f *FS) Create(name string) (chio.File, error) {
 	inner, err := f.Inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	f.Trace.add(Event{Op: OpOpen, File: name, Worker: f.Worker})
+	f.Trace.add(Event{Op: OpCreate, File: name, Worker: f.Worker})
 	return &file{File: inner, fs: f}, nil
 }
 
@@ -201,10 +208,23 @@ func (f *FS) Stat(name string) (chio.FileInfo, error) {
 }
 
 // Remove implements chio.FileSystem.
-func (f *FS) Remove(name string) error { return f.Inner.Remove(name) }
+func (f *FS) Remove(name string) error {
+	err := f.Inner.Remove(name)
+	if err == nil {
+		f.Trace.add(Event{Op: OpRemove, File: name, Worker: f.Worker})
+	}
+	return err
+}
 
-// List implements chio.FileSystem.
-func (f *FS) List(prefix string) ([]chio.FileInfo, error) { return f.Inner.List(prefix) }
+// List implements chio.FileSystem. Size records the number of entries
+// returned.
+func (f *FS) List(prefix string) ([]chio.FileInfo, error) {
+	fis, err := f.Inner.List(prefix)
+	if err == nil {
+		f.Trace.add(Event{Op: OpList, File: prefix, Size: int64(len(fis)), Worker: f.Worker})
+	}
+	return fis, err
+}
 
 // WithContext implements chio.ContextBinder by forwarding to the
 // wrapped backend, so tracing composes with context-aware backends.
@@ -212,15 +232,32 @@ func (f *FS) WithContext(ctx context.Context) chio.FileSystem {
 	return &FS{Inner: chio.BindContext(f.Inner, ctx), Trace: f.Trace, Worker: f.Worker}
 }
 
+// file tracks the sequential position alongside the inner file so
+// Read/Write events record the real offset they touched instead of a
+// placeholder. Positional ReadAt/WriteAt do not move it, matching the
+// inner file's cursor semantics.
 type file struct {
 	chio.File
-	fs *FS
+	fs  *FS
+	mu  sync.Mutex
+	pos int64
+}
+
+// advance returns the sequential position before an n-byte transfer
+// and moves the cursor past it.
+func (fl *file) advance(n int) int64 {
+	fl.mu.Lock()
+	off := fl.pos
+	fl.pos += int64(n)
+	fl.mu.Unlock()
+	return off
 }
 
 func (fl *file) Read(p []byte) (int, error) {
 	n, err := fl.File.Read(p)
 	if n > 0 {
-		fl.fs.Trace.add(Event{Op: OpRead, File: fl.File.Name(), Size: int64(n), Offset: -1, Worker: fl.fs.Worker})
+		off := fl.advance(n)
+		fl.fs.Trace.add(Event{Op: OpRead, File: fl.File.Name(), Size: int64(n), Offset: off, Worker: fl.fs.Worker})
 	}
 	return n, err
 }
@@ -236,7 +273,8 @@ func (fl *file) ReadAt(p []byte, off int64) (int, error) {
 func (fl *file) Write(p []byte) (int, error) {
 	n, err := fl.File.Write(p)
 	if n > 0 {
-		fl.fs.Trace.add(Event{Op: OpWrite, File: fl.File.Name(), Size: int64(n), Offset: -1, Worker: fl.fs.Worker})
+		off := fl.advance(n)
+		fl.fs.Trace.add(Event{Op: OpWrite, File: fl.File.Name(), Size: int64(n), Offset: off, Worker: fl.fs.Worker})
 	}
 	return n, err
 }
@@ -247,4 +285,14 @@ func (fl *file) WriteAt(p []byte, off int64) (int, error) {
 		fl.fs.Trace.add(Event{Op: OpWrite, File: fl.File.Name(), Size: int64(n), Offset: off, Worker: fl.fs.Worker})
 	}
 	return n, err
+}
+
+func (fl *file) Seek(offset int64, whence int) (int64, error) {
+	pos, err := fl.File.Seek(offset, whence)
+	if err == nil {
+		fl.mu.Lock()
+		fl.pos = pos
+		fl.mu.Unlock()
+	}
+	return pos, err
 }

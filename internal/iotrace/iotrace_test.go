@@ -34,7 +34,7 @@ func TestTraceRecordsOps(t *testing.T) {
 	g.Close()
 
 	evs := trace.Events()
-	var reads, writes, opens int
+	var reads, writes, opens, creates int
 	for _, ev := range evs {
 		switch ev.Op {
 		case OpRead:
@@ -44,15 +44,93 @@ func TestTraceRecordsOps(t *testing.T) {
 			}
 		case OpWrite:
 			writes++
+			if ev.Offset != 0 {
+				t.Errorf("sequential write recorded offset %d, want 0", ev.Offset)
+			}
 		case OpOpen:
 			opens++
+		case OpCreate:
+			creates++
 		}
 	}
-	if writes != 1 || opens != 2 {
-		t.Errorf("writes=%d opens=%d", writes, opens)
+	if writes != 1 || opens != 1 || creates != 1 {
+		t.Errorf("writes=%d opens=%d creates=%d", writes, opens, creates)
 	}
 	if reads < 2 {
 		t.Errorf("reads=%d, want >=2", reads)
+	}
+}
+
+// TestSequentialOffsets verifies sequential Read/Write events record
+// the real file position (not a placeholder) and that Seek rebases it.
+func TestSequentialOffsets(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	f, err := fs.Create("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 10)) // offset 0
+	f.Write(make([]byte, 20)) // offset 10
+	f.Close()
+
+	g, err := fs.Open("seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	g.Read(buf) // offset 0
+	g.Read(buf) // offset 5
+	if _, err := g.Seek(20, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	g.Read(buf) // offset 20
+	g.Close()
+
+	var got []int64
+	for _, ev := range trace.Events() {
+		if ev.Op == OpRead || ev.Op == OpWrite {
+			got = append(got, ev.Offset)
+		}
+	}
+	want := []int64{0, 10, 0, 5, 20}
+	if len(got) != len(want) {
+		t.Fatalf("events offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d offset = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRemoveListTraced verifies namespace ops are traced.
+func TestRemoveListTraced(t *testing.T) {
+	trace := NewTrace()
+	fs := Wrap(chio.NewMemFS(), trace, "w")
+	if err := chio.WriteFull(fs, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	var lists, removes int
+	for _, ev := range trace.Events() {
+		switch ev.Op {
+		case OpList:
+			lists++
+			if ev.Size != 1 {
+				t.Errorf("list size = %d, want 1 entry", ev.Size)
+			}
+		case OpRemove:
+			removes++
+		}
+	}
+	if lists != 1 || removes != 1 {
+		t.Errorf("lists=%d removes=%d, want 1 each", lists, removes)
 	}
 }
 

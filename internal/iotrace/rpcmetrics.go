@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pario/internal/chio"
+	"pario/internal/telemetry"
 )
 
 // ServerStats aggregates the transport-level RPC statistics of one
@@ -58,35 +59,72 @@ func (s ServerStats) Mean() time.Duration {
 // The per-server view is what the paper's hot-spot analysis needs: a
 // disk-stressed server shows up as one address with ballooning mean
 // latency and retry counts while its peers stay flat.
+//
+// The counters live in a telemetry.Registry — its own private one by
+// default, or a shared one via NewRPCMetricsOn, in which case they are
+// also served live on the registry's /metrics page as the
+// pario_client_rpc_* families.
 type RPCMetrics struct {
+	calls     *telemetry.CounterVec
+	errors    *telemetry.CounterVec
+	timeouts  *telemetry.CounterVec
+	retries   *telemetry.CounterVec
+	latency   *telemetry.HistogramVec
+	batches   *telemetry.CounterVec
+	batchRuns *telemetry.CounterVec
+	batchRPCs *telemetry.CounterVec
+
 	mu      sync.Mutex
-	servers map[string]*ServerStats
+	servers map[string]struct{}
 }
 
-// NewRPCMetrics returns an empty collector.
+// NewRPCMetrics returns a collector backed by a private registry.
 func NewRPCMetrics() *RPCMetrics {
-	return &RPCMetrics{servers: make(map[string]*ServerStats)}
+	return NewRPCMetricsOn(telemetry.NewRegistry())
+}
+
+// NewRPCMetricsOn returns a collector whose counters live in reg, so
+// the same numbers the exit dump prints are scrapeable live.
+func NewRPCMetricsOn(reg *telemetry.Registry) *RPCMetrics {
+	return &RPCMetrics{
+		calls: reg.CounterVec("pario_client_rpc_calls_total",
+			"Finished client RPC calls (each including all its retries).", "server"),
+		errors: reg.CounterVec("pario_client_rpc_errors_total",
+			"Client RPC calls failed after exhausting retries.", "server"),
+		timeouts: reg.CounterVec("pario_client_rpc_timeouts_total",
+			"Failed client RPC calls classified as timeouts.", "server"),
+		retries: reg.CounterVec("pario_client_rpc_retries_total",
+			"Retry attempts summed across client RPC calls.", "server"),
+		latency: reg.HistogramVec("pario_client_rpc_call_seconds",
+			"End-to-end client RPC call latency including backoff pauses.", "server"),
+		batches: reg.CounterVec("pario_client_rpc_batches_total",
+			"Coalesced stripe-run batches on the striped I/O path.", "server"),
+		batchRuns: reg.CounterVec("pario_client_rpc_batch_runs_total",
+			"Stripe runs carried by coalesced batches.", "server"),
+		batchRPCs: reg.CounterVec("pario_client_rpc_batch_rpcs_total",
+			"Round trips actually issued for coalesced batches.", "server"),
+		servers: make(map[string]struct{}),
+	}
+}
+
+// seen remembers a server so Snapshot can enumerate every address that
+// ever reported, whichever observer path it arrived through.
+func (m *RPCMetrics) seen(server string) {
+	m.mu.Lock()
+	m.servers[server] = struct{}{}
+	m.mu.Unlock()
 }
 
 // ObserveCall implements rpcpool.Observer.
 func (m *RPCMetrics) ObserveCall(server string, latency time.Duration, retries int, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.servers[server]
-	if s == nil {
-		s = &ServerStats{Server: server}
-		m.servers[server] = s
-	}
-	s.Calls++
-	s.Retries += int64(retries)
-	s.TotalLatency += latency
-	if latency > s.MaxLatency {
-		s.MaxLatency = latency
-	}
+	m.seen(server)
+	m.calls.With(server).Inc()
+	m.retries.With(server).Add(int64(retries))
+	m.latency.With(server).ObserveDuration(latency)
 	if err != nil {
-		s.Errors++
+		m.errors.With(server).Inc()
 		if errors.Is(err, chio.ErrTimeout) {
-			s.Timeouts++
+			m.timeouts.With(server).Inc()
 		}
 	}
 }
@@ -94,27 +132,37 @@ func (m *RPCMetrics) ObserveCall(server string, latency time.Duration, retries i
 // ObserveBatch implements rpcpool.BatchObserver: runs stripe runs
 // destined for server were issued as rpcs round trips.
 func (m *RPCMetrics) ObserveBatch(server string, runs, rpcs int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.servers[server]
-	if s == nil {
-		s = &ServerStats{Server: server}
-		m.servers[server] = s
-	}
-	s.Batches++
-	s.BatchRuns += int64(runs)
-	s.BatchRPCs += int64(rpcs)
+	m.seen(server)
+	m.batches.With(server).Inc()
+	m.batchRuns.With(server).Add(int64(runs))
+	m.batchRPCs.With(server).Add(int64(rpcs))
 }
 
 // Snapshot returns the per-server statistics sorted by server address.
 func (m *RPCMetrics) Snapshot() []ServerStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]ServerStats, 0, len(m.servers))
-	for _, s := range m.servers {
-		out = append(out, *s)
+	servers := make([]string, 0, len(m.servers))
+	for s := range m.servers {
+		servers = append(servers, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	m.mu.Unlock()
+	sort.Strings(servers)
+	out := make([]ServerStats, 0, len(servers))
+	for _, srv := range servers {
+		h := m.latency.With(srv)
+		out = append(out, ServerStats{
+			Server:       srv,
+			Calls:        m.calls.With(srv).Value(),
+			Errors:       m.errors.With(srv).Value(),
+			Timeouts:     m.timeouts.With(srv).Value(),
+			Retries:      m.retries.With(srv).Value(),
+			TotalLatency: time.Duration(h.Sum() * float64(time.Second)),
+			MaxLatency:   time.Duration(h.Max() * float64(time.Second)),
+			Batches:      m.batches.With(srv).Value(),
+			BatchRuns:    m.batchRuns.With(srv).Value(),
+			BatchRPCs:    m.batchRPCs.With(srv).Value(),
+		})
+	}
 	return out
 }
 

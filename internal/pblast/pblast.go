@@ -72,7 +72,17 @@ type Config struct {
 	// another idle worker, so a crashed worker cannot stall the job
 	// (duplicate results are discarded). Zero disables reassignment.
 	TaskTimeout time.Duration
+
+	// tel is the master-side scheduling telemetry sink. Unexported so
+	// it never travels in the gob-encoded job broadcast (gob skips
+	// unexported fields); set it with SetTelemetry.
+	tel *Telemetry
 }
+
+// SetTelemetry installs the master-side scheduling telemetry sink.
+// The sink stays local to the master: it is not part of the job
+// broadcast to workers.
+func (c *Config) SetTelemetry(t *Telemetry) { c.tel = t }
 
 // job is broadcast from the master to every worker before scheduling.
 type job struct {
@@ -227,6 +237,7 @@ func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out 
 					time.Since(assignedAt[i]) >= cfg.TaskTimeout {
 					pick = i
 					out.Reassigned++
+					cfg.tel.observeReassign()
 					break
 				}
 			}
@@ -302,6 +313,7 @@ func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out 
 			out.CopyTime += rm.CopyTime
 			out.SearchTime += rm.SearchTime
 			out.TaskTimes[rm.Index] = rm.SearchTime
+			cfg.tel.observeTask(rm.SearchTime, rm.CopyTime)
 		default:
 			return nil, fmt.Errorf("pblast: master got unexpected tag %d", m.Tag)
 		}

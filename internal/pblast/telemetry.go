@@ -1,0 +1,56 @@
+package pblast
+
+import (
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+// Telemetry publishes the master's scheduling observations — fragment
+// service times, copy times, completions, reassignments — into a
+// metrics registry, so a live /metrics scrape shows how evenly the
+// task pool is draining while a search runs. A nil *Telemetry records
+// nothing.
+type Telemetry struct {
+	taskTime   *telemetry.Histogram
+	copyTime   *telemetry.Histogram
+	tasksDone  *telemetry.Counter
+	reassigned *telemetry.Counter
+}
+
+// NewTelemetry registers the scheduling metric families on reg.
+func NewTelemetry(reg *telemetry.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		taskTime: reg.Histogram("pario_pblast_task_seconds",
+			"Per-task (fragment or query piece) search service time as reported by workers."),
+		copyTime: reg.Histogram("pario_pblast_copy_seconds",
+			"Per-task database copy-to-local time as reported by workers."),
+		tasksDone: reg.Counter("pario_pblast_tasks_completed_total",
+			"Tasks whose results the master has accepted."),
+		reassigned: reg.Counter("pario_pblast_tasks_reassigned_total",
+			"Overdue tasks re-handed to another worker (fault-tolerant scheduling)."),
+	}
+}
+
+// observeTask records one accepted task result.
+func (t *Telemetry) observeTask(search, copy time.Duration) {
+	if t == nil {
+		return
+	}
+	t.tasksDone.Inc()
+	t.taskTime.ObserveDuration(search)
+	if copy > 0 {
+		t.copyTime.ObserveDuration(copy)
+	}
+}
+
+// observeReassign records one task reassignment.
+func (t *Telemetry) observeReassign() {
+	if t == nil {
+		return
+	}
+	t.reassigned.Inc()
+}

@@ -312,6 +312,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	// The runs tile [0, n) of p exactly, and the vectored read path
 	// zero-fills each run's hole/EOF tail itself, so no up-front
 	// whole-buffer zeroing pass is needed.
+	// The root span (when tracing is on) ties the per-server RPC spans
+	// issued below into one trace for this application-level read.
+	ctx, sp := f.cl.cfg.Tracer.Start(f.cl.ctx, "read")
 	runs := decompose(off, n, m.StripeSize, len(f.cl.data))
 	errs := make([]error, len(f.cl.data))
 	var wg sync.WaitGroup
@@ -322,15 +325,18 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		wg.Add(1)
 		go func(server int, list []StripeRun) {
 			defer wg.Done()
-			errs[server] = readRunsVec(f.cl.ctx, f.cl.data[server], m.Handle, list, p)
+			errs[server] = readRunsVec(ctx, f.cl.data[server], m.Handle, list, p)
 		}(server, list)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			sp.Finish(err)
 			return 0, err
 		}
 	}
+	sp.AddBytes(n)
+	sp.Finish(nil)
 	return int(n), outErr
 }
 
@@ -347,6 +353,7 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	if n == 0 {
 		return 0, nil
 	}
+	ctx, sp := f.cl.cfg.Tracer.Start(f.cl.ctx, "write")
 	runs := decompose(off, n, m.StripeSize, len(f.cl.data))
 	errs := make([]error, len(f.cl.data))
 	var wg sync.WaitGroup
@@ -357,15 +364,18 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 		wg.Add(1)
 		go func(server int, list []StripeRun) {
 			defer wg.Done()
-			errs[server] = writeRunsVec(f.cl.ctx, f.cl.data[server], m.Handle, list, p)
+			errs[server] = writeRunsVec(ctx, f.cl.data[server], m.Handle, list, p)
 		}(server, list)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			sp.Finish(err)
 			return 0, err
 		}
 	}
+	sp.AddBytes(n)
+	sp.Finish(nil)
 	// The size RPC is needed only when the write extends the file. Our
 	// cached size can lag the manager's (another writer may have grown
 	// the file) but never exceeds it, so off+n <= cached size proves the

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pario/internal/chio"
+	"pario/internal/telemetry"
 )
 
 // DataServer is a PVFS I/O daemon (iod): it stores the stripe pieces
@@ -24,6 +25,7 @@ type DataServer struct {
 	tracker *connTracker
 	closed  chan struct{}
 	started time.Time
+	tel     *serverMetrics
 
 	// Throttle emulates a slow or overloaded disk: each served byte
 	// costs this much time. Zero means full speed. Guarded by
@@ -80,6 +82,12 @@ type DataServerConfig struct {
 	// MirrorAddr, if non-empty, is this server's mirror partner and
 	// enables the server-side duplication write ops.
 	MirrorAddr string
+	// Telemetry, if non-nil, receives this server's request counters,
+	// latency histograms, and load gauges.
+	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records a server-side span for every request
+	// that arrives stamped with a trace identity.
+	Tracer *telemetry.Tracer
 }
 
 // StartDataServer launches an iod and returns once it is listening.
@@ -106,6 +114,8 @@ func StartDataServer(cfg DataServerConfig) (*DataServer, error) {
 		fwdQueue:   make(chan fwdItem, 256),
 		tracker:    newConnTracker(),
 	}
+	ds.tel = newServerMetrics(cfg.Telemetry, cfg.Tracer, fmt.Sprintf("iod%d", cfg.ID))
+	ds.tel.enableIODGauges(cfg.Telemetry)
 	go acceptLoop(ln, ds.handle, &ds.wg, ds.tracker)
 	go ds.sampleLoop()
 	if ds.mgrAddr != "" {
@@ -127,6 +137,8 @@ func (ds *DataServer) sampleLoop() {
 	t := time.NewTicker(period)
 	defer t.Stop()
 	const alpha = 0.3
+	lastBytes := ds.tel.servedBytes()
+	lastTime := time.Now()
 	for {
 		select {
 		case <-ds.closed:
@@ -139,6 +151,16 @@ func (ds *DataServer) sampleLoop() {
 				if atomic.CompareAndSwapUint64(&ds.loadEWMA, old, next) {
 					break
 				}
+			}
+			if ds.tel != nil {
+				now := time.Now()
+				bytes := ds.tel.servedBytes()
+				rate := 0.0
+				if dt := now.Sub(lastTime).Seconds(); dt > 0 {
+					rate = float64(bytes-lastBytes) / dt
+				}
+				lastBytes, lastTime = bytes, now
+				ds.tel.sample(atomic.LoadInt64(&ds.inflight), ds.Load(), rate)
 			}
 		}
 	}
@@ -169,6 +191,7 @@ func pieceName(handle uint64) string { return fmt.Sprintf("pieces/%016x", handle
 func (ds *DataServer) handle(req *Request) *Response {
 	ds.recordArrival()
 	defer ds.recordDone()
+	start := time.Now()
 	if t := atomic.LoadInt64(&ds.throttleNsPerKiB); t > 0 {
 		n := req.Length
 		switch req.Op {
@@ -181,8 +204,17 @@ func (ds *DataServer) handle(req *Request) *Response {
 			}
 		}
 		kib := (n + 1023) / 1024
-		time.Sleep(time.Duration(t * kib))
+		wait := time.Duration(t * kib)
+		time.Sleep(wait)
+		ds.tel.observeQueueWait(wait)
 	}
+	resp := ds.dispatch(req)
+	ds.tel.observe(req, resp, start, time.Since(start))
+	return resp
+}
+
+// dispatch routes one decoded request to its op handler.
+func (ds *DataServer) dispatch(req *Request) *Response {
 	switch req.Op {
 	case OpPieceRead:
 		f, err := ds.store.Open(pieceName(req.Handle))

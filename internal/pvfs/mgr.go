@@ -3,8 +3,12 @@ package pvfs
 import (
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"pario/internal/telemetry"
 )
 
 // MetaServer is the PVFS metadata manager: it owns the name space
@@ -15,6 +19,8 @@ type MetaServer struct {
 	ln      net.Listener
 	wg      sync.WaitGroup
 	tracker *connTracker
+	tel     *serverMetrics
+	loadsG  *telemetry.GaugeVec
 
 	mu         sync.Mutex
 	files      map[string]*Meta
@@ -32,6 +38,11 @@ type MetaConfig struct {
 	NumServers int
 	// StripeSize defaults to DefaultStripeSize (64 KB).
 	StripeSize int64
+	// Telemetry, if non-nil, receives the manager's request metrics
+	// and the per-server load map gathered from iod heartbeats.
+	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records server-side spans for traced requests.
+	Tracer *telemetry.Tracer
 }
 
 // StartMetaServer launches the manager.
@@ -52,6 +63,12 @@ func StartMetaServer(cfg MetaConfig) (*MetaServer, error) {
 		loads:      make(map[int]float64),
 		tracker:    newConnTracker(),
 	}
+	ms.tel = newServerMetrics(cfg.Telemetry, cfg.Tracer, "mgr")
+	if cfg.Telemetry != nil {
+		ms.loadsG = cfg.Telemetry.GaugeVec("pario_mgr_server_load",
+			"Last load heartbeat received from each data server.",
+			"server")
+	}
 	go acceptLoop(ln, ms.handle, &ms.wg, ms.tracker)
 	return ms, nil
 }
@@ -60,6 +77,15 @@ func StartMetaServer(cfg MetaConfig) (*MetaServer, error) {
 func (ms *MetaServer) Addr() string { return ms.ln.Addr().String() }
 
 func (ms *MetaServer) handle(req *Request) *Response {
+	start := time.Now()
+	resp := ms.dispatch(req)
+	ms.tel.observe(req, resp, start, time.Since(start))
+	return resp
+}
+
+// dispatch routes one decoded request to its op handler under the
+// namespace lock.
+func (ms *MetaServer) dispatch(req *Request) *Response {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	switch req.Op {
@@ -123,6 +149,9 @@ func (ms *MetaServer) handle(req *Request) *Response {
 		return &Response{OK: true, Metas: metas}
 	case OpLoadReport:
 		ms.loads[req.ServerID] = req.Load
+		if ms.loadsG != nil {
+			ms.loadsG.With(strconv.Itoa(req.ServerID)).Set(req.Load)
+		}
 		return &Response{OK: true}
 	case OpLoadQuery:
 		out := make(map[int]float64, len(ms.loads))

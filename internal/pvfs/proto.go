@@ -83,6 +83,54 @@ type Request struct {
 	// Segs carries the server-local ranges of a vectored piece request
 	// (OpPieceReadv / OpPieceWritev), in ascending offset order.
 	Segs []Seg
+	// TraceID/SpanID propagate the client span that issued this
+	// request, so server-side work is attributable to the application
+	// call that caused it. Zero means untraced. gob omits zero fields
+	// and ignores unknown ones, so peers built before these fields
+	// interoperate unchanged in both directions.
+	TraceID uint64
+	SpanID  uint64
+}
+
+// String names the op for metric labels and span names.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpLookup:
+		return "lookup"
+	case OpStat:
+		return "stat"
+	case OpRemove:
+		return "remove"
+	case OpList:
+		return "list"
+	case OpSetSize:
+		return "set_size"
+	case OpLoadReport:
+		return "load_report"
+	case OpLoadQuery:
+		return "load_query"
+	case OpPieceRead:
+		return "piece_read"
+	case OpPieceWrite:
+		return "piece_write"
+	case OpPieceRemove:
+		return "piece_remove"
+	case OpPing:
+		return "ping"
+	case OpPieceWriteDupSync:
+		return "piece_write_dup_sync"
+	case OpPieceWriteDupAsync:
+		return "piece_write_dup_async"
+	case OpFlushForwards:
+		return "flush_forwards"
+	case OpPieceReadv:
+		return "piece_readv"
+	case OpPieceWritev:
+		return "piece_writev"
+	}
+	return fmt.Sprintf("op_%d", uint8(o))
 }
 
 // Meta describes one file's metadata.

@@ -1,0 +1,144 @@
+package pvfs
+
+import (
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+// serverMetrics is the instrument set a pvfs daemon (mgr or iod)
+// publishes into its telemetry registry, plus the server side of span
+// tracing: every handled request is counted and timed per op, and a
+// request stamped with a trace identity produces a "serve:" span
+// parented on the client RPC span that carried it — so one
+// application-level read decomposes into attributed per-server work.
+//
+// A nil *serverMetrics is valid and records nothing, so handler code
+// instruments unconditionally.
+type serverMetrics struct {
+	name   string // label value and span attribution, e.g. "iod3" or "mgr"
+	tracer *telemetry.Tracer
+
+	requests *telemetry.CounterVec   // pario_server_requests_total{server,op,outcome}
+	latency  *telemetry.HistogramVec // pario_server_op_seconds{server,op}
+
+	// iod-only extras (nil on the mgr): load gauges the acceptance
+	// criteria call "per-IOD load" — in-flight requests, served
+	// bytes/s, and the emulated-disk queue wait distribution.
+	inflight   *telemetry.Gauge
+	load       *telemetry.Gauge
+	bytesTotal *telemetry.Counter
+	bytesRate  *telemetry.Gauge
+	queueWait  *telemetry.Histogram
+}
+
+// newServerMetrics registers the request families shared by both
+// server kinds. reg may be nil (returns nil: telemetry disabled).
+func newServerMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer, name string) *serverMetrics {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	sm := &serverMetrics{name: name, tracer: tracer}
+	if reg != nil {
+		sm.requests = reg.CounterVec("pario_server_requests_total",
+			"RPC requests handled, by server, op, and outcome.",
+			"server", "op", "outcome")
+		sm.latency = reg.HistogramVec("pario_server_op_seconds",
+			"Server-side request handling latency in seconds.",
+			"server", "op")
+	}
+	return sm
+}
+
+// enableIODGauges registers the data-server load instruments.
+func (sm *serverMetrics) enableIODGauges(reg *telemetry.Registry) {
+	if sm == nil || reg == nil {
+		return
+	}
+	sm.inflight = reg.GaugeVec("pario_iod_inflight",
+		"Instantaneous in-flight request count per data server.",
+		"server").With(sm.name)
+	sm.load = reg.GaugeVec("pario_iod_load",
+		"Smoothed load (EWMA of sampled queue depth) per data server.",
+		"server").With(sm.name)
+	sm.bytesTotal = reg.CounterVec("pario_iod_bytes_served_total",
+		"Payload bytes served (read replies plus write payloads) per data server.",
+		"server").With(sm.name)
+	sm.bytesRate = reg.GaugeVec("pario_iod_bytes_per_second",
+		"Recent served-byte rate per data server, updated by the load sampler.",
+		"server").With(sm.name)
+	sm.queueWait = reg.HistogramVec("pario_iod_queue_wait_seconds",
+		"Emulated disk service delay (throttle wait) per request.",
+		"server").With(sm.name)
+}
+
+// observe publishes one handled request: per-op counters and latency,
+// served-byte accounting, and — when the request carried a trace
+// identity — a server-side span parented on the client RPC span.
+func (sm *serverMetrics) observe(req *Request, resp *Response, start time.Time, elapsed time.Duration) {
+	if sm == nil {
+		return
+	}
+	op := req.Op.String()
+	outcome := "ok"
+	if resp == nil || !resp.OK {
+		outcome = "error"
+	}
+	var bytes int64
+	bytes += int64(len(req.Data))
+	if resp != nil && resp.OK {
+		bytes += int64(len(resp.Data))
+	}
+	if sm.requests != nil {
+		sm.requests.With(sm.name, op, outcome).Inc()
+		sm.latency.With(sm.name, op).ObserveDuration(elapsed)
+	}
+	if sm.bytesTotal != nil && bytes > 0 {
+		sm.bytesTotal.Add(bytes)
+	}
+	if sm.tracer != nil && req.TraceID != 0 {
+		s := telemetry.Span{
+			TraceID:  req.TraceID,
+			SpanID:   telemetry.NewID(),
+			Parent:   req.SpanID,
+			Name:     "serve:" + op,
+			Server:   sm.name,
+			Start:    start,
+			Duration: elapsed,
+			Bytes:    bytes,
+		}
+		if resp != nil && !resp.OK {
+			s.Err = resp.Err
+		}
+		sm.tracer.Record(s)
+	}
+}
+
+// observeQueueWait records one emulated-disk throttle delay.
+func (sm *serverMetrics) observeQueueWait(d time.Duration) {
+	if sm == nil || sm.queueWait == nil {
+		return
+	}
+	sm.queueWait.ObserveDuration(d)
+}
+
+// sample publishes the instantaneous load gauges; the data server's
+// sampler calls it each tick with the current depth, smoothed load,
+// and served-byte rate.
+func (sm *serverMetrics) sample(inflight int64, load, bytesPerSec float64) {
+	if sm == nil || sm.inflight == nil {
+		return
+	}
+	sm.inflight.Set(float64(inflight))
+	sm.load.Set(load)
+	sm.bytesRate.Set(bytesPerSec)
+}
+
+// servedBytes returns the cumulative served-byte counter, for rate
+// computation by the sampler.
+func (sm *serverMetrics) servedBytes() int64 {
+	if sm == nil || sm.bytesTotal == nil {
+		return 0
+	}
+	return sm.bytesTotal.Value()
+}

@@ -12,6 +12,7 @@ import (
 
 	"pario/internal/chio"
 	"pario/internal/rpcpool"
+	"pario/internal/telemetry"
 )
 
 // respPool recycles Response values — and, crucially, their Data
@@ -50,10 +51,16 @@ func newTransport(addr string, cfg rpcpool.Config) *transport {
 	if size < 1 {
 		size = rpcpool.DefaultPoolSize
 	}
+	dial := func() (*conn, error) {
+		if m := cfg.Metrics; m != nil {
+			m.Reconnects.With(addr).Inc()
+		}
+		return dialConn(addr)
+	}
 	return &transport{
 		addr: addr,
 		cfg:  cfg,
-		pool: rpcpool.New(size, func() (*conn, error) { return dialConn(addr) }),
+		pool: rpcpool.New(size, dial),
 	}
 }
 
@@ -88,6 +95,19 @@ func (t *transport) call(ctx context.Context, req *Request) (*Response, error) {
 // respPool instead of allocating one per RPC.
 func (t *transport) callInto(ctx context.Context, req *Request, resp *Response) error {
 	start := time.Now()
+	var parent telemetry.SpanContext
+	if t.cfg.Tracer != nil {
+		// Stamp the propagated trace identity onto the wire request: the
+		// RPC becomes a child of the span in ctx (the application-level
+		// read or write that caused it), or a root of its own.
+		if sc, ok := telemetry.SpanFromContext(ctx); ok {
+			parent = sc
+			req.TraceID = sc.TraceID
+		} else {
+			req.TraceID = telemetry.NewID()
+		}
+		req.SpanID = telemetry.NewID()
+	}
 	attempts := t.cfg.Retries + 1
 	if attempts < 1 {
 		attempts = 1
@@ -109,10 +129,54 @@ func (t *transport) callInto(ctx context.Context, req *Request, resp *Response) 
 	if err != nil {
 		err = classifyErr(t.addr, err)
 	}
+	elapsed := time.Since(start)
 	if obs := t.cfg.Observer; obs != nil {
-		obs.ObserveCall(t.addr, time.Since(start), retries, err)
+		obs.ObserveCall(t.addr, elapsed, retries, err)
 	}
+	t.observeCall(req, resp, start, elapsed, retries, err, parent)
 	return err
+}
+
+// observeCall publishes one finished RPC into the configured metric
+// set and span tracer.
+func (t *transport) observeCall(req *Request, resp *Response, start time.Time, elapsed time.Duration, retries int, err error, parent telemetry.SpanContext) {
+	op := req.Op.String()
+	var bytes int64
+	bytes += int64(len(req.Data))
+	if err == nil {
+		bytes += int64(len(resp.Data))
+	}
+	if m := t.cfg.Metrics; m != nil {
+		m.Latency.With(t.addr, op).ObserveDuration(elapsed)
+		m.Calls.With(t.addr, op, rpcpool.Outcome(err, errors.Is(err, chio.ErrTimeout))).Inc()
+		if retries > 0 {
+			m.Retries.With(t.addr).Add(int64(retries))
+		}
+		if n := int64(len(req.Data)); n > 0 {
+			m.BytesOut.With(t.addr).Add(n)
+		}
+		if err == nil {
+			if n := int64(len(resp.Data)); n > 0 {
+				m.BytesIn.With(t.addr).Add(n)
+			}
+		}
+	}
+	if tr := t.cfg.Tracer; tr != nil {
+		s := telemetry.Span{
+			TraceID:  req.TraceID,
+			SpanID:   req.SpanID,
+			Parent:   parent.SpanID,
+			Name:     "rpc:" + op,
+			Server:   t.addr,
+			Start:    start,
+			Duration: elapsed,
+			Bytes:    bytes,
+		}
+		if err != nil {
+			s.Err = err.Error()
+		}
+		tr.Record(s)
+	}
 }
 
 // observeBatch reports one coalesced batch (runs stripe runs issued as
@@ -131,7 +195,15 @@ func (t *transport) observeBatch(runs, rpcs int) {
 // discarded (the pool redials on demand); a healthy one goes back for
 // reuse.
 func (t *transport) attempt(ctx context.Context, req *Request, resp *Response) error {
-	cn, err := t.pool.Get(ctx)
+	var cn *conn
+	var err error
+	if m := t.cfg.Metrics; m != nil {
+		waitStart := time.Now()
+		cn, err = t.pool.Get(ctx)
+		m.PoolWait.With(t.addr).ObserveDuration(time.Since(waitStart))
+	} else {
+		cn, err = t.pool.Get(ctx)
+	}
 	if err != nil {
 		return err
 	}

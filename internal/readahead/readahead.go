@@ -349,6 +349,9 @@ func (fs *FS) fetchBlock(inner chio.File, name string, idx int64, prefetched boo
 		c.mu.Lock()
 		delete(c.inflight, key)
 		c.mu.Unlock()
+		if prefetched {
+			fs.stats.PrefetchAborted()
+		}
 		fl.err = err
 		close(fl.done)
 		return nil, err
@@ -365,6 +368,8 @@ func (fs *FS) fetchBlock(inner chio.File, name string, idx int64, prefetched boo
 	// Publish only if no write invalidated the name while we fetched.
 	if c.gen[name] == gen {
 		c.insert(b, fs.stats)
+	} else if prefetched {
+		fs.stats.PrefetchAborted()
 	}
 	c.mu.Unlock()
 	fl.b = b

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"pario/internal/telemetry"
 )
 
 // Defaults for Config fields left zero.
@@ -63,6 +65,14 @@ type Config struct {
 	// issued as its own RPC, the pre-list-I/O behaviour. Exists for
 	// benchmarks and A/B comparison, not production use.
 	NoCoalesce bool
+	// Metrics, when non-nil, receives per-(server, op) transport
+	// telemetry: latency histograms, outcome counters, retry and
+	// reconnect counts, pool-wait time, payload bytes.
+	Metrics *Metrics
+	// Tracer, when non-nil, records one span per RPC (attributed to
+	// the span carried by the call's context, propagated on the wire)
+	// so an application read decomposes into per-server fetches.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns a production-sane fault policy; the stripe
@@ -119,6 +129,75 @@ func WithBatchObserver(o BatchObserver) Option { return func(c *Config) { c.Batc
 // WithoutCoalescing disables vectored piece I/O (one RPC per stripe
 // run, the legacy behaviour) — for benchmarks and A/B comparison.
 func WithoutCoalescing() Option { return func(c *Config) { c.NoCoalesce = true } }
+
+// WithMetrics installs a transport metric set (see NewMetrics); one
+// set is typically shared by every client a process dials.
+func WithMetrics(m *Metrics) Option { return func(c *Config) { c.Metrics = m } }
+
+// WithTracer installs a span tracer on the transport: every RPC
+// records one span carrying the server, op, latency, and payload size.
+func WithTracer(t *telemetry.Tracer) Option { return func(c *Config) { c.Tracer = t } }
+
+// Metrics is the transport-level metric set shared by every
+// parallel-FS client backend, registered on a telemetry.Registry. The
+// per-(server, op) latency histograms are the live view the paper's
+// hot-spot analysis needs: a stressed data server shows up as one
+// address whose p95 balloons while its peers stay flat.
+type Metrics struct {
+	// Calls counts finished RPCs by server, op, and outcome
+	// ("ok", "error", or "timeout").
+	Calls *telemetry.CounterVec
+	// Latency is the end-to-end call latency (including retries and
+	// backoff) by server and op, in seconds.
+	Latency *telemetry.HistogramVec
+	// Retries counts retry attempts by server.
+	Retries *telemetry.CounterVec
+	// Reconnects counts pool connection dials by server (beyond the
+	// steady state, redials after discarded connections).
+	Reconnects *telemetry.CounterVec
+	// PoolWait is the time a call spent waiting for a pooled
+	// connection, by server, in seconds.
+	PoolWait *telemetry.HistogramVec
+	// BytesOut / BytesIn count request / response payload bytes by
+	// server.
+	BytesOut *telemetry.CounterVec
+	// BytesIn counts response payload bytes by server.
+	BytesIn *telemetry.CounterVec
+}
+
+// NewMetrics registers the transport metric families on reg.
+// Registration is idempotent, so independently dialed clients may each
+// call this against a shared registry.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Calls: reg.CounterVec("pario_rpc_calls_total",
+			"Finished RPCs by server, op, and outcome.", "server", "op", "outcome"),
+		Latency: reg.HistogramVec("pario_rpc_latency_seconds",
+			"End-to-end RPC latency (including retries) by server and op.", "server", "op"),
+		Retries: reg.CounterVec("pario_rpc_retries_total",
+			"RPC retry attempts by server.", "server"),
+		Reconnects: reg.CounterVec("pario_rpc_reconnects_total",
+			"Transport connection dials by server.", "server"),
+		PoolWait: reg.HistogramVec("pario_rpc_pool_wait_seconds",
+			"Time spent waiting for a pooled connection, by server.", "server"),
+		BytesOut: reg.CounterVec("pario_rpc_bytes_out_total",
+			"Request payload bytes by server.", "server"),
+		BytesIn: reg.CounterVec("pario_rpc_bytes_in_total",
+			"Response payload bytes by server.", "server"),
+	}
+}
+
+// Outcome classifies an RPC result for the Calls counter.
+func Outcome(err error, timeout bool) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case timeout:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
 
 // Observer receives one event per finished RPC (after retries).
 // Implementations must be safe for concurrent use; iotrace.RPCMetrics

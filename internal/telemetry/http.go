@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in observability endpoint every daemon and the
+// mpiblast client can expose (-debug-addr): Prometheus text /metrics,
+// recent spans at /debug/traces, and the standard net/http/pprof
+// profiling handlers.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug serves the debug endpoints on addr (host:port; port 0
+// picks a free one). reg and tr may each be nil, disabling the
+// corresponding endpoint's content.
+func StartDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := tr.Recent()
+		out := make([]spanJSON, len(spans))
+		for i, s := range spans {
+			out[i] = toSpanJSON(s)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Spans []spanJSON `json:"spans"`
+		}{Spans: out})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// spanJSON is the wire shape of one span on /debug/traces. IDs are
+// rendered as fixed-width hex so they grep and join cleanly.
+type spanJSON struct {
+	TraceID    string    `json:"trace_id"`
+	SpanID     string    `json:"span_id"`
+	Parent     string    `json:"parent_id,omitempty"`
+	Name       string    `json:"name"`
+	Server     string    `json:"server,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Bytes      int64     `json:"bytes,omitempty"`
+	Err        string    `json:"err,omitempty"`
+}
+
+func toSpanJSON(s Span) spanJSON {
+	j := spanJSON{
+		TraceID:    fmt.Sprintf("%016x", s.TraceID),
+		SpanID:     fmt.Sprintf("%016x", s.SpanID),
+		Name:       s.Name,
+		Server:     s.Server,
+		Start:      s.Start,
+		DurationUS: s.Duration.Microseconds(),
+		Bytes:      s.Bytes,
+		Err:        s.Err,
+	}
+	if s.Parent != 0 {
+		j.Parent = fmt.Sprintf("%016x", s.Parent)
+	}
+	return j
+}

@@ -1,0 +1,480 @@
+// Package telemetry is the observability substrate of the system: a
+// dependency-free metrics registry (counters, gauges, log-bucketed
+// latency histograms, all labelable), lightweight span tracing with
+// trace-ID propagation across the RPC wire, and a debug HTTP server
+// exposing both live (Prometheus text /metrics, /debug/traces JSON,
+// net/http/pprof).
+//
+// The paper's CEFT-PVFS hot-spot skipping depends on the metadata
+// server observing per-server load, and its Figure 4 access-pattern
+// analysis came from instrumenting BLAST's I/O; this package is the
+// shared measurement layer both live on. Every client transport,
+// data server, and the worker runtime publish into a Registry, so a
+// live run can be inspected instead of waiting for exit dumps.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metric kind names used in the Prometheus exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a log-bucketed distribution of float64 observations
+// (latencies in seconds by convention). Buckets double from MinBucket;
+// observations beyond the last bound land in a +Inf overflow bucket.
+// All methods are safe for concurrent use and lock-free on the
+// observation path.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending
+	counts []atomic.Int64
+	over   atomic.Int64 // +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // Float64bits, CAS-added
+	max    atomic.Uint64 // Float64bits
+}
+
+// Histogram bucket layout: 30 power-of-two buckets from 1µs to ~537s
+// cover any RPC or task latency this system produces.
+const (
+	// MinBucket is the first histogram bucket's upper bound in seconds.
+	MinBucket = 1e-6
+	// NumBuckets is the number of finite histogram buckets.
+	NumBuckets = 30
+)
+
+func newHistogram() *Histogram {
+	h := &Histogram{
+		bounds: make([]float64, NumBuckets),
+		counts: make([]atomic.Int64, NumBuckets),
+	}
+	b := MinBucket
+	for i := range h.bounds {
+		h.bounds[i] = b
+		b *= 2
+	}
+	return h
+}
+
+// Observe records one value. NaN and negative values are clamped to 0.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank. The
+// overflow bucket reports the observed max.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= target && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (target - cum) / n
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// metric is any single instrument that can render its exposition lines.
+type metric interface {
+	expose(w io.Writer, name, labels string)
+}
+
+func (c *Counter) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+func (g *Gauge) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, g.Value())
+}
+
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	// Prometheus histogram convention: cumulative _bucket{le=...},
+	// then _sum and _count. Empty buckets are skipped to keep the page
+	// readable; the +Inf bucket is always present.
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	sep := ""
+	if inner != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, inner, sep, formatBound(h.bounds[i]), cum)
+	}
+	cum += h.over.Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, inner, sep, cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// funcMetric exposes a value computed at scrape time.
+type funcMetric struct {
+	fn func() float64
+}
+
+func (f *funcMetric) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, f.fn())
+}
+
+// family is one named metric family: a kind, a label schema, and the
+// per-label-set children.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]metric
+	// order remembers insertion keys split back into label values for
+	// sorted exposition.
+	keys map[string][]string
+}
+
+// labelSep joins label values into child keys; it cannot appear in
+// addresses or op names.
+const labelSep = "\x1f"
+
+func (f *family) child(lvs []string, make func() metric) metric {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, labelSep)
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m = make()
+	f.children[key] = m
+	f.keys[key] = append([]string(nil), lvs...)
+	return m
+}
+
+// formatLabels renders {k="v",...} or "" for the empty schema.
+func (f *family) formatLabels(lvs []string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range f.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, lvs[i])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on
+// first use).
+func (v *CounterVec) With(lvs ...string) *Counter {
+	return v.fam.child(lvs, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge {
+	return v.fam.child(lvs, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	return v.fam.child(lvs, func() metric { return newHistogram() }).(*Histogram)
+}
+
+// Each calls fn for every child histogram with its label values.
+func (v *HistogramVec) Each(fn func(lvs []string, h *Histogram)) {
+	v.fam.each(func(lvs []string, m metric) { fn(lvs, m.(*Histogram)) })
+}
+
+// Each calls fn for every child counter with its label values.
+func (v *CounterVec) Each(fn func(lvs []string, c *Counter)) {
+	v.fam.each(func(lvs []string, m metric) { fn(lvs, m.(*Counter)) })
+}
+
+func (f *family) each(fn func(lvs []string, m metric)) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type pair struct {
+		lvs []string
+		m   metric
+	}
+	pairs := make([]pair, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, pair{f.keys[k], f.children[k]})
+	}
+	f.mu.RUnlock()
+	for _, p := range pairs {
+		fn(p.lvs, p.m)
+	}
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration is idempotent: asking for an existing name with
+// the same kind returns the existing family, so concurrent components
+// can all "register" the same metric safely.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, kind string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s(%d labels), was %s(%d labels)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]metric),
+		keys:     make(map[string][]string),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter returns (registering on first use) the unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// CounterVec returns the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, kindCounter, labels)}
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — the bridge for components that keep their own atomics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil)
+	f.child(nil, func() metric { return &funcMetric{fn: fn} })
+}
+
+// Gauge returns (registering on first use) the unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, kindGauge, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil)
+	f.child(nil, func() metric { return &funcMetric{fn: fn} })
+}
+
+// Histogram returns (registering on first use) the unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	f := r.register(name, help, kindHistogram, nil)
+	return f.child(nil, func() metric { return newHistogram() }).(*Histogram)
+}
+
+// HistogramVec returns the labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, kindHistogram, labels)}
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, families and label sets in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+	var err error
+	ew := &errWriter{w: w}
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(ew, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(ew, "# TYPE %s %s\n", f.name, f.kind)
+		f.each(func(lvs []string, m metric) {
+			m.expose(ew, f.name, f.formatLabels(lvs))
+		})
+	}
+	if ew.err != nil {
+		err = ew.err
+	}
+	return err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

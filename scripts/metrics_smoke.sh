@@ -1,0 +1,59 @@
+#!/bin/sh
+# metrics_smoke.sh — boot one pvfsd with -debug-addr, scrape /metrics,
+# and require the metric families the observability docs promise.
+# Exercised by `make metrics-smoke` (part of `make check`).
+set -eu
+
+PORT="${METRICS_SMOKE_PORT:-19190}"
+TMP="$(mktemp -d)"
+PVFSD="$TMP/pvfsd"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$PVFSD" ./cmd/pvfsd
+mkdir -p "$TMP/store"
+"$PVFSD" -id 0 -store "$TMP/store" -listen 127.0.0.1:0 \
+    -debug-addr "127.0.0.1:$PORT" >"$TMP/log" 2>&1 &
+PID=$!
+
+# Wait for the debug endpoint to come up (the daemon prints its URL
+# before serving RPCs, so poll the scrape itself).
+SCRAPE="$TMP/metrics"
+ok=""
+i=0
+while [ "$i" -lt 50 ]; do
+    if curl -sf "http://127.0.0.1:$PORT/metrics" >"$SCRAPE" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "metrics-smoke: /metrics never came up; daemon log:" >&2
+    cat "$TMP/log" >&2
+    exit 1
+fi
+
+status=0
+for family in \
+    pario_iod_inflight \
+    pario_iod_load \
+    pario_iod_bytes_per_second \
+    pario_iod_bytes_served_total \
+    pario_server_requests_total; do
+    if ! grep -q "^# HELP $family " "$SCRAPE"; then
+        echo "metrics-smoke: missing family $family" >&2
+        status=1
+    fi
+done
+
+# The traces and pprof endpoints must answer too.
+curl -sf "http://127.0.0.1:$PORT/debug/traces" >/dev/null ||
+    { echo "metrics-smoke: /debug/traces failed" >&2; status=1; }
+curl -sf "http://127.0.0.1:$PORT/debug/pprof/cmdline" >/dev/null ||
+    { echo "metrics-smoke: /debug/pprof failed" >&2; status=1; }
+
+if [ "$status" -eq 0 ]; then
+    echo "metrics-smoke: ok ($(grep -c '^# HELP' "$SCRAPE") families exposed)"
+fi
+exit "$status"
