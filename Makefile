@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke metrics-smoke
+.PHONY: build test check lint race bench bench-smoke metrics-smoke report-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,7 @@ check: lint
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 	$(MAKE) metrics-smoke
+	$(MAKE) report-smoke
 
 # go vet always; staticcheck and govulncheck when installed (the
 # container image may not carry them, and `go install` needs network).
@@ -30,6 +31,12 @@ lint:
 # require the telemetry families the dashboards depend on.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Boot a CEFT mini-cluster with one throttled disk, run a search with
+# -report, and require the run report's hot-spot audit to name the
+# stressed server.
+report-smoke:
+	./scripts/report_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

@@ -20,6 +20,7 @@ import (
 	"pario/internal/chio"
 	"pario/internal/core"
 	"pario/internal/seq"
+	"pario/internal/telemetry"
 )
 
 func main() {
@@ -37,12 +38,23 @@ func main() {
 		gapExt  = flag.Int("gapextend", 1, "gap extend cost for -matrix")
 		maxTgt  = flag.Int("max-target-seqs", 0, "cap reported subjects (0 = all)")
 		root    = flag.String("root", ".", "directory holding the database files")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	if *db == "" || *query == "" {
 		fmt.Fprintln(os.Stderr, "blastn: -db and -query are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		logger := telemetry.NewProcessLogger("blastn")
+		dbg, err := telemetry.StartDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewTracer(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		logger.Info("debug endpoints up", "url", fmt.Sprintf("http://%s/metrics", dbg.Addr()))
 	}
 	prog, err := blast.ParseProgram(*program)
 	if err != nil {

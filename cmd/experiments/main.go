@@ -27,6 +27,7 @@ import (
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/sim"
+	"pario/internal/telemetry"
 	"pario/internal/util"
 )
 
@@ -36,6 +37,8 @@ func main() {
 		fig4DB  = flag.String("fig4-db-size", "48MB", "database size for the real traced Figure 4 run")
 		workers = flag.Int("fig4-workers", 8, "worker count for the Figure 4 run")
 		scatter = flag.String("fig4-scatter", "", "write the Figure 4 scatter data to this file")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -43,6 +46,15 @@ func main() {
 		flag.Usage()
 		fmt.Fprintln(os.Stderr, "experiments: need a subcommand (fig4|fig5|fig6|fig7|fig9|ablation|projection|sensitivity|all)")
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		logger := telemetry.NewProcessLogger("experiments")
+		dbg, err := telemetry.StartDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewTracer(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		logger.Info("debug endpoints up", "url", fmt.Sprintf("http://%s/metrics", dbg.Addr()))
 	}
 	p := sim.DefaultParams().Scaled(*scale)
 	switch cmd {

@@ -3,19 +3,29 @@
 // segmentation. It can also synthesize an nt-like database when given
 // -generate, standing in for a download of the real nt.
 //
+// The database can be written to a local directory (default) or
+// straight into a running parallel file system with -io pvfs or
+// -io ceft, so cluster smoke tests and experiments need no separate
+// copy step.
+//
 // Usage:
 //
 //	formatdb -db nt -fragments 8 -in sequences.fasta [-protein] [-root DIR]
 //	formatdb -db nt -fragments 8 -generate 2.7GB [-seed 42] [-root DIR]
+//	formatdb -db nt -fragments 4 -generate 8MB -io ceft \
+//	    -mgr 127.0.0.1:7000 -primary h1:7001,h2:7001 -mirror h3:7001,h4:7001
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"pario/internal/ceft"
 	"pario/internal/chio"
 	"pario/internal/core"
+	"pario/internal/pvfs"
 	"pario/internal/seq"
 	"pario/internal/util"
 )
@@ -28,7 +38,12 @@ func main() {
 		protein   = flag.Bool("protein", false, "input is protein (default nucleotide)")
 		generate  = flag.String("generate", "", "generate a synthetic nt-like database of this size (e.g. 512MB) instead of reading FASTA")
 		seed      = flag.Uint64("seed", 42, "generator seed")
-		root      = flag.String("root", ".", "directory holding the database files")
+		root      = flag.String("root", ".", "directory holding the database files (local mode)")
+		ioMode    = flag.String("io", "local", "where to write the database: local|pvfs|ceft")
+		mgr       = flag.String("mgr", "", "metadata server address (pvfs/ceft)")
+		servers   = flag.String("servers", "", "comma-separated data servers (pvfs)")
+		primary   = flag.String("primary", "", "comma-separated primary group (ceft)")
+		mirror    = flag.String("mirror", "", "comma-separated mirror group (ceft)")
 	)
 	flag.Parse()
 	if *db == "" {
@@ -36,10 +51,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	fs, err := chio.NewLocalFS(*root)
-	if err != nil {
-		fatal(err)
+
+	var fs chio.FileSystem
+	switch *ioMode {
+	case "local":
+		local, err := chio.NewLocalFS(*root)
+		if err != nil {
+			fatal(err)
+		}
+		fs = local
+	case "pvfs":
+		if *mgr == "" || *servers == "" {
+			fatal(fmt.Errorf("pvfs mode needs -mgr and -servers"))
+		}
+		cl, err := pvfs.Dial(*mgr, strings.Split(*servers, ","))
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		fs = cl
+	case "ceft":
+		if *mgr == "" || *primary == "" || *mirror == "" {
+			fatal(fmt.Errorf("ceft mode needs -mgr, -primary and -mirror"))
+		}
+		cl, err := ceft.Dial(*mgr, strings.Split(*primary, ","),
+			strings.Split(*mirror, ","), ceft.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		fs = cl
+	default:
+		fatal(fmt.Errorf("unknown -io mode %q", *ioMode))
 	}
+
 	switch {
 	case *generate != "":
 		letters, err := util.ParseBytes(*generate)
@@ -50,10 +95,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("generated %s: %d sequences, %s in %d fragments\n",
-			*db, alias.Seqs, util.FormatBytes(alias.Letters), len(alias.Fragments))
+		fmt.Printf("generated %s: %d sequences, %s in %d fragments on %s\n",
+			*db, alias.Seqs, util.FormatBytes(alias.Letters), len(alias.Fragments), fs.BackendName())
 	case *in != "":
 		f := os.Stdin
+		var err error
 		if *in != "-" {
 			f, err = os.Open(*in)
 			if err != nil {
@@ -69,8 +115,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("formatted %s: %d sequences, %s in %d fragments\n",
-			*db, alias.Seqs, util.FormatBytes(alias.Letters), len(alias.Fragments))
+		fmt.Printf("formatted %s: %d sequences, %s in %d fragments on %s\n",
+			*db, alias.Seqs, util.FormatBytes(alias.Letters), len(alias.Fragments), fs.BackendName())
 	default:
 		fmt.Fprintln(os.Stderr, "formatdb: need -in FILE or -generate SIZE")
 		os.Exit(2)

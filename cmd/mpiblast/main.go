@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/mpi"
+	"pario/internal/obsreport"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
 	"pario/internal/readahead"
@@ -43,6 +45,10 @@ import (
 	"pario/internal/seq"
 	"pario/internal/telemetry"
 )
+
+// logger is the process-wide structured logger, set first thing in
+// main so fatal paths and library callbacks share it.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -71,9 +77,16 @@ func main() {
 		rpcStats  = flag.Bool("rpc-stats", false, "print per-server RPC latency/retry counters at exit")
 		noCoal    = flag.Bool("no-coalesce", false, "issue one RPC per stripe run instead of vectored batches (A/B comparison)")
 
-		// Live observability endpoints.
+		// Live observability endpoints and run reports.
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
-		slowRPC   = flag.Duration("slow-rpc", 0, "log spans slower than this threshold (0 disables; needs -debug-addr)")
+		slowRPC   = flag.Duration("slow-rpc", 0, "log spans slower than this threshold (0 disables; needs -debug-addr or -report)")
+		reportOut = flag.String("report", "", "write a cluster-wide run report (JSON) to this file and print its rendering")
+		collect   = flag.String("collect", "", "comma-separated name=host:port debug endpoints to scrape into the report (e.g. iod0=127.0.0.1:9101,mgr=127.0.0.1:9100)")
+
+		// Task sizing and CEFT hot-spot tuning.
+		chunk      = flag.Int("chunk", 0, "worker read chunk size in bytes (0 = backend default)")
+		hotFactor  = flag.Float64("hot-factor", 0, "ceft: a server is hot above this multiple of the median load (0 = default)")
+		minHotLoad = flag.Float64("min-hot-load", -1, "ceft: absolute load floor below which no server is hot (-1 = default)")
 
 		// Client-side readahead/block cache (any -io mode).
 		raEnable = flag.Bool("readahead", false, "enable the client-side readahead/block cache on worker reads")
@@ -89,6 +102,7 @@ func main() {
 		size        = flag.Int("size", 0, "total ranks including the master (distributed mode)")
 	)
 	flag.Parse()
+	logger = telemetry.NewProcessLogger("mpiblast")
 	if *db == "" || *queryF == "" {
 		fmt.Fprintln(os.Stderr, "mpiblast: -db and -query are required")
 		flag.Usage()
@@ -103,23 +117,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// -debug-addr turns on the live observability stack: a metrics
-	// registry and span tracer shared by every transport this process
-	// dials, exposed over HTTP for the lifetime of the job.
+	// -debug-addr (live HTTP endpoints) and -report (post-run report)
+	// both need the observability stack: a metrics registry and span
+	// tracer shared by every transport this process dials.
 	var (
 		reg    *telemetry.Registry
 		tracer *telemetry.Tracer
 	)
-	if *debugAddr != "" {
+	if *debugAddr != "" || *reportOut != "" {
 		reg = telemetry.NewRegistry()
 		tracer = telemetry.NewTracer(0)
-		tracer.SetSlowThreshold(*slowRPC, nil)
+		tracer.SetSlowThreshold(*slowRPC, logger)
+	}
+	if *debugAddr != "" {
 		dbg, err := telemetry.StartDebug(*debugAddr, reg, tracer)
 		if err != nil {
 			fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "mpiblast: debug endpoints on http://%s/metrics\n", dbg.Addr())
+		logger.Info("debug endpoints up", "url", fmt.Sprintf("http://%s/metrics", dbg.Addr()))
 	}
 
 	var metrics *iotrace.RPCMetrics
@@ -171,6 +187,7 @@ func main() {
 	var masterFS chio.FileSystem
 	var workerFS func(rank int) chio.FileSystem
 	var closers []func() error
+	var ceftClients []*ceft.Client
 	defer func() {
 		for _, c := range closers {
 			c()
@@ -222,12 +239,21 @@ func main() {
 		}
 		prim := strings.Split(*primary, ",")
 		mirr := strings.Split(*mirror, ",")
+		ceftOpts := ceft.DefaultOptions()
+		if *hotFactor > 0 {
+			ceftOpts.HotFactor = *hotFactor
+		}
+		if *minHotLoad >= 0 {
+			ceftOpts.MinHotLoad = *minHotLoad
+		}
+		ceftOpts.Logger = logger
 		mk := func() (chio.FileSystem, error) {
-			cl, err := ceft.Dial(*mgr, prim, mirr, ceft.DefaultOptions(), transportOpts()...)
+			cl, err := ceft.Dial(*mgr, prim, mirr, ceftOpts, transportOpts()...)
 			if err != nil {
 				return nil, err
 			}
 			closers = append(closers, cl.Close)
+			ceftClients = append(ceftClients, cl)
 			return cl, nil
 		}
 		m, err := mk()
@@ -244,6 +270,41 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown -io mode %q", *ioMode))
+	}
+
+	modeName := "db-seg"
+	if *querySeg {
+		modeName = "query-seg"
+	}
+
+	// -report: after the search, pull metrics and span buffers from
+	// this process and every -collect endpoint, fold in the scheduling
+	// timeline and the CEFT hot-spot audits, and write the run report.
+	var reportB *obsreport.Builder
+	if *reportOut != "" {
+		reportB = obsreport.NewBuilder(fmt.Sprintf("%s/%s", *ioMode, *db))
+	}
+	writeReport := func(nQueries, nWorkers int) {
+		if reportB == nil {
+			return
+		}
+		reportB.SetRun(obsreport.RunInfo{
+			DB: *db, Query: *queryF, Backend: *ioMode, Mode: modeName,
+			Workers: nWorkers, Queries: nQueries,
+		})
+		reportB.AddSnapshot(obsreport.LocalSnapshot("master", reg, tracer))
+		for _, ep := range parseCollect(*collect) {
+			reportB.Collect(ctx, ep.name, ep.addr)
+		}
+		for _, cl := range ceftClients {
+			reportB.AddCEFTAudit(cl.Audit())
+		}
+		rep := reportB.Build()
+		if err := rep.WriteJSONFile(*reportOut); err != nil {
+			fatal(err)
+		}
+		rep.RenderText(os.Stderr)
+		logger.Info("run report written", "path", *reportOut)
 	}
 
 	// Distributed mode: each process is one rank over TCP.
@@ -290,34 +351,40 @@ func main() {
 		defer comm.Close()
 		queries := loadQueries(*queryF, prog)
 		cfg := pblast.Config{
-			DBName: *db,
-			Params: blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+			DBName:     *db,
+			Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+			ChunkBytes: *chunk,
 		}
 		cfg.SetTelemetry(pblast.NewTelemetry(reg))
 		if *querySeg {
 			cfg.Mode = pblast.QuerySegmentation
 		}
 		out := bufio.NewWriter(os.Stdout)
-		defer out.Flush()
 		for _, q := range queries {
 			res, err := pblast.RunMaster(ctx, comm, masterFS, q, cfg)
 			if err != nil {
 				fatal(err)
 			}
+			if reportB != nil {
+				reportB.AddOutcome(res)
+			}
 			writeResult(out, *outfmt, res, q)
 		}
+		out.Flush()
+		writeReport(len(queries), *size-1)
 		return
 	}
 
 	queries := loadQueries(*queryF, prog)
 
 	cfg := core.SearchConfig{
-		DBName:    *db,
-		Workers:   *workers,
-		Params:    blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
-		MasterFS:  masterFS,
-		WorkerFS:  workerFS,
-		Telemetry: pblast.NewTelemetry(reg),
+		DBName:     *db,
+		Workers:    *workers,
+		Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+		MasterFS:   masterFS,
+		WorkerFS:   workerFS,
+		Telemetry:  pblast.NewTelemetry(reg),
+		ChunkBytes: *chunk,
 	}
 	if *querySeg {
 		cfg.Mode = pblast.QuerySegmentation
@@ -351,6 +418,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if reportB != nil {
+			reportB.AddBatchOutcome(batch)
+		}
 		for qi, res := range batch.Results {
 			single := &pblast.Outcome{
 				Result:     res,
@@ -365,6 +435,9 @@ func main() {
 			res, err := core.ParallelSearch(ctx, q, cfg, searchOpts...)
 			if err != nil {
 				fatal(err)
+			}
+			if reportB != nil {
+				reportB.AddOutcome(res)
 			}
 			writeResult(out, *outfmt, res, q)
 		}
@@ -385,6 +458,30 @@ func main() {
 		}
 		fmt.Fprintf(out, "# %s\n# trace written to %s\n", trace.Summarize().Format(), *traceOut)
 	}
+	out.Flush()
+	writeReport(len(queries), *workers)
+}
+
+// collectEP is one -collect entry: a process name and its debug
+// endpoint address.
+type collectEP struct{ name, addr string }
+
+// parseCollect splits "name=host:port,name=host:port"; a bare address
+// without "name=" is named by its address.
+func parseCollect(s string) []collectEP {
+	var out []collectEP
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			out = append(out, collectEP{name: name, addr: addr})
+		} else {
+			out = append(out, collectEP{name: part, addr: part})
+		}
+	}
+	return out
 }
 
 // loadQueries reads the query FASTA file.
@@ -421,6 +518,10 @@ func writeResult(out *bufio.Writer, outfmt string, res *pblast.Outcome, q *seq.S
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mpiblast:", err)
+	if logger != nil {
+		logger.Error(err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "mpiblast:", err)
+	}
 	os.Exit(1)
 }

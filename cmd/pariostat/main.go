@@ -1,0 +1,58 @@
+// Command pariostat renders cluster-wide run reports written by
+// mpiblast -report.
+//
+//	pariostat run.json           render one report
+//	pariostat before.json after.json   diff two runs
+//
+// Reports are plain JSON (internal/obsreport); pariostat is the
+// human-facing view: critical-path decomposition, worker timelines and
+// stragglers, per-server byte/load distribution with imbalance
+// coefficients, and the CEFT hot-spot audit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pario/internal/obsreport"
+)
+
+func main() {
+	events := flag.Bool("events", false, "include the full hot-spot transition log in the rendering")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pariostat [-events] report.json [other-report.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch flag.NArg() {
+	case 1:
+		rep, err := obsreport.ReadReportFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if !*events {
+			rep.HotSpot.Events = nil
+		}
+		rep.RenderText(os.Stdout)
+	case 2:
+		a, err := obsreport.ReadReportFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := obsreport.ReadReportFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		obsreport.RenderDiff(os.Stdout, a, b)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pariostat:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,6 +21,8 @@ import (
 	"pario/internal/pvfs"
 	"pario/internal/telemetry"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -31,6 +34,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+	logger = telemetry.NewProcessLogger("pvfsd")
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "pvfsd: -store is required")
 		flag.Usage()
@@ -55,7 +59,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pvfsd: debug endpoints on http://%s/metrics\n", dbg.Addr())
+		logger.Info("debug endpoints up", "url", fmt.Sprintf("http://%s/metrics", dbg.Addr()))
 	}
 	ds, err := pvfs.StartDataServer(cfg)
 	if err != nil {
@@ -63,8 +67,9 @@ func main() {
 	}
 	if *throttle > 0 {
 		ds.SetThrottle(*throttle)
+		logger.Info("disk throttle set", "per_kib", *throttle)
 	}
-	fmt.Printf("pvfsd: iod %d serving on %s, store %s\n", *id, ds.Addr(), *store)
+	logger.Info("serving", "iod", *id, "addr", ds.Addr(), "store", *store)
 	wait()
 	ds.Close()
 	if dbg != nil {
@@ -79,6 +84,10 @@ func wait() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pvfsd:", err)
+	if logger != nil {
+		logger.Error(err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "pvfsd:", err)
+	}
 	os.Exit(1)
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +20,8 @@ import (
 	"pario/internal/util"
 )
 
+var logger *slog.Logger
+
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
@@ -27,6 +30,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+	logger = telemetry.NewProcessLogger("pvfsmgr")
 	stripeBytes, err := util.ParseBytes(*stripe)
 	if err != nil {
 		fatal(err)
@@ -44,14 +48,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pvfsmgr: debug endpoints on http://%s/metrics\n", dbg.Addr())
+		logger.Info("debug endpoints up", "url", fmt.Sprintf("http://%s/metrics", dbg.Addr()))
 	}
 	ms, err := pvfs.StartMetaServer(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pvfsmgr: serving on %s (%d data servers, %s stripes)\n",
-		ms.Addr(), *servers, util.FormatBytes(stripeBytes))
+	logger.Info("serving", "addr", ms.Addr(), "servers", *servers,
+		"stripe", util.FormatBytes(stripeBytes))
 	wait()
 	ms.Close()
 	if dbg != nil {
@@ -66,6 +70,10 @@ func wait() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pvfsmgr:", err)
+	if logger != nil {
+		logger.Error(err.Error())
+	} else {
+		fmt.Fprintln(os.Stderr, "pvfsmgr:", err)
+	}
 	os.Exit(1)
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -97,6 +98,9 @@ type Options struct {
 	// protocols require the primary data servers to be started with
 	// their MirrorAddr configured.
 	WriteProtocol WriteProtocol
+	// Logger, when non-nil, receives structured hot-spot transition
+	// events (server marked hot / cooled down) with trace correlation.
+	Logger *slog.Logger
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -127,6 +131,8 @@ type Client struct {
 	loadFetched time.Time
 	hotPrimary  []bool
 	hotMirror   []bool
+	hotEvents   []HotEvent
+	reroutes    map[int]int64
 
 	asyncWG  sync.WaitGroup
 	asyncMu  sync.Mutex
@@ -136,6 +142,64 @@ type Client struct {
 	failovers int64
 	degraded  int64
 }
+
+// HotEvent is one structured hot-set transition: the moment the
+// client's view of a data server crossed (or re-crossed) the hot
+// cutoff. The event stream is the audit trail of the paper's Figures
+// 8-9 mechanism — it answers "which server was considered hot, when,
+// and against what cutoff".
+type HotEvent struct {
+	// Time is when the client observed the transition.
+	Time time.Time
+	// ServerID is the data server (0..G-1 primary, G..2G-1 mirror).
+	ServerID int
+	// Load is the heartbeat load that triggered the transition.
+	Load float64
+	// Cutoff is the hot threshold in force (HotFactor x median,
+	// floored at MinHotLoad).
+	Cutoff float64
+	// Hot is true when the server entered the hot set, false when it
+	// cooled down and rejoined normal scheduling.
+	Hot bool
+}
+
+// Audit is a snapshot of the client's hot-spot and fault-handling
+// history, consumed by run reports.
+type Audit struct {
+	// Events are the hot-set transitions in observation order.
+	Events []HotEvent
+	// Reroutes counts, per skipped server ID, the stripe reads that
+	// were redirected to its mirror partner by hot-spot skipping (one
+	// count per read per skipped server).
+	Reroutes map[int]int64
+	// Failovers and DegradedWrites mirror the counters of the same
+	// names: fault-driven (not load-driven) mirror activity.
+	Failovers      int64
+	DegradedWrites int64
+	// GroupSize is G, so consumers can name mirror partners.
+	GroupSize int
+}
+
+// Audit returns a copy of the client's hot-spot audit state.
+func (cl *Client) Audit() Audit {
+	a := Audit{GroupSize: len(cl.primary)}
+	cl.loadMu.Lock()
+	a.Events = append([]HotEvent(nil), cl.hotEvents...)
+	a.Reroutes = make(map[int]int64, len(cl.reroutes))
+	for id, n := range cl.reroutes {
+		a.Reroutes[id] = n
+	}
+	cl.loadMu.Unlock()
+	cl.failMu.Lock()
+	a.Failovers = cl.failovers
+	a.DegradedWrites = cl.degraded
+	cl.failMu.Unlock()
+	return a
+}
+
+// maxHotEvents bounds the audit trail; a long run oscillating around
+// the cutoff keeps the most recent transitions.
+const maxHotEvents = 4096
 
 // Failovers reports how many sub-reads were served by a mirror
 // partner after the preferred server failed (degraded-mode reads).
@@ -247,6 +311,7 @@ func Dial(mgrAddr string, primaryAddrs, mirrorAddrs []string, o Options, opts ..
 	}
 	cl.hotPrimary = make([]bool, len(cl.primary))
 	cl.hotMirror = make([]bool, len(cl.mirror))
+	cl.reroutes = make(map[int]int64)
 	return cl, nil
 }
 
@@ -355,8 +420,35 @@ func (cl *Client) refreshHotSet(ctx context.Context) {
 				hp = false
 			}
 		}
+		if hp != cl.hotPrimary[i] {
+			cl.recordHotEvent(ctx, i, loads[i], cutoff, hp)
+		}
+		if hm != cl.hotMirror[i] {
+			cl.recordHotEvent(ctx, g+i, loads[g+i], cutoff, hm)
+		}
 		cl.hotPrimary[i] = hp
 		cl.hotMirror[i] = hm
+	}
+}
+
+// recordHotEvent appends one hot-set transition to the audit trail and
+// logs it. Callers hold loadMu. ctx carries the span of the read that
+// triggered the refresh, so the log line names the trace it belongs to.
+func (cl *Client) recordHotEvent(ctx context.Context, id int, load, cutoff float64, hot bool) {
+	cl.hotEvents = append(cl.hotEvents, HotEvent{
+		Time: time.Now(), ServerID: id, Load: load, Cutoff: cutoff, Hot: hot,
+	})
+	if n := len(cl.hotEvents) - maxHotEvents; n > 0 {
+		cl.hotEvents = append(cl.hotEvents[:0], cl.hotEvents[n:]...)
+	}
+	if cl.opts.Logger != nil {
+		msg := "hot-spot marked"
+		if !hot {
+			msg = "hot-spot cleared"
+		}
+		cl.opts.Logger.Info(msg, append([]any{
+			"server", id, "load", load, "cutoff", cutoff,
+		}, telemetry.TraceAttrs(ctx)...)...)
 	}
 }
 
@@ -377,9 +469,11 @@ func (cl *Client) pickConns(ctx context.Context, preferPrimary bool) (conns []*p
 			if usePrimary && cl.hotPrimary[i] {
 				usePrimary = false
 				skipped++
+				cl.reroutes[i]++
 			} else if !usePrimary && cl.hotMirror[i] {
 				usePrimary = true
 				skipped++
+				cl.reroutes[g+i]++
 			}
 		}
 		if usePrimary {

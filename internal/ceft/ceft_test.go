@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"io"
+	"log/slog"
+	"strings"
 	"testing"
 	"time"
 
@@ -218,6 +220,73 @@ func TestHotSpotSkipReadsFromMirror(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Error("hot primary server was not skipped")
+	}
+}
+
+// TestAuditRecordsHotSpotActivity: the client's audit must name the
+// hot server, count the stripe reads rerouted to its mirror, and log
+// the transition through the structured logger.
+func TestAuditRecordsHotSpotActivity(t *testing.T) {
+	var logBuf bytes.Buffer
+	opts := DefaultOptions()
+	opts.DoubledReads = false
+	opts.LoadCacheTTL = 0
+	opts.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
+	c := start(t, 2, 256, opts, false)
+	data := payload(4096)
+	if err := chio.WriteFull(c.client, "f", data); err != nil {
+		t.Fatal(err)
+	}
+
+	if a := c.client.Audit(); len(a.Events) != 0 || len(a.Reroutes) != 0 {
+		t.Fatalf("audit not empty before any hot activity: %+v", a)
+	}
+
+	c.injectLoad(t, map[int]float64{0: 50, 1: 0.2, 2: 0.2, 3: 0.2})
+	if _, err := chio.ReadFull(c.client, "f"); err != nil {
+		t.Fatal(err)
+	}
+
+	a := c.client.Audit()
+	if a.GroupSize != 2 {
+		t.Errorf("group size: %d", a.GroupSize)
+	}
+	var marked bool
+	for _, ev := range a.Events {
+		if ev.ServerID == 0 && ev.Hot {
+			marked = true
+			if ev.Load != 50 || ev.Cutoff <= 0 {
+				t.Errorf("event detail: %+v", ev)
+			}
+		}
+	}
+	if !marked {
+		t.Fatalf("no hot event for server 0: %+v", a.Events)
+	}
+	if a.Reroutes[0] == 0 {
+		t.Errorf("no reroutes recorded away from server 0: %+v", a.Reroutes)
+	}
+	if !strings.Contains(logBuf.String(), "hot-spot marked") {
+		t.Errorf("structured log missing transition:\n%s", logBuf.String())
+	}
+
+	// Cooling down must append a cleared event.
+	c.injectLoad(t, map[int]float64{0: 0.1, 1: 0.2, 2: 0.2, 3: 0.2})
+	if _, err := chio.ReadFull(c.client, "f"); err != nil {
+		t.Fatal(err)
+	}
+	a = c.client.Audit()
+	var cleared bool
+	for _, ev := range a.Events {
+		if ev.ServerID == 0 && !ev.Hot {
+			cleared = true
+		}
+	}
+	if !cleared {
+		t.Errorf("no cooled-down event: %+v", a.Events)
+	}
+	if !strings.Contains(logBuf.String(), "hot-spot cleared") {
+		t.Errorf("structured log missing clear:\n%s", logBuf.String())
 	}
 }
 

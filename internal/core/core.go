@@ -109,6 +109,9 @@ type SearchConfig struct {
 	CopyToLocal bool
 	// Mode selects database (default) or query segmentation.
 	Mode pblast.Mode
+	// ChunkBytes is the workers' fragment streaming read size
+	// (0 = pblast default, 16 MB).
+	ChunkBytes int
 	// Trace, when non-nil, records every worker's application-level
 	// I/O (Figure 4 instrumentation).
 	Trace *iotrace.Trace
@@ -193,6 +196,7 @@ func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, 
 		Params:      cfg.Params,
 		Mode:        cfg.Mode,
 		CopyToLocal: cfg.CopyToLocal,
+		ChunkBytes:  cfg.ChunkBytes,
 	}
 	pcfg.SetTelemetry(cfg.Telemetry)
 	return pblast.RunInProcess(ctx, cfg.Workers, query, pcfg, cfg.MasterFS, workerFS, scratch)
@@ -378,6 +382,7 @@ func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg Searc
 		DBName:      cfg.DBName,
 		Params:      cfg.Params,
 		CopyToLocal: cfg.CopyToLocal,
+		ChunkBytes:  cfg.ChunkBytes,
 	}
 	pcfg.SetTelemetry(cfg.Telemetry)
 	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, pcfg, cfg.MasterFS, workerFS, scratch)

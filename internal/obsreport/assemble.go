@@ -1,0 +1,182 @@
+package obsreport
+
+import (
+	"sort"
+
+	"pario/internal/telemetry"
+)
+
+// SpanNode is one span in an assembled trace tree.
+type SpanNode struct {
+	Span    telemetry.Span
+	Process string
+	// Orphan means the span named a parent that was not collected
+	// (evicted from a ring buffer or from an unreachable process); it
+	// is promoted to a root so its subtree is still visible.
+	Orphan bool
+	// Duplicate means an earlier span already claimed this
+	// (trace, span) identity — e.g. a reassigned task replayed the
+	// same propagated span ID. Duplicates stay in the tree for
+	// inspection but are excluded from byte and time aggregates.
+	Duplicate bool
+	Children  []*SpanNode
+}
+
+// TraceTree is all collected spans sharing one trace ID, assembled
+// into parent/child form. Roots are ordered: true roots first (by
+// start time), then promoted orphans.
+type TraceTree struct {
+	TraceID uint64
+	Roots   []*SpanNode
+	// Spans counts every node, duplicates included.
+	Spans      int
+	Orphans    int
+	Duplicates int
+	// Bytes is the trace's payload total, counted from non-duplicate
+	// root spans only — children re-describe the same payload at a
+	// lower layer, so summing every span would multiply it.
+	Bytes int64
+	// Seconds sums the durations of non-duplicate root spans: the
+	// end-to-end time of the traced operations, without cross-process
+	// clock arithmetic.
+	Seconds float64
+}
+
+// AssembleTraces groups spans by trace ID and builds one tree per
+// trace. It is pure structure-from-IDs: start timestamps are used only
+// to order siblings (never subtracted across processes), so clock skew
+// between hosts cannot corrupt the assembly. Malformed inputs — orphan
+// parents, duplicate span IDs, even parent cycles — degrade into
+// flagged nodes rather than errors.
+func AssembleTraces(spans []SpanRecord) []*TraceTree {
+	byTrace := make(map[uint64][]SpanRecord)
+	for _, sr := range spans {
+		byTrace[sr.TraceID] = append(byTrace[sr.TraceID], sr)
+	}
+	trees := make([]*TraceTree, 0, len(byTrace))
+	for id, group := range byTrace {
+		trees = append(trees, assembleOne(id, group))
+	}
+	sort.Slice(trees, func(i, j int) bool { return trees[i].TraceID < trees[j].TraceID })
+	return trees
+}
+
+func assembleOne(traceID uint64, group []SpanRecord) *TraceTree {
+	tree := &TraceTree{TraceID: traceID, Spans: len(group)}
+
+	// First collected span wins a span ID; later claimants are kept as
+	// flagged duplicates so reassignment replays neither vanish nor
+	// double-count.
+	nodes := make([]*SpanNode, 0, len(group))
+	byID := make(map[uint64]*SpanNode, len(group))
+	for _, sr := range group {
+		n := &SpanNode{Span: sr.Span, Process: sr.Process}
+		if _, taken := byID[sr.SpanID]; taken || sr.SpanID == 0 {
+			if taken {
+				n.Duplicate = true
+				tree.Duplicates++
+			}
+		} else {
+			byID[sr.SpanID] = n
+		}
+		nodes = append(nodes, n)
+	}
+
+	attached := make(map[*SpanNode]bool, len(nodes))
+	for _, n := range nodes {
+		parent := byID[n.Span.Parent]
+		if n.Span.Parent == 0 || parent == nil || parent == n {
+			if n.Span.Parent != 0 {
+				n.Orphan = true
+				tree.Orphans++
+			}
+			tree.Roots = append(tree.Roots, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+		attached[n] = true
+	}
+
+	// A parent cycle (A→B→A) leaves its members attached to each other
+	// but reachable from no root. Walk from the roots, then promote any
+	// unreached node with the earliest start in its cycle until
+	// everything is reachable.
+	reached := make(map[*SpanNode]bool, len(nodes))
+	var mark func(n *SpanNode)
+	mark = func(n *SpanNode) {
+		if reached[n] {
+			return
+		}
+		reached[n] = true
+		for _, c := range n.Children {
+			mark(c)
+		}
+	}
+	for _, r := range tree.Roots {
+		mark(r)
+	}
+	for {
+		var pick *SpanNode
+		for _, n := range nodes {
+			if reached[n] || !attached[n] {
+				continue
+			}
+			if pick == nil || n.Span.Start.Before(pick.Span.Start) {
+				pick = n
+			}
+		}
+		if pick == nil {
+			break
+		}
+		if parent := byID[pick.Span.Parent]; parent != nil {
+			for i, c := range parent.Children {
+				if c == pick {
+					parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+					break
+				}
+			}
+		}
+		pick.Orphan = true
+		tree.Orphans++
+		tree.Roots = append(tree.Roots, pick)
+		mark(pick)
+	}
+
+	sort.SliceStable(tree.Roots, func(i, j int) bool {
+		a, b := tree.Roots[i], tree.Roots[j]
+		if a.Orphan != b.Orphan {
+			return !a.Orphan
+		}
+		return a.Span.Start.Before(b.Span.Start)
+	})
+	for _, n := range nodes {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.Start.Before(n.Children[j].Span.Start)
+		})
+	}
+
+	for _, r := range tree.Roots {
+		if r.Duplicate {
+			continue
+		}
+		tree.Bytes += r.Span.Bytes
+		if sec := r.Span.Duration.Seconds(); sec > 0 {
+			tree.Seconds += sec
+		}
+	}
+	return tree
+}
+
+// Walk visits every node in the tree, depth-first, roots in order.
+func (t *TraceTree) Walk(fn func(n *SpanNode, depth int)) {
+	var rec func(n *SpanNode, depth int)
+	rec = func(n *SpanNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, 0)
+	}
+}

@@ -1,0 +1,165 @@
+package obsreport
+
+import (
+	"testing"
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+var t0 = time.Date(2003, 4, 22, 12, 0, 0, 0, time.UTC)
+
+func span(trace, id, parent uint64, name, process string, start time.Time, dur time.Duration, bytes int64) SpanRecord {
+	return SpanRecord{
+		Span: telemetry.Span{
+			TraceID: trace, SpanID: id, Parent: parent,
+			Name: name, Start: start, Duration: dur, Bytes: bytes,
+		},
+		Process: process,
+	}
+}
+
+func TestAssembleCrossProcessTree(t *testing.T) {
+	spans := []SpanRecord{
+		// Server-side span arrives from another process's ring buffer.
+		span(1, 30, 20, "serve:piece_readv", "iod0", t0.Add(2*time.Millisecond), 3*time.Millisecond, 64),
+		span(1, 10, 0, "read", "master", t0, 10*time.Millisecond, 64),
+		span(1, 20, 10, "rpc:piece_readv", "master", t0.Add(time.Millisecond), 5*time.Millisecond, 64),
+	}
+	trees := AssembleTraces(spans)
+	if len(trees) != 1 {
+		t.Fatalf("trees: %d", len(trees))
+	}
+	tr := trees[0]
+	if tr.Spans != 3 || tr.Orphans != 0 || tr.Duplicates != 0 {
+		t.Fatalf("counts: %+v", tr)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Span.Name != "read" {
+		t.Fatalf("roots: %+v", tr.Roots)
+	}
+	rpc := tr.Roots[0].Children
+	if len(rpc) != 1 || rpc[0].Span.Name != "rpc:piece_readv" || rpc[0].Process != "master" {
+		t.Fatalf("rpc child: %+v", rpc)
+	}
+	if len(rpc[0].Children) != 1 || rpc[0].Children[0].Process != "iod0" {
+		t.Fatalf("serve child: %+v", rpc[0].Children)
+	}
+	// Bytes counted once, from the root — not once per layer.
+	if tr.Bytes != 64 {
+		t.Errorf("bytes: %d", tr.Bytes)
+	}
+}
+
+// TestAssembleOrphanPromoted: a span whose parent was evicted from a
+// ring buffer (or lived in an unscraped process) becomes a root and is
+// counted, never dropped.
+func TestAssembleOrphanPromoted(t *testing.T) {
+	spans := []SpanRecord{
+		span(7, 10, 0, "read", "master", t0, 4*time.Millisecond, 10),
+		// Parent span 99 was never collected.
+		span(7, 20, 99, "rpc:piece_readv", "master", t0.Add(time.Millisecond), 2*time.Millisecond, 10),
+		span(7, 30, 20, "serve:piece_readv", "iod1", t0.Add(2*time.Millisecond), time.Millisecond, 10),
+	}
+	tr := AssembleTraces(spans)[0]
+	if tr.Orphans != 1 {
+		t.Fatalf("orphans: %d", tr.Orphans)
+	}
+	if len(tr.Roots) != 2 {
+		t.Fatalf("roots: %d", len(tr.Roots))
+	}
+	// True root sorts first; the promoted orphan keeps its subtree.
+	if tr.Roots[0].Span.Name != "read" || tr.Roots[1].Span.Name != "rpc:piece_readv" {
+		t.Fatalf("root order: %s, %s", tr.Roots[0].Span.Name, tr.Roots[1].Span.Name)
+	}
+	if !tr.Roots[1].Orphan || len(tr.Roots[1].Children) != 1 {
+		t.Fatalf("orphan subtree: %+v", tr.Roots[1])
+	}
+}
+
+// TestAssembleDuplicateSpanIDs: a task reassignment can replay work
+// under the same propagated identity; the duplicate must stay visible
+// but never double-count bytes.
+func TestAssembleDuplicateSpanIDs(t *testing.T) {
+	spans := []SpanRecord{
+		span(9, 10, 0, "read", "master", t0, 4*time.Millisecond, 100),
+		span(9, 10, 0, "read", "master", t0.Add(10*time.Millisecond), 4*time.Millisecond, 100),
+		span(9, 20, 10, "rpc:piece_readv", "master", t0.Add(time.Millisecond), 2*time.Millisecond, 100),
+	}
+	tr := AssembleTraces(spans)[0]
+	if tr.Duplicates != 1 {
+		t.Fatalf("duplicates: %d", tr.Duplicates)
+	}
+	if tr.Bytes != 100 {
+		t.Errorf("bytes double-counted: %d", tr.Bytes)
+	}
+	if tr.Spans != 3 {
+		t.Errorf("spans: %d", tr.Spans)
+	}
+	// Aggregates skip the duplicate too.
+	stats := traceStats([]*TraceTree{tr}, nil)
+	if agg := stats.ByName["read"]; agg.Count != 1 || agg.Bytes != 100 {
+		t.Errorf("by-name read agg: %+v", agg)
+	}
+	if stats.DuplicateSpans != 1 {
+		t.Errorf("stats duplicates: %d", stats.DuplicateSpans)
+	}
+}
+
+// TestAssembleParentCycle: a forged or corrupted parent cycle must not
+// hang or panic; every span stays reachable exactly once.
+func TestAssembleParentCycle(t *testing.T) {
+	spans := []SpanRecord{
+		span(3, 10, 20, "a", "p1", t0, time.Millisecond, 1),
+		span(3, 20, 10, "b", "p1", t0.Add(time.Millisecond), time.Millisecond, 2),
+		span(3, 30, 0, "root", "p1", t0, 5*time.Millisecond, 4),
+	}
+	tr := AssembleTraces(spans)[0]
+	visited := 0
+	tr.Walk(func(n *SpanNode, _ int) { visited++ })
+	if visited != 3 {
+		t.Fatalf("walk visited %d of 3 spans", visited)
+	}
+	if tr.Orphans == 0 {
+		t.Errorf("cycle member not flagged as orphan")
+	}
+}
+
+// TestAssembleClockSkew: spans from a process whose clock is minutes
+// off (start before the root, even negative durations) must assemble
+// by IDs alone and keep aggregates non-negative.
+func TestAssembleClockSkew(t *testing.T) {
+	skewed := t0.Add(-3 * time.Minute) // iod clock runs behind
+	spans := []SpanRecord{
+		span(5, 10, 0, "read", "master", t0, 4*time.Millisecond, 32),
+		span(5, 20, 10, "rpc:piece_readv", "master", t0.Add(time.Millisecond), 2*time.Millisecond, 32),
+		span(5, 30, 20, "serve:piece_readv", "iod0", skewed, -time.Millisecond, 32),
+	}
+	tr := AssembleTraces(spans)[0]
+	if len(tr.Roots) != 1 || tr.Orphans != 0 {
+		t.Fatalf("skew broke assembly: %+v", tr)
+	}
+	serve := tr.Roots[0].Children[0].Children[0]
+	if serve.Process != "iod0" {
+		t.Fatalf("serve span misplaced: %+v", serve)
+	}
+	stats := traceStats([]*TraceTree{tr}, nil)
+	if agg := stats.ByName["serve:piece_readv"]; agg.Seconds < 0 {
+		t.Errorf("negative seconds leaked into aggregate: %+v", agg)
+	}
+	cp := criticalPath(RunInfo{}, []*TraceTree{tr}, nil)
+	if cp.ServerSeconds < 0 || cp.RPCWaitSeconds < 0 {
+		t.Errorf("negative critical-path components: %+v", cp)
+	}
+}
+
+// TestAssembleEmptyAndUnknownParents: no spans, and spans all orphaned.
+func TestAssembleEmpty(t *testing.T) {
+	if trees := AssembleTraces(nil); len(trees) != 0 {
+		t.Fatalf("trees from nothing: %d", len(trees))
+	}
+	only := []SpanRecord{span(2, 50, 49, "serve:ping", "iod3", t0, time.Millisecond, 0)}
+	tr := AssembleTraces(only)[0]
+	if len(tr.Roots) != 1 || !tr.Roots[0].Orphan {
+		t.Fatalf("lone orphan not promoted: %+v", tr)
+	}
+}

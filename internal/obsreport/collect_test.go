@@ -1,0 +1,154 @@
+package obsreport
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+func TestParsePrometheus(t *testing.T) {
+	page := `# HELP pario_iod_load Smoothed load.
+# TYPE pario_iod_load gauge
+pario_iod_load{server="iod0"} 2.5
+pario_iod_bytes_served_total{server="iod0"} 4096
+pario_server_requests_total{server="iod0",op="piece_readv",outcome="ok"} 7
+pario_iod_queue_wait_seconds_sum{server="iod0"} 0.125
+pario_pblast_tasks_completed_total 12
+odd_label{msg="a \"quoted\" value, with comma"} 1
+`
+	samples, err := ParsePrometheus(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	snap := Snapshot{Samples: samples}
+	if v := snap.Sum("pario_iod_load", map[string]string{"server": "iod0"}); v != 2.5 {
+		t.Errorf("load: %g", v)
+	}
+	if v := snap.Sum("pario_pblast_tasks_completed_total", nil); v != 12 {
+		t.Errorf("unlabeled counter: %g", v)
+	}
+	per := snap.PerLabel("pario_server_requests_total", "server")
+	if per["iod0"] != 7 {
+		t.Errorf("per-label fold: %+v", per)
+	}
+	var quoted *Sample
+	for i := range samples {
+		if samples[i].Name == "odd_label" {
+			quoted = &samples[i]
+		}
+	}
+	if quoted == nil || quoted.Labels["msg"] != `a "quoted" value, with comma` {
+		t.Errorf("escaped label: %+v", quoted)
+	}
+}
+
+func TestParsePrometheusMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`bad{unterminated="x 1` + "\n",
+		`bad{key=unquoted} 1` + "\n",
+		"name{} notanumber\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+// TestScrapeRoundtrip runs a real debug endpoint and checks that what
+// went into the registry and tracer comes back out of Scrape intact —
+// IDs, parents, durations, bytes.
+func TestScrapeRoundtrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	reg.CounterVec("pario_iod_bytes_served_total", "bytes", "server").With("iod0").Add(12345)
+	want := telemetry.Span{
+		TraceID: 0xabc, SpanID: 0xdef, Parent: 0x123,
+		Name: "rpc:piece_readv", Server: "127.0.0.1:7001",
+		Start: time.Now().UTC(), Duration: 1500 * time.Microsecond, Bytes: 512,
+		Err: "deadline exceeded",
+	}
+	tracer.Record(want)
+
+	dbg, err := telemetry.StartDebug("127.0.0.1:0", reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	snap := Scrape(context.Background(), "iod0", dbg.Addr())
+	if snap.Err != nil {
+		t.Fatal(snap.Err)
+	}
+	if v := snap.Sum("pario_iod_bytes_served_total", map[string]string{"server": "iod0"}); v != 12345 {
+		t.Errorf("scraped bytes: %g", v)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans: %d", len(snap.Spans))
+	}
+	got := snap.Spans[0]
+	if got.Process != "iod0" {
+		t.Errorf("process: %s", got.Process)
+	}
+	if got.TraceID != want.TraceID || got.SpanID != want.SpanID || got.Parent != want.Parent {
+		t.Errorf("IDs: %+v", got.Span)
+	}
+	if got.Name != want.Name || got.Server != want.Server || got.Bytes != want.Bytes || got.Err != want.Err {
+		t.Errorf("attributes: %+v", got.Span)
+	}
+	if got.Duration != want.Duration {
+		t.Errorf("duration: %v", got.Duration)
+	}
+}
+
+// TestScrapeFailure: an unreachable endpoint degrades into Snapshot.Err
+// and a report that still builds.
+func TestScrapeFailure(t *testing.T) {
+	snap := Scrape(context.Background(), "gone", "127.0.0.1:1")
+	if snap.Err == nil {
+		t.Fatal("no error scraping a closed port")
+	}
+	b := NewBuilder("t")
+	b.AddSnapshot(snap)
+	rep := b.Build()
+	if len(rep.Processes) != 1 || rep.Processes[0].Err == "" {
+		t.Errorf("failure not recorded: %+v", rep.Processes)
+	}
+}
+
+// TestLocalSnapshotMatchesScrape: the in-process path and the HTTP
+// path must produce the same samples and spans.
+func TestLocalSnapshotMatchesScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	reg.Counter("pario_pblast_tasks_completed_total", "tasks").Add(3)
+	tracer.Record(telemetry.Span{TraceID: 1, SpanID: 2, Name: "read", Start: time.Now().UTC(), Duration: time.Millisecond})
+
+	local := LocalSnapshot("p", reg, tracer)
+	if local.Err != nil {
+		t.Fatal(local.Err)
+	}
+
+	dbg, err := telemetry.StartDebug("127.0.0.1:0", reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+	scraped := Scrape(context.Background(), "p", dbg.Addr())
+	if scraped.Err != nil {
+		t.Fatal(scraped.Err)
+	}
+	if len(local.Samples) != len(scraped.Samples) || len(local.Spans) != len(scraped.Spans) {
+		t.Errorf("local %d/%d vs scraped %d/%d samples/spans",
+			len(local.Samples), len(local.Spans), len(scraped.Samples), len(scraped.Spans))
+	}
+	if local.Spans[0].SpanID != scraped.Spans[0].SpanID {
+		t.Errorf("span identity differs: %x vs %x", local.Spans[0].SpanID, scraped.Spans[0].SpanID)
+	}
+}

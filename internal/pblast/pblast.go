@@ -115,6 +115,28 @@ type resultMsg struct {
 	ReadBytes  int64
 }
 
+// TaskEvent is one completed task on the master's timeline: which
+// worker ran it, when it was (last) assigned relative to the run
+// start, and how long its copy and search phases took. The sequence of
+// events is the per-worker task timeline a run report renders, and the
+// raw material for straggler detection.
+type TaskEvent struct {
+	// Index is the task index (fragment, piece, or query x fragment).
+	Index int
+	// Worker is the rank whose result was accepted.
+	Worker int
+	// Start is the task's (final) assignment time as an offset from
+	// the scheduling loop's start — master-clock relative, so events
+	// from one run compare without cross-process clock agreement.
+	Start time.Duration
+	// Copy and Search are the worker-reported phase durations.
+	Copy   time.Duration
+	Search time.Duration
+	// Reassigned is true when the task had been handed to more than
+	// one worker before this result arrived.
+	Reassigned bool
+}
+
 // Outcome is the merged output of a parallel search.
 type Outcome struct {
 	Result *blast.Result
@@ -127,6 +149,8 @@ type Outcome struct {
 	SearchTime time.Duration
 	// TaskTimes records each task's search duration by index.
 	TaskTimes map[int]time.Duration
+	// Timeline records every accepted task in completion order.
+	Timeline []TaskEvent
 	// Reassigned counts tasks re-handed to another worker after their
 	// original assignee went silent (fault-tolerant scheduling).
 	Reassigned int
@@ -216,8 +240,10 @@ func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out 
 	states := make([]int, nTasks)
 	assignedAt := make([]time.Time, nTasks)
 	assignedTo := make([]int, nTasks)
+	rehanded := make([]bool, nTasks)
 	var idle []int
 	doneTasks := 0
+	loopStart := time.Now()
 
 	// assign hands the best available task to worker, returning false
 	// when nothing is currently assignable.
@@ -237,6 +263,7 @@ func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out 
 					time.Since(assignedAt[i]) >= cfg.TaskTimeout {
 					pick = i
 					out.Reassigned++
+					rehanded[i] = true
 					cfg.tel.observeReassign()
 					break
 				}
@@ -313,7 +340,15 @@ func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out 
 			out.CopyTime += rm.CopyTime
 			out.SearchTime += rm.SearchTime
 			out.TaskTimes[rm.Index] = rm.SearchTime
-			cfg.tel.observeTask(rm.SearchTime, rm.CopyTime)
+			out.Timeline = append(out.Timeline, TaskEvent{
+				Index:      rm.Index,
+				Worker:     m.From,
+				Start:      assignedAt[rm.Index].Sub(loopStart),
+				Copy:       rm.CopyTime,
+				Search:     rm.SearchTime,
+				Reassigned: rehanded[rm.Index],
+			})
+			cfg.tel.observeTask(m.From, rm.SearchTime, rm.CopyTime)
 		default:
 			return nil, fmt.Errorf("pblast: master got unexpected tag %d", m.Tag)
 		}
@@ -625,12 +660,13 @@ func mergeResults(query *seq.Sequence, results []*blast.Result, cfg Config) *bla
 type BatchOutcome struct {
 	// Results holds one merged result per query, in input order.
 	Results []*blast.Result
-	// WallTime, CopyTime, SearchTime and Reassigned aggregate the
-	// whole batch, like Outcome's fields.
+	// WallTime, CopyTime, SearchTime, Timeline and Reassigned
+	// aggregate the whole batch, like Outcome's fields.
 	WallTime   time.Duration
 	CopyTime   time.Duration
 	SearchTime time.Duration
 	TaskTimes  map[int]time.Duration
+	Timeline   []TaskEvent
 	Reassigned int
 }
 
@@ -687,6 +723,7 @@ func RunMasterBatch(ctx context.Context, c mpi.Comm, fs chio.FileSystem, queries
 		CopyTime:   inner.CopyTime,
 		SearchTime: inner.SearchTime,
 		TaskTimes:  inner.TaskTimes,
+		Timeline:   inner.Timeline,
 		Reassigned: inner.Reassigned,
 	}
 	for qi, results := range perQuery {

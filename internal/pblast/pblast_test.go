@@ -386,6 +386,43 @@ func TestOutcomeTimingsPopulated(t *testing.T) {
 	}
 }
 
+// TestOutcomeTimeline: every accepted task must appear on the master's
+// timeline with its worker, a master-clock start offset, and service
+// times consistent with TaskTimes — the raw material of run reports.
+func TestOutcomeTimeline(t *testing.T) {
+	fs := chio.NewMemFS()
+	query := buildTestDB(t, fs, "nt", 6)
+	out, err := RunInProcess(context.Background(), 3, query, Config{
+		DBName: "nt",
+		Params: blast.Params{Program: blast.BlastN},
+	}, fs, sameFS(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Timeline) != 6 {
+		t.Fatalf("timeline has %d events, want 6", len(out.Timeline))
+	}
+	seen := map[int]bool{}
+	for _, ev := range out.Timeline {
+		if seen[ev.Index] {
+			t.Errorf("task %d appears twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Worker < 1 || ev.Worker > 3 {
+			t.Errorf("task %d from out-of-range worker %d", ev.Index, ev.Worker)
+		}
+		if ev.Start < 0 {
+			t.Errorf("task %d has negative start offset %v", ev.Index, ev.Start)
+		}
+		if ev.Search != out.TaskTimes[ev.Index] {
+			t.Errorf("task %d search %v != TaskTimes %v", ev.Index, ev.Search, out.TaskTimes[ev.Index])
+		}
+		if ev.Reassigned {
+			t.Errorf("task %d flagged reassigned in a healthy run", ev.Index)
+		}
+	}
+}
+
 func TestOverTCPTransport(t *testing.T) {
 	// The same master/worker code must run across the TCP transport
 	// (separate processes in production; goroutines with real sockets

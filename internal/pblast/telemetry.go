@@ -1,6 +1,7 @@
 package pblast
 
 import (
+	"fmt"
 	"time"
 
 	"pario/internal/telemetry"
@@ -12,10 +13,12 @@ import (
 // task pool is draining while a search runs. A nil *Telemetry records
 // nothing.
 type Telemetry struct {
-	taskTime   *telemetry.Histogram
-	copyTime   *telemetry.Histogram
-	tasksDone  *telemetry.Counter
-	reassigned *telemetry.Counter
+	taskTime    *telemetry.Histogram
+	copyTime    *telemetry.Histogram
+	tasksDone   *telemetry.Counter
+	reassigned  *telemetry.Counter
+	workerTasks *telemetry.CounterVec
+	workerBusy  *telemetry.GaugeVec
 }
 
 // NewTelemetry registers the scheduling metric families on reg.
@@ -32,11 +35,17 @@ func NewTelemetry(reg *telemetry.Registry) *Telemetry {
 			"Tasks whose results the master has accepted."),
 		reassigned: reg.Counter("pario_pblast_tasks_reassigned_total",
 			"Overdue tasks re-handed to another worker (fault-tolerant scheduling)."),
+		workerTasks: reg.CounterVec("pario_pblast_worker_tasks_total",
+			"Accepted task results per worker rank — the load-balance view of the task pool.",
+			"worker"),
+		workerBusy: reg.GaugeVec("pario_pblast_worker_busy_seconds",
+			"Cumulative copy+search seconds per worker rank, for straggler analysis.",
+			"worker"),
 	}
 }
 
-// observeTask records one accepted task result.
-func (t *Telemetry) observeTask(search, copy time.Duration) {
+// observeTask records one accepted task result from the given worker.
+func (t *Telemetry) observeTask(worker int, search, copy time.Duration) {
 	if t == nil {
 		return
 	}
@@ -45,6 +54,9 @@ func (t *Telemetry) observeTask(search, copy time.Duration) {
 	if copy > 0 {
 		t.copyTime.ObserveDuration(copy)
 	}
+	w := fmt.Sprintf("worker%d", worker)
+	t.workerTasks.With(w).Inc()
+	t.workerBusy.With(w).Add((search + copy).Seconds())
 }
 
 // observeReassign records one task reassignment.

@@ -27,8 +27,23 @@ type MetaServer struct {
 	nextHandle uint64
 	numServers int
 	stripe     int64
-	loads      map[int]float64
+	loads      map[int]loadEntry
+	loadTTL    time.Duration
 }
+
+// loadEntry is one data server's last heartbeat and when it arrived;
+// entries older than the TTL are expired so hot-spot decisions and run
+// reports never act on a dead server's final load.
+type loadEntry struct {
+	load float64
+	at   time.Time
+}
+
+// DefaultLoadTTL is how long a load heartbeat stays valid without
+// being refreshed: 8 default heartbeat periods, so a couple of dropped
+// beats don't evict a live server but a dead one disappears within
+// seconds.
+const DefaultLoadTTL = 2 * time.Second
 
 // MetaConfig configures StartMetaServer.
 type MetaConfig struct {
@@ -43,6 +58,9 @@ type MetaConfig struct {
 	Telemetry *telemetry.Registry
 	// Tracer, if non-nil, records server-side spans for traced requests.
 	Tracer *telemetry.Tracer
+	// LoadTTL bounds how long a heartbeat stays valid (0 means
+	// DefaultLoadTTL; negative disables expiry).
+	LoadTTL time.Duration
 }
 
 // StartMetaServer launches the manager.
@@ -54,13 +72,17 @@ func StartMetaServer(cfg MetaConfig) (*MetaServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.LoadTTL == 0 {
+		cfg.LoadTTL = DefaultLoadTTL
+	}
 	ms := &MetaServer{
 		ln:         ln,
 		files:      make(map[string]*Meta),
 		nextHandle: 1,
 		numServers: cfg.NumServers,
 		stripe:     cfg.StripeSize,
-		loads:      make(map[int]float64),
+		loads:      make(map[int]loadEntry),
+		loadTTL:    cfg.LoadTTL,
 		tracker:    newConnTracker(),
 	}
 	ms.tel = newServerMetrics(cfg.Telemetry, cfg.Tracer, "mgr")
@@ -148,19 +170,43 @@ func (ms *MetaServer) dispatch(req *Request) *Response {
 		sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
 		return &Response{OK: true, Metas: metas}
 	case OpLoadReport:
-		ms.loads[req.ServerID] = req.Load
+		ms.loads[req.ServerID] = loadEntry{load: req.Load, at: time.Now()}
 		if ms.loadsG != nil {
 			ms.loadsG.With(strconv.Itoa(req.ServerID)).Set(req.Load)
 		}
 		return &Response{OK: true}
 	case OpLoadQuery:
-		out := make(map[int]float64, len(ms.loads))
-		for k, v := range ms.loads {
-			out[k] = v
-		}
-		return &Response{OK: true, Loads: out}
+		return &Response{OK: true, Loads: ms.liveLoads()}
 	}
 	return errResp("meta server: unknown op %d", req.Op)
+}
+
+// liveLoads expires heartbeats older than the TTL — deleting their
+// entries and clearing the corresponding load gauge label, so neither
+// clients' hot-set logic nor scraped reports see a dead server's last
+// load — and returns the surviving map. Callers hold ms.mu.
+func (ms *MetaServer) liveLoads() map[int]float64 {
+	now := time.Now()
+	out := make(map[int]float64, len(ms.loads))
+	for id, e := range ms.loads {
+		if ms.loadTTL > 0 && now.Sub(e.at) > ms.loadTTL {
+			delete(ms.loads, id)
+			if ms.loadsG != nil {
+				ms.loadsG.Delete(strconv.Itoa(id))
+			}
+			continue
+		}
+		out[id] = e.load
+	}
+	return out
+}
+
+// GetLoads returns the currently-live load heartbeats (entries past
+// the TTL are expired first).
+func (ms *MetaServer) GetLoads() map[int]float64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.liveLoads()
 }
 
 // Close stops the manager, force-closing live client connections.

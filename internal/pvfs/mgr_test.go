@@ -1,0 +1,100 @@
+package pvfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+// TestLoadHeartbeatTTL: heartbeats older than the TTL must disappear
+// from load queries, GetLoads, and the mgr's load gauge — a dead
+// server's final load must never keep driving hot-spot decisions or
+// run reports.
+func TestLoadHeartbeatTTL(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ms, err := StartMetaServer(MetaConfig{
+		Addr: "127.0.0.1:0", NumServers: 2,
+		Telemetry: reg, LoadTTL: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	m, err := DialMeta(ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.ReportLoad(bg, 0, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReportLoad(bg, 1, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	loads, err := m.LoadQuery(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 3.5 || loads[1] != 1.25 {
+		t.Fatalf("fresh loads: %+v", loads)
+	}
+	if got := scrape(reg); !strings.Contains(got, `pario_mgr_server_load{server="0"} 3.5`) {
+		t.Fatalf("gauge missing server 0:\n%s", got)
+	}
+
+	// Server 1 keeps heartbeating past the TTL; server 0 goes silent.
+	time.Sleep(120 * time.Millisecond)
+	if err := m.ReportLoad(bg, 1, 2.0); err != nil {
+		t.Fatal(err)
+	}
+
+	loads, err = m.LoadQuery(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loads[0]; ok {
+		t.Errorf("server 0's stale load survived the TTL: %+v", loads)
+	}
+	if loads[1] != 2.0 {
+		t.Errorf("server 1's refreshed load lost: %+v", loads)
+	}
+	if got := ms.GetLoads(); len(got) != 1 || got[1] != 2.0 {
+		t.Errorf("GetLoads after expiry: %+v", got)
+	}
+	if got := scrape(reg); strings.Contains(got, `server="0"`) {
+		t.Errorf("stale gauge label not cleared:\n%s", got)
+	}
+}
+
+// TestLoadHeartbeatTTLDisabled: a negative TTL keeps entries forever.
+func TestLoadHeartbeatTTLDisabled(t *testing.T) {
+	ms, err := StartMetaServer(MetaConfig{
+		Addr: "127.0.0.1:0", NumServers: 1, LoadTTL: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	m, err := DialMeta(ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.ReportLoad(bg, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := ms.GetLoads(); got[0] != 0.5 {
+		t.Errorf("disabled TTL still expired the entry: %+v", got)
+	}
+}
+
+// scrape renders the registry's Prometheus page.
+func scrape(reg *telemetry.Registry) string {
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	return sb.String()
+}

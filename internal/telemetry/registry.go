@@ -313,6 +313,23 @@ func (v *GaugeVec) With(lvs ...string) *Gauge {
 	return v.fam.child(lvs, func() metric { return &Gauge{} }).(*Gauge)
 }
 
+// Delete removes the child for the given label values from the
+// exposition, so a gauge tracking a departed entity (e.g. a dead
+// server's load) does not linger at its last value. Deleting an
+// absent child is a no-op; With after Delete recreates it fresh.
+func (v *GaugeVec) Delete(lvs ...string) { v.fam.delete(lvs) }
+
+func (f *family) delete(lvs []string) {
+	if len(lvs) != len(f.labels) {
+		return
+	}
+	key := strings.Join(lvs, labelSep)
+	f.mu.Lock()
+	delete(f.children, key)
+	delete(f.keys, key)
+	f.mu.Unlock()
+}
+
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ fam *family }
 

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured logging for the daemons and CLIs. Every process logs
+// through a *slog.Logger built here, so one run's output — master,
+// workers, iods, manager — shares a format, a component attribute, and
+// (where a span context is in scope) trace-ID attributes that join log
+// lines to the spans on /debug/traces and in run reports.
+
+// LogLevelEnv is the environment variable that sets the process log
+// level (debug, info, warn, error). Unset or unrecognized means info.
+const LogLevelEnv = "PARIO_LOG_LEVEL"
+
+// NewLogger returns a text-format slog.Logger writing to w, tagged
+// with the process's component name ("pvfsd", "mpiblast", ...). The
+// level comes from $PARIO_LOG_LEVEL.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: envLevel()})
+	return slog.New(h).With("component", component)
+}
+
+// NewProcessLogger builds the conventional process logger (stderr) and
+// also installs it as slog's default, so library code logging through
+// slog.Default inherits the component tag.
+func NewProcessLogger(component string) *slog.Logger {
+	l := NewLogger(os.Stderr, component)
+	slog.SetDefault(l)
+	return l
+}
+
+func envLevel() slog.Level {
+	switch strings.ToLower(os.Getenv(LogLevelEnv)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
+
+// IDString renders a trace or span ID the way the HTTP endpoints and
+// reports do: fixed-width hex, so log lines grep-join with span dumps.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// TraceAttrs returns the trace-correlation attributes for the span in
+// ctx, or nil when ctx carries none. Loggers append these so a log
+// line emitted inside a traced operation names the trace it belongs
+// to:
+//
+//	logger.Info("hot-spot marked", append([]any{"server", id}, telemetry.TraceAttrs(ctx)...)...)
+func TraceAttrs(ctx context.Context) []any {
+	sc, ok := SpanFromContext(ctx)
+	if !ok {
+		return nil
+	}
+	return []any{"trace", IDString(sc.TraceID), "span", IDString(sc.SpanID)}
+}

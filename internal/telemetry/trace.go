@@ -2,7 +2,7 @@ package telemetry
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"math/rand/v2"
 	"sync"
 	"time"
@@ -66,7 +66,7 @@ type Tracer struct {
 	full bool
 
 	slow    time.Duration
-	slowLog *log.Logger
+	slowLog *slog.Logger
 }
 
 // DefaultSpanBuffer is the ring capacity when NewTracer is given none.
@@ -84,7 +84,7 @@ func NewTracer(capacity int) *Tracer {
 // SetSlowThreshold makes spans with Duration >= d emit one structured
 // log line (to logger, or the process default when nil). d <= 0
 // disables the slow log.
-func (t *Tracer) SetSlowThreshold(d time.Duration, logger *log.Logger) {
+func (t *Tracer) SetSlowThreshold(d time.Duration, logger *slog.Logger) {
 	if t == nil {
 		return
 	}
@@ -110,10 +110,12 @@ func (t *Tracer) Record(s Span) {
 	t.mu.Unlock()
 	if slow > 0 && s.Duration >= slow {
 		if logger == nil {
-			logger = log.Default()
+			logger = slog.Default()
 		}
-		logger.Printf("slow-span trace=%016x span=%016x parent=%016x name=%s server=%s dur=%s bytes=%d err=%q",
-			s.TraceID, s.SpanID, s.Parent, s.Name, s.Server, s.Duration, s.Bytes, s.Err)
+		logger.Warn("slow-span",
+			"trace", IDString(s.TraceID), "span", IDString(s.SpanID),
+			"parent", IDString(s.Parent), "name", s.Name, "server", s.Server,
+			"dur", s.Duration, "bytes", s.Bytes, "err", s.Err)
 	}
 }
 
