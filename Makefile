@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke metrics-smoke report-smoke
+.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Re-run the benchmarks recorded in the BENCH_*.json baselines and
+# flag ns/op regressions beyond BENCH_TOLERANCE percent (default 100).
+# Not part of `make check`: real measurement runs are slow and noisy.
+bench-compare:
+	./scripts/bench_compare.sh

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pario/internal/align"
 	"pario/internal/blast"
@@ -37,6 +38,7 @@ func main() {
 		gapOpen = flag.Int("gapopen", 11, "gap open cost for -matrix")
 		gapExt  = flag.Int("gapextend", 1, "gap extend cost for -matrix")
 		maxTgt  = flag.Int("max-target-seqs", 0, "cap reported subjects (0 = all)")
+		threads = flag.Int("threads", runtime.NumCPU(), "search shards for the subject pipeline (1 = sequential)")
 		root    = flag.String("root", ".", "directory holding the database files")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
@@ -86,6 +88,7 @@ func main() {
 		MaxTargetSeqs: *maxTgt,
 		Greedy:        *mega,
 		Filter:        *filter,
+		Threads:       *threads,
 	}
 	if *matrix != "" {
 		scheme, err := align.LoadMatrixFile(*matrix, *gapOpen, *gapExt)

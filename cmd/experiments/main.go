@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pario/internal/blast"
 	"pario/internal/chio"
@@ -36,6 +37,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "database scale factor for the simulated figures")
 		fig4DB  = flag.String("fig4-db-size", "48MB", "database size for the real traced Figure 4 run")
 		workers = flag.Int("fig4-workers", 8, "worker count for the Figure 4 run")
+		threads = flag.Int("threads", runtime.NumCPU(), "search shards per worker for the real Figure 4 run")
 		scatter = flag.String("fig4-scatter", "", "write the Figure 4 scatter data to this file")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = off)")
@@ -59,7 +61,7 @@ func main() {
 	p := sim.DefaultParams().Scaled(*scale)
 	switch cmd {
 	case "fig4":
-		runFig4(*fig4DB, *workers, *scatter)
+		runFig4(*fig4DB, *workers, *threads, *scatter)
 	case "fig5":
 		sim.Fig5(p).Render(os.Stdout)
 	case "fig6":
@@ -79,7 +81,7 @@ func main() {
 	case "sensitivity":
 		sim.Sensitivity(p).Render(os.Stdout)
 	case "all":
-		runFig4(*fig4DB, *workers, *scatter)
+		runFig4(*fig4DB, *workers, *threads, *scatter)
 		fmt.Println()
 		sim.Summary(p, os.Stdout)
 	default:
@@ -92,7 +94,7 @@ func main() {
 // BLAST run (database segmentation, N workers) with the I/O
 // instrumentation enabled, reporting the same statistics the paper's
 // caption gives.
-func runFig4(dbSize string, workers int, scatterPath string) {
+func runFig4(dbSize string, workers, threads int, scatterPath string) {
 	letters, err := util.ParseBytes(dbSize)
 	if err != nil {
 		fatal(err)
@@ -112,6 +114,7 @@ func runFig4(dbSize string, workers int, scatterPath string) {
 		DBName:   "nt",
 		Workers:  workers,
 		Params:   blast.Params{Program: blast.BlastN},
+		Threads:  threads,
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 		Trace:    trace,

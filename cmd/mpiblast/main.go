@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -66,6 +67,7 @@ func main() {
 		evalue   = flag.Float64("evalue", 10, "e-value cutoff")
 		querySeg = flag.Bool("query-segmentation", false, "split the query instead of the database")
 		mega     = flag.Bool("megablast", false, "megablast mode (blastn only)")
+		threads  = flag.Int("threads", runtime.NumCPU(), "search shards per worker task (1 = sequential engine)")
 		filterLC = flag.Bool("F", false, "mask low-complexity query regions")
 		traceOut = flag.String("trace", "", "write a Figure 4 style I/O trace to this file")
 		outfmt   = flag.String("outfmt", "report", "report|tabular")
@@ -331,7 +333,8 @@ func main() {
 			if *raEnable {
 				fs = readahead.Wrap(fs, raOpts()...)
 			}
-			if err := pblast.RunWorker(ctx, comm, fs, scratchFS); err != nil {
+			if err := pblast.RunWorker(ctx, comm, fs, scratchFS,
+				pblast.WithPipeMetrics(blast.NewPipeMetrics(reg))); err != nil {
 				fatal(err)
 			}
 			return
@@ -352,7 +355,7 @@ func main() {
 		queries := loadQueries(*queryF, prog)
 		cfg := pblast.Config{
 			DBName:     *db,
-			Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+			Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC, Threads: *threads},
 			ChunkBytes: *chunk,
 		}
 		cfg.SetTelemetry(pblast.NewTelemetry(reg))
@@ -381,6 +384,7 @@ func main() {
 		DBName:     *db,
 		Workers:    *workers,
 		Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
+		Threads:    *threads,
 		MasterFS:   masterFS,
 		WorkerFS:   workerFS,
 		Telemetry:  pblast.NewTelemetry(reg),

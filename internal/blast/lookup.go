@@ -7,12 +7,56 @@ import (
 // Word lookup tables map fixed-length words of the subject stream to
 // query positions where a seed hit should be investigated.
 
+// seedSink receives seed matches from a lookup table scan. The
+// searcher is the production implementation; tests substitute
+// recorders.
+type seedSink interface {
+	handleSeed(qpos, spos int)
+}
+
+// nucDirectBits bounds the direct-indexed table: words of up to this
+// many packed bits (2 per base) index a flat 2^bits bucket array;
+// wider words — classic blastn 11-mers, megablast 28-mers — go
+// through the open-addressed hash. 16 bits keeps the direct table at
+// 256 KB of bucket bounds.
+const nucDirectBits = 16
+
+// nucEmptyKey marks an empty hash slot. Packed words occupy at most
+// 62 bits (W <= 31), so all-ones can never collide with a real word.
+const nucEmptyKey = ^uint64(0)
+
 // nucLookup indexes a nucleotide query's exact W-mers by their 2W-bit
-// packed value (W up to 31, covering megablast's 28-mers).
+// packed value (W up to 31, covering megablast's 28-mers) in a flat
+// CSR layout: entries holds every indexed query position grouped by
+// word, and either a direct-indexed bounds array (small W) or an
+// open-addressed uint64 hash (large W) locates a word's group. Both
+// forms are immutable after construction and safe for concurrent
+// scans.
 type nucLookup struct {
 	w    int
 	mask uint64
-	pos  map[uint64][]int32
+
+	// entries holds query positions grouped by word, ascending within
+	// each group (query scan order), shared by both index forms.
+	entries []int32
+
+	// Direct form (2W <= nucDirectBits): group of word v is
+	// entries[starts[v]:starts[v+1]].
+	starts []int32
+
+	// Hash form: open addressing with linear probing. Slot i holds
+	// keys[i] (nucEmptyKey = empty) and its group
+	// entries[offs[i] : offs[i]+cnts[i]].
+	keys  []uint64
+	offs  []int32
+	cnts  []int32
+	shift uint // hash shift: 64 - log2(len(keys))
+}
+
+// nucHash spreads a packed word over the table's slot space
+// (Fibonacci hashing: multiply by 2^64/phi, take the top bits).
+func nucHash(word uint64, shift uint) uint64 {
+	return (word * 0x9E3779B97F4A7C15) >> shift
 }
 
 // buildNucLookup indexes every word of the dense-coded query whose
@@ -21,37 +65,195 @@ func buildNucLookup(query []byte, w int, masked []bool) *nucLookup {
 	lt := &nucLookup{
 		w:    w,
 		mask: (1 << (2 * uint(w))) - 1,
-		pos:  make(map[uint64][]int32),
 	}
 	if len(query) < w {
 		return lt
 	}
-	var word uint64
-	for i := 0; i < len(query); i++ {
-		word = (word<<2 | uint64(query[i])) & lt.mask
-		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
-			lt.pos[word] = append(lt.pos[word], int32(i-w+1))
-		}
+	if 2*w <= nucDirectBits {
+		lt.buildDirect(query, masked)
+	} else {
+		lt.buildHash(query, masked)
 	}
 	return lt
 }
 
-// scan streams the subject's words and calls hit(queryPos, subjectPos)
-// for each seed match. subjectPos is the word's start offset.
-func (lt *nucLookup) scan(subject []byte, hit func(qpos, spos int)) {
-	if len(subject) < lt.w {
+// buildDirect fills the direct-indexed CSR: one counting pass, a
+// prefix sum, one filling pass.
+func (lt *nucLookup) buildDirect(query []byte, masked []bool) {
+	size := int(lt.mask) + 1
+	lt.starts = make([]int32, size+1)
+	w := lt.w
+	var word uint64
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			lt.starts[word+1]++
+		}
+	}
+	for v := 0; v < size; v++ {
+		lt.starts[v+1] += lt.starts[v]
+	}
+	lt.entries = make([]int32, lt.starts[size])
+	next := make([]int32, size)
+	copy(next, lt.starts[:size])
+	word = 0
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			lt.entries[next[word]] = int32(i - w + 1)
+			next[word]++
+		}
+	}
+}
+
+// buildHash fills the open-addressed CSR. Capacity is the next power
+// of two at or above 2x the indexed word count, so load factor stays
+// under 0.5 and linear probes terminate quickly.
+func (lt *nucLookup) buildHash(query []byte, masked []bool) {
+	w := lt.w
+	nWords := 0
+	for i := w - 1; i < len(query); i++ {
+		if wordAllowed(masked, i-w+1, w) {
+			nWords++
+		}
+	}
+	if nWords == 0 {
 		return
 	}
+	capacity := 16
+	for capacity < 2*nWords {
+		capacity <<= 1
+	}
+	lt.shift = 64 - uint(log2(capacity))
+	lt.keys = make([]uint64, capacity)
+	for i := range lt.keys {
+		lt.keys[i] = nucEmptyKey
+	}
+	lt.offs = make([]int32, capacity)
+	lt.cnts = make([]int32, capacity)
+
+	// Pass 1: insert keys, counting occurrences per slot.
 	var word uint64
-	for i := 0; i < len(subject); i++ {
-		word = (word<<2 | uint64(subject[i])) & lt.mask
-		if i >= lt.w-1 {
-			if positions, ok := lt.pos[word]; ok {
-				spos := i - lt.w + 1
-				for _, qpos := range positions {
-					hit(int(qpos), spos)
-				}
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			lt.cnts[lt.slotInsert(word)]++
+		}
+	}
+	// Prefix-sum the slot counts into group offsets (slot order —
+	// grouping is by slot, order within a group is query order).
+	var off int32
+	for s := range lt.offs {
+		lt.offs[s] = off
+		off += lt.cnts[s]
+	}
+	// Pass 2: fill entries in query scan order, keeping each group's
+	// positions ascending (the order the map-based table produced).
+	lt.entries = make([]int32, off)
+	fill := make([]int32, capacity)
+	word = 0
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			s := lt.slotFind(word)
+			lt.entries[lt.offs[s]+fill[s]] = int32(i - w + 1)
+			fill[s]++
+		}
+	}
+}
+
+// slotInsert finds word's slot, claiming an empty one if absent.
+func (lt *nucLookup) slotInsert(word uint64) int {
+	m := uint64(len(lt.keys) - 1)
+	s := nucHash(word, lt.shift)
+	for {
+		k := lt.keys[s]
+		if k == word {
+			return int(s)
+		}
+		if k == nucEmptyKey {
+			lt.keys[s] = word
+			return int(s)
+		}
+		s = (s + 1) & m
+	}
+}
+
+// slotFind locates an existing word's slot (the word must be present).
+func (lt *nucLookup) slotFind(word uint64) int {
+	m := uint64(len(lt.keys) - 1)
+	s := nucHash(word, lt.shift)
+	for lt.keys[s] != word {
+		s = (s + 1) & m
+	}
+	return int(s)
+}
+
+// log2 returns floor(log2(n)) for a power of two n.
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// scan streams the subject's words and calls sink.handleSeed(qpos,
+// spos) for each seed match. spos is the word's start offset.
+func (lt *nucLookup) scan(subject []byte, sink seedSink) {
+	if len(subject) < lt.w || len(lt.entries) == 0 {
+		return
+	}
+	if lt.starts != nil {
+		lt.scanDirect(subject, sink)
+	} else {
+		lt.scanHash(subject, sink)
+	}
+}
+
+func (lt *nucLookup) scanDirect(subject []byte, sink seedSink) {
+	w, mask, starts, entries := lt.w, lt.mask, lt.starts, lt.entries
+	var word uint64
+	for i := 0; i < w-1; i++ {
+		word = word<<2 | uint64(subject[i])
+	}
+	for i := w - 1; i < len(subject); i++ {
+		word = (word<<2 | uint64(subject[i])) & mask
+		st, en := starts[word], starts[word+1]
+		if st < en {
+			spos := i - w + 1
+			for _, qpos := range entries[st:en] {
+				sink.handleSeed(int(qpos), spos)
 			}
+		}
+	}
+}
+
+func (lt *nucLookup) scanHash(subject []byte, sink seedSink) {
+	w, mask, keys, shift := lt.w, lt.mask, lt.keys, lt.shift
+	m := uint64(len(keys) - 1)
+	var word uint64
+	for i := 0; i < w-1; i++ {
+		word = word<<2 | uint64(subject[i])
+	}
+	for i := w - 1; i < len(subject); i++ {
+		word = (word<<2 | uint64(subject[i])) & mask
+		s := nucHash(word, shift)
+		for {
+			k := keys[s]
+			if k == nucEmptyKey {
+				break
+			}
+			if k == word {
+				spos := i - w + 1
+				group := lt.entries[lt.offs[s] : lt.offs[s]+lt.cnts[s]]
+				for _, qpos := range group {
+					sink.handleSeed(int(qpos), spos)
+				}
+				break
+			}
+			s = (s + 1) & m
 		}
 	}
 }
@@ -62,6 +264,7 @@ func (lt *nucLookup) scan(subject []byte, hit func(qpos, spos int)) {
 type protLookup struct {
 	w        int
 	alphabet int
+	hi       int       // alphabet^(w-1): weight of a word's outgoing high digit
 	buckets  [][]int32 // word index -> query positions
 }
 
@@ -72,7 +275,7 @@ func buildProtLookup(query []byte, w, threshold, alphabet int, s *align.Scheme, 
 	for i := 0; i < w; i++ {
 		size *= alphabet
 	}
-	lt := &protLookup{w: w, alphabet: alphabet, buckets: make([][]int32, size)}
+	lt := &protLookup{w: w, alphabet: alphabet, hi: size / alphabet, buckets: make([][]int32, size)}
 	if len(query) < w {
 		return lt
 	}
@@ -127,21 +330,26 @@ func (lt *protLookup) wordIndex(word []byte) int {
 	return idx
 }
 
-// scan streams the subject's words and reports seed hits.
-func (lt *protLookup) scan(subject []byte, hit func(qpos, spos int)) {
+// scan streams the subject's words and reports seed hits. The rolling
+// index drops the word's outgoing high digit instead of reducing
+// modulo alphabet^w, so the per-position work is one multiply-add and
+// one multiply-subtract.
+func (lt *protLookup) scan(subject []byte, sink seedSink) {
 	if len(subject) < lt.w {
 		return
 	}
-	// Rolling index: idx = idx*alphabet + next, modulo alphabet^w.
-	modulo := len(lt.buckets)
+	w, alphabet, hi := lt.w, lt.alphabet, lt.hi
 	idx := 0
 	for i := 0; i < len(subject); i++ {
-		idx = (idx*lt.alphabet + int(subject[i])) % modulo
-		if i >= lt.w-1 {
+		if i >= w {
+			idx -= int(subject[i-w]) * hi
+		}
+		idx = idx*alphabet + int(subject[i])
+		if i >= w-1 {
 			if positions := lt.buckets[idx]; positions != nil {
-				spos := i - lt.w + 1
+				spos := i - w + 1
 				for _, qpos := range positions {
-					hit(int(qpos), spos)
+					sink.handleSeed(int(qpos), spos)
 				}
 			}
 		}

@@ -1,0 +1,158 @@
+package blast
+
+import (
+	"reflect"
+	"testing"
+
+	"pario/internal/util"
+)
+
+// refNucLookup is the straightforward map-based word index the CSR
+// tables replaced; the flat tables must reproduce its seed stream
+// exactly — same (qpos, spos) pairs in the same order.
+type refNucLookup struct {
+	w       int
+	mask    uint64
+	buckets map[uint64][]int32
+}
+
+func buildRefNucLookup(query []byte, w int, masked []bool) *refNucLookup {
+	lt := &refNucLookup{
+		w:       w,
+		mask:    (1 << (2 * uint(w))) - 1,
+		buckets: make(map[uint64][]int32),
+	}
+	var word uint64
+	for i := 0; i < len(query); i++ {
+		word = (word<<2 | uint64(query[i])) & lt.mask
+		if i >= w-1 && wordAllowed(masked, i-w+1, w) {
+			lt.buckets[word] = append(lt.buckets[word], int32(i-w+1))
+		}
+	}
+	return lt
+}
+
+func (lt *refNucLookup) scan(subject []byte, sink seedSink) {
+	if len(subject) < lt.w || len(lt.buckets) == 0 {
+		return
+	}
+	var word uint64
+	for i := 0; i < lt.w-1; i++ {
+		word = word<<2 | uint64(subject[i])
+	}
+	for i := lt.w - 1; i < len(subject); i++ {
+		word = (word<<2 | uint64(subject[i])) & lt.mask
+		if positions := lt.buckets[word]; positions != nil {
+			spos := i - lt.w + 1
+			for _, qpos := range positions {
+				sink.handleSeed(int(qpos), spos)
+			}
+		}
+	}
+}
+
+type seedPair struct{ qpos, spos int }
+
+type seedRecorder struct{ seeds []seedPair }
+
+func (r *seedRecorder) handleSeed(qpos, spos int) {
+	r.seeds = append(r.seeds, seedPair{qpos, spos})
+}
+
+// denseDNA builds a dense-coded (0..3) random sequence.
+func denseDNA(rng *util.RNG, n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(rng.Intn(4))
+	}
+	return data
+}
+
+// TestNucLookupMatchesReference drives both CSR forms (direct-indexed
+// for small W, open-addressed hash for large W) against the reference
+// map implementation over queries with planted repeats and optional
+// masking, and requires identical seed streams.
+func TestNucLookupMatchesReference(t *testing.T) {
+	rng := util.NewRNG(4242)
+	query := denseDNA(rng, 600)
+	// Repeats: the same 40-mer at three sites, so buckets hold several
+	// query positions and group ordering matters.
+	copy(query[100:], query[20:60])
+	copy(query[500:], query[20:60])
+	subject := denseDNA(rng, 5000)
+	// Plant query chunks so the scan actually fires.
+	copy(subject[700:], query[10:200])
+	copy(subject[3000:], query[400:580])
+
+	masked := make([]bool, len(query))
+	for i := 120; i < 180; i++ {
+		masked[i] = true
+	}
+
+	for _, w := range []int{4, 8, 11, 16, 28} {
+		for _, m := range [][]bool{nil, masked} {
+			name := "unmasked"
+			if m != nil {
+				name = "masked"
+			}
+			lt := buildNucLookup(query, w, m)
+			wantDirect := 2*w <= nucDirectBits
+			if (lt.starts != nil) != wantDirect {
+				t.Errorf("w=%d: direct form = %v, want %v", w, lt.starts != nil, wantDirect)
+			}
+			ref := buildRefNucLookup(query, w, m)
+			var got, want seedRecorder
+			lt.scan(subject, &got)
+			ref.scan(subject, &want)
+			if len(want.seeds) == 0 {
+				t.Fatalf("w=%d %s: reference found no seeds; test is vacuous", w, name)
+			}
+			if !reflect.DeepEqual(got.seeds, want.seeds) {
+				t.Errorf("w=%d %s: CSR seed stream differs from reference (%d vs %d seeds)",
+					w, name, len(got.seeds), len(want.seeds))
+			}
+		}
+	}
+}
+
+// TestNucLookupHashNoFalseHits checks the open-addressed form rejects
+// absent words even when their slots collide with present ones.
+func TestNucLookupHashNoFalseHits(t *testing.T) {
+	rng := util.NewRNG(4243)
+	query := denseDNA(rng, 64)
+	lt := buildNucLookup(query, 28, nil)
+	if lt.keys == nil {
+		t.Fatal("w=28 should build the hash form")
+	}
+	ref := buildRefNucLookup(query, 28, nil)
+	subject := denseDNA(rng, 20000)
+	var got, want seedRecorder
+	lt.scan(subject, &got)
+	ref.scan(subject, &want)
+	if !reflect.DeepEqual(got.seeds, want.seeds) {
+		t.Errorf("hash form differs from reference on random subject: %d vs %d seeds",
+			len(got.seeds), len(want.seeds))
+	}
+}
+
+// TestNucLookupEmptyQuery covers the degenerate builds.
+func TestNucLookupEmptyQuery(t *testing.T) {
+	var rec seedRecorder
+	for _, w := range []int{11, 28} {
+		lt := buildNucLookup(nil, w, nil)
+		lt.scan(make([]byte, 100), &rec)
+		lt = buildNucLookup(make([]byte, w-1), w, nil)
+		lt.scan(make([]byte, 100), &rec)
+		// Fully masked query: zero indexed words.
+		q := make([]byte, 2*w)
+		masked := make([]bool, len(q))
+		for i := range masked {
+			masked[i] = true
+		}
+		lt = buildNucLookup(q, w, masked)
+		lt.scan(make([]byte, 100), &rec)
+	}
+	if len(rec.seeds) != 0 {
+		t.Fatalf("degenerate lookups produced %d seeds", len(rec.seeds))
+	}
+}

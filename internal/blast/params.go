@@ -119,6 +119,12 @@ type Params struct {
 	// query too.
 	BothStrands bool
 
+	// Threads is the number of search shards the subject pipeline
+	// runs (<= 1 means the classic sequential loop). Results are
+	// bit-identical at any thread count: subjects are independent and
+	// the pipeline merges them back in stream order.
+	Threads int
+
 	// Filter enables low-complexity masking of the query before
 	// seeding (DUST for nucleotide comparisons, SEG-style entropy
 	// masking for protein comparisons) — NCBI blastall's -F option.
@@ -217,4 +223,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("blast: e-value cutoff must be positive")
 	}
 	return nil
+}
+
+// threadCount clamps Threads to at least one shard.
+func (p Params) threadCount() int {
+	if p.Threads < 1 {
+		return 1
+	}
+	return p.Threads
 }

@@ -112,8 +112,18 @@ type DBInfo struct {
 
 // Search runs a BLAST search of query against the subjects under p.
 // DBInfo supplies database-wide totals for e-value statistics; when
-// zero they are accumulated from the stream itself.
+// zero they are accumulated from the stream itself. With p.Threads >
+// 1 the subject stream is searched by a parallel pipeline whose
+// results are bit-identical to the sequential engine's.
 func Search(query *seq.Sequence, subjects SubjectSource, info DBInfo, p Params) (*Result, error) {
+	return SearchWithMetrics(query, subjects, info, p, nil)
+}
+
+// SearchWithMetrics is Search with a pipeline telemetry sink: when m
+// is non-nil and p.Threads > 1, shard busy/idle time, decode stalls
+// and merge-queue depth are published so a live scrape shows whether
+// the search is compute- or I/O-bound.
+func SearchWithMetrics(query *seq.Sequence, subjects SubjectSource, info DBInfo, p Params, m *PipeMetrics) (*Result, error) {
 	p = p.Defaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -130,24 +140,32 @@ func Search(query *seq.Sequence, subjects SubjectSource, info DBInfo, p Params) 
 
 	var raw []rawHit
 	var dbLetters, dbSeqs int64
-	for {
-		subj, err := subjects.Next()
-		if err == io.EOF {
-			break
-		}
+	if threads := p.threadCount(); threads > 1 {
+		raw, dbLetters, dbSeqs, err = eng.runPipeline(subjects, threads, m)
 		if err != nil {
 			return nil, err
 		}
-		if subj.Kind != p.Program.DBKind() {
-			return nil, fmt.Errorf("blast: %s expects a %s database, got %s in %s",
-				p.Program, p.Program.DBKind(), subj.Kind, subj.ID)
+	} else {
+		sr := newSearcher(eng)
+		for {
+			subj, err := subjects.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.checkSubjectKind(subj); err != nil {
+				return nil, err
+			}
+			dbLetters += int64(subj.Len())
+			dbSeqs++
+			hsps := sr.searchSubject(subj)
+			if len(hsps) > 0 {
+				raw = append(raw, rawHit{subject: subj, hsps: hsps})
+			}
 		}
-		dbLetters += int64(subj.Len())
-		dbSeqs++
-		hsps := eng.searchSubject(subj)
-		if len(hsps) > 0 {
-			raw = append(raw, rawHit{subject: subj, hsps: hsps})
-		}
+		eng.stats.addCounts(sr.stats)
 	}
 	if info.Letters == 0 {
 		info.Letters = dbLetters
@@ -160,6 +178,24 @@ func Search(query *seq.Sequence, subjects SubjectSource, info DBInfo, p Params) 
 	res.Stats.DBSequences = dbSeqs
 	eng.finalize(res, raw, info)
 	return res, nil
+}
+
+// checkSubjectKind rejects subjects of the wrong sequence kind.
+func (eng *engine) checkSubjectKind(subj *seq.Sequence) error {
+	if subj.Kind != eng.p.Program.DBKind() {
+		return fmt.Errorf("blast: %s expects a %s database, got %s in %s",
+			eng.p.Program, eng.p.Program.DBKind(), subj.Kind, subj.ID)
+	}
+	return nil
+}
+
+// addCounts folds another stats block's per-subject work counters in.
+// Only the counters the search loop accumulates move; the query-wide
+// fields (Karlin parameters, masking, cutoffs) stay put.
+func (s *SearchStats) addCounts(o SearchStats) {
+	s.SeedHits += o.SeedHits
+	s.UngappedExts += o.UngappedExts
+	s.GappedExts += o.GappedExts
 }
 
 type rawHit struct {
@@ -199,7 +235,7 @@ type queryView struct {
 	frame  seq.Frame
 	codes  []byte
 	lookup interface {
-		scan(subject []byte, hit func(qpos, spos int))
+		scan(subject []byte, sink seedSink)
 	}
 	origLen int // original query length (for coordinate mapping)
 }
@@ -307,114 +343,181 @@ func frameFor(p Program, subj *seq.Sequence) seq.Frame {
 	return 0
 }
 
+// diagCell tracks per-diagonal progress: the end of the last
+// extension (to suppress redundant seeds) and the last seed position
+// (for the two-hit rule). The epoch stamp replaces reallocating and
+// zeroing the diagonal array for every subject: a cell whose epoch
+// differs from the searcher's current epoch reads as zero.
+type diagCell struct {
+	epoch      uint32
+	lastExtEnd int32 // subject offset up to which the diagonal is covered
+	lastSeed   int32 // subject offset of the previous unextended seed + 1 (0 = none)
+}
+
+// searcher holds the per-shard mutable state of a search: private
+// work counters, the pooled diagonal array, and the scratch HSP
+// buffer. The engine it points at is immutable after construction, so
+// any number of searchers may run concurrently over it; each pipeline
+// shard owns one, and their stats are folded together at finalize.
+type searcher struct {
+	eng   *engine
+	stats SearchStats // per-subject work counters only
+
+	cells []diagCell
+	epoch uint32
+
+	// Current pair context, so handleSeed is a method instead of a
+	// fresh closure per subject view.
+	q, s           []byte
+	qFrame, sFrame seq.Frame
+	offset         int // diagonal index = spos - qpos + len(q)
+	twoHit         bool
+	pairHSPs       []rawHSP // reused across pairs; survivors are copied out
+}
+
+func newSearcher(eng *engine) *searcher {
+	return &searcher{eng: eng, twoHit: eng.p.TwoHitWindow > 0}
+}
+
 // searchSubject runs the seeded search of every query view against
 // every subject view and returns comparison-space HSPs.
-func (eng *engine) searchSubject(subj *seq.Sequence) []rawHSP {
+func (sr *searcher) searchSubject(subj *seq.Sequence) []rawHSP {
 	var out []rawHSP
-	for _, sv := range eng.subjectViews(subj) {
-		for vi := range eng.views {
-			qv := &eng.views[vi]
-			out = append(out, eng.searchPair(qv, &sv, subj)...)
+	for _, sv := range sr.eng.subjectViews(subj) {
+		for vi := range sr.eng.views {
+			qv := &sr.eng.views[vi]
+			out = append(out, sr.searchPair(qv, &sv)...)
 		}
 	}
 	return out
 }
 
-// diagState tracks per-diagonal progress: the end of the last
-// extension (to suppress redundant seeds) and the last seed position
-// (for the two-hit rule).
-type diagState struct {
-	lastExtEnd int32 // subject offset up to which the diagonal is covered
-	lastSeed   int32 // subject offset of the previous unextended seed + 1 (0 = none)
+// beginPair resets the searcher for one query-view x subject-view
+// scan: bump the diagonal epoch (lazily zeroing cells), grow the pool
+// if this pair has more diagonals than any before, reset the HSP
+// scratch.
+func (sr *searcher) beginPair(qv *queryView, sv *subjectView) {
+	sr.q, sr.s = qv.codes, sv.codes
+	sr.qFrame, sr.sFrame = qv.frame, sv.frame
+	sr.offset = len(sr.q)
+	if n := len(sr.q) + len(sr.s); n > len(sr.cells) {
+		sr.cells = make([]diagCell, n) // fresh cells carry epoch 0: stale
+	}
+	sr.epoch++
+	if sr.epoch == 0 { // wrapped: hard-reset so stale stamps cannot match
+		for i := range sr.cells {
+			sr.cells[i] = diagCell{}
+		}
+		sr.epoch = 1
+	}
+	sr.pairHSPs = sr.pairHSPs[:0]
 }
 
-func (eng *engine) searchPair(qv *queryView, sv *subjectView, subj *seq.Sequence) []rawHSP {
-	q, s := qv.codes, sv.codes
-	if len(q) < eng.p.WordSize || len(s) < eng.p.WordSize {
+func (sr *searcher) searchPair(qv *queryView, sv *subjectView) []rawHSP {
+	if len(qv.codes) < sr.eng.p.WordSize || len(sv.codes) < sr.eng.p.WordSize {
 		return nil
 	}
-	nDiags := len(q) + len(s)
-	diags := make([]diagState, nDiags)
-	offset := len(q) // diagonal index = spos - qpos + len(q)
-	twoHit := eng.p.TwoHitWindow > 0
-	var hsps []rawHSP
-
-	handleSeed := func(qpos, spos int) {
-		eng.stats.SeedHits++
-		d := spos - qpos + offset
-		ds := &diags[d]
-		if int32(spos) < ds.lastExtEnd {
-			return // already inside an extension on this diagonal
-		}
-		if twoHit {
-			last := ds.lastSeed
-			ds.lastSeed = int32(spos) + 1
-			if last == 0 {
-				return // first hit on this diagonal: remember and wait
-			}
-			gap := spos - int(last-1)
-			if gap <= 0 || gap > eng.p.TwoHitWindow {
-				return // overlapping or too far apart: keep waiting
-			}
-		}
-		var gscore, qFrom, qTo, sFrom, sTo int
-		if eng.p.Greedy {
-			// Megablast: greedy gapped extension straight from the
-			// seed midpoint (seeds are long exact matches, so the
-			// midpoint pair is guaranteed aligned).
-			eng.stats.GappedExts++
-			mid := eng.p.WordSize / 2
-			raw, a0, a1, b0, b1 := align.GreedyExtend(q, s, qpos+mid, spos+mid,
-				eng.greedy, eng.p.XDropGapped*eng.greedyScale)
-			gscore, qFrom, qTo, sFrom, sTo = raw/eng.greedyScale, a0, a1, b0, b1
-			ds.lastExtEnd = int32(sTo)
-			if gscore < eng.gapTriggerRaw {
-				return
-			}
-		} else {
-			eng.stats.UngappedExts++
-			score, _, aTo, _, bTo := align.ExtendUngapped(q, s, qpos, spos, eng.p.WordSize, eng.p.Scheme, eng.p.XDropUngapped)
-			ds.lastExtEnd = int32(bTo)
-			if score < eng.gapTriggerRaw {
-				return
-			}
-			eng.stats.GappedExts++
-			// Anchor the gapped extension at the middle of the ungapped
-			// HSP's diagonal run.
-			mid := (aTo - qpos) / 2
-			ai := qpos + mid
-			bi := spos + mid
-			if ai >= len(q) || bi >= len(s) {
-				ai, bi = qpos, spos
-			}
-			gscore, qFrom, qTo, sFrom, sTo = align.ExtendGapped(q, s, ai, bi, eng.p.Scheme, eng.p.XDropGapped)
-			if gscore < eng.gapTriggerRaw {
-				return
-			}
-		}
-		ds.lastExtEnd = int32(sTo)
-		hsps = append(hsps, rawHSP{
-			score: gscore,
-			qFrom: qFrom, qTo: qTo, sFrom: sFrom, sTo: sTo,
-			qFrame: qv.frame, sFrame: sv.frame,
-		})
+	sr.beginPair(qv, sv)
+	qv.lookup.scan(sr.s, sr)
+	if len(sr.pairHSPs) == 0 {
+		return nil
 	}
+	out := make([]rawHSP, len(sr.pairHSPs))
+	copy(out, sr.pairHSPs)
+	return cullHSPs(out)
+}
 
-	qv.lookup.scan(s, handleSeed)
-	return cullHSPs(hsps)
+// handleSeed investigates one seed match. It is the seedSink the
+// lookup tables drive; keeping it a method with its state in searcher
+// fields avoids allocating a capture-heavy closure per subject view.
+func (sr *searcher) handleSeed(qpos, spos int) {
+	sr.stats.SeedHits++
+	eng := sr.eng
+	q, s := sr.q, sr.s
+	c := &sr.cells[spos-qpos+sr.offset]
+	if c.epoch != sr.epoch {
+		*c = diagCell{epoch: sr.epoch}
+	}
+	if int32(spos) < c.lastExtEnd {
+		return // already inside an extension on this diagonal
+	}
+	if sr.twoHit {
+		last := c.lastSeed
+		c.lastSeed = int32(spos) + 1
+		if last == 0 {
+			return // first hit on this diagonal: remember and wait
+		}
+		gap := spos - int(last-1)
+		if gap <= 0 || gap > eng.p.TwoHitWindow {
+			return // overlapping or too far apart: keep waiting
+		}
+	}
+	var gscore, qFrom, qTo, sFrom, sTo int
+	if eng.p.Greedy {
+		// Megablast: greedy gapped extension straight from the
+		// seed midpoint (seeds are long exact matches, so the
+		// midpoint pair is guaranteed aligned).
+		sr.stats.GappedExts++
+		mid := eng.p.WordSize / 2
+		raw, a0, a1, b0, b1 := align.GreedyExtend(q, s, qpos+mid, spos+mid,
+			eng.greedy, eng.p.XDropGapped*eng.greedyScale)
+		gscore, qFrom, qTo, sFrom, sTo = raw/eng.greedyScale, a0, a1, b0, b1
+		c.lastExtEnd = int32(sTo)
+		if gscore < eng.gapTriggerRaw {
+			return
+		}
+	} else {
+		sr.stats.UngappedExts++
+		score, _, aTo, _, bTo := align.ExtendUngapped(q, s, qpos, spos, eng.p.WordSize, eng.p.Scheme, eng.p.XDropUngapped)
+		c.lastExtEnd = int32(bTo)
+		if score < eng.gapTriggerRaw {
+			return
+		}
+		sr.stats.GappedExts++
+		// Anchor the gapped extension at the middle of the ungapped
+		// HSP's diagonal run.
+		mid := (aTo - qpos) / 2
+		ai := qpos + mid
+		bi := spos + mid
+		if ai >= len(q) || bi >= len(s) {
+			ai, bi = qpos, spos
+		}
+		gscore, qFrom, qTo, sFrom, sTo = align.ExtendGapped(q, s, ai, bi, eng.p.Scheme, eng.p.XDropGapped)
+		if gscore < eng.gapTriggerRaw {
+			return
+		}
+	}
+	c.lastExtEnd = int32(sTo)
+	sr.pairHSPs = append(sr.pairHSPs, rawHSP{
+		score: gscore,
+		qFrom: qFrom, qTo: qTo, sFrom: sFrom, sTo: sTo,
+		qFrame: sr.qFrame, sFrame: sr.sFrame,
+	})
 }
 
 // cullHSPs removes HSPs contained inside a higher-scoring HSP in both
-// coordinates (redundant extensions of the same alignment).
+// coordinates (redundant extensions of the same alignment). Survivors
+// keep score-descending order. The containment scan consults only
+// kept HSPs whose qFrom does not exceed the candidate's — maintained
+// sorted by qFrom, so the inner loop stops where containment becomes
+// impossible instead of re-checking every survivor (the O(n^2) wall
+// repetitive subjects used to hit).
 func cullHSPs(hsps []rawHSP) []rawHSP {
 	if len(hsps) <= 1 {
 		return hsps
 	}
 	sort.Slice(hsps, func(i, j int) bool { return hsps[i].score > hsps[j].score })
-	var kept []rawHSP
-	for _, h := range hsps {
+	kept := make([]rawHSP, 0, len(hsps))
+	byQFrom := make([]int32, 0, len(hsps)) // kept indices ordered by qFrom
+	for i := range hsps {
+		h := &hsps[i]
+		// Only kept HSPs with k.qFrom <= h.qFrom can contain h.
+		ub := sort.Search(len(byQFrom), func(j int) bool {
+			return kept[byQFrom[j]].qFrom > h.qFrom
+		})
 		contained := false
-		for _, k := range kept {
+		for _, ki := range byQFrom[:ub] {
+			k := &kept[ki]
 			if h.qFrame == k.qFrame && h.sFrame == k.sFrame &&
 				h.qFrom >= k.qFrom && h.qTo <= k.qTo &&
 				h.sFrom >= k.sFrom && h.sTo <= k.sTo {
@@ -422,9 +525,14 @@ func cullHSPs(hsps []rawHSP) []rawHSP {
 				break
 			}
 		}
-		if !contained {
-			kept = append(kept, h)
+		if contained {
+			continue
 		}
+		ki := int32(len(kept))
+		kept = append(kept, *h)
+		byQFrom = append(byQFrom, 0)
+		copy(byQFrom[ub+1:], byQFrom[ub:])
+		byQFrom[ub] = ki
 	}
 	return kept
 }

@@ -423,12 +423,18 @@ func TestReportNoHits(t *testing.T) {
 	}
 }
 
+// seedFunc adapts a plain function to the seedSink the lookup tables
+// scan into.
+type seedFunc func(qpos, spos int)
+
+func (f seedFunc) handleSeed(qpos, spos int) { f(qpos, spos) }
+
 func TestNucLookup(t *testing.T) {
 	q := (&seq.Sequence{Kind: seq.Nucleotide, Data: []byte("ACGTACGTACG")}).Codes()
 	lt := buildNucLookup(q, 4, nil)
 	var hits [][2]int
 	s := (&seq.Sequence{Kind: seq.Nucleotide, Data: []byte("TTACGTTT")}).Codes()
-	lt.scan(s, func(qp, sp int) { hits = append(hits, [2]int{qp, sp}) })
+	lt.scan(s, seedFunc(func(qp, sp int) { hits = append(hits, [2]int{qp, sp}) }))
 	// Subject words: "TACG" at 1 (query positions 3, 7) and "ACGT"
 	// at 2 (query positions 0, 4): four seed hits in scan order.
 	want := [][2]int{{3, 1}, {7, 1}, {0, 2}, {4, 2}}
@@ -445,12 +451,12 @@ func TestNucLookup(t *testing.T) {
 func TestNucLookupShortInputs(t *testing.T) {
 	lt := buildNucLookup([]byte{0, 1}, 4, nil)
 	called := false
-	lt.scan([]byte{0, 1, 2, 3}, func(qp, sp int) { called = true })
+	lt.scan([]byte{0, 1, 2, 3}, seedFunc(func(qp, sp int) { called = true }))
 	if called {
 		t.Error("short query should produce no hits")
 	}
 	lt2 := buildNucLookup([]byte{0, 1, 2, 3}, 4, nil)
-	lt2.scan([]byte{0}, func(qp, sp int) { called = true })
+	lt2.scan([]byte{0}, seedFunc(func(qp, sp int) { called = true }))
 	if called {
 		t.Error("short subject should produce no hits")
 	}
@@ -462,11 +468,11 @@ func TestProtLookupNeighborhood(t *testing.T) {
 	lt := buildProtLookup(q, 3, 11, seq.NumAA, scheme, nil)
 	// Exact word WWW scores 33 >= 11: must be present.
 	var found bool
-	lt.scan(q, func(qp, sp int) {
+	lt.scan(q, seedFunc(func(qp, sp int) {
 		if qp == 0 && sp == 0 {
 			found = true
 		}
-	})
+	}))
 	if !found {
 		t.Error("exact word not in its own neighborhood")
 	}
@@ -474,7 +480,7 @@ func TestProtLookupNeighborhood(t *testing.T) {
 	// should also seed.
 	fww := (&seq.Sequence{Kind: seq.Protein, Data: []byte("FWW")}).Codes()
 	found = false
-	lt.scan(fww, func(qp, sp int) { found = true })
+	lt.scan(fww, seedFunc(func(qp, sp int) { found = true }))
 	if !found {
 		t.Error("neighborhood word FWW not found for query WWW")
 	}
@@ -482,7 +488,7 @@ func TestProtLookupNeighborhood(t *testing.T) {
 	// scores 3*(-4) < 11.
 	ppp := (&seq.Sequence{Kind: seq.Protein, Data: []byte("PPP")}).Codes()
 	found = false
-	lt.scan(ppp, func(qp, sp int) { found = true })
+	lt.scan(ppp, seedFunc(func(qp, sp int) { found = true }))
 	if found {
 		t.Error("PPP should not be in WWW's neighborhood")
 	}

@@ -98,6 +98,9 @@ type SearchConfig struct {
 	Workers int
 	// Params are the BLAST search parameters.
 	Params blast.Params
+	// Threads, when non-zero, overrides Params.Threads: the number of
+	// search shards each worker's subject pipeline runs per task.
+	Threads int
 	// MasterFS is the master's view of the shared store.
 	MasterFS chio.FileSystem
 	// WorkerFS returns each worker's view of the shared store.
@@ -191,9 +194,13 @@ func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, 
 			}
 		}
 	}
+	params := cfg.Params
+	if cfg.Threads != 0 {
+		params.Threads = cfg.Threads
+	}
 	pcfg := pblast.Config{
 		DBName:      cfg.DBName,
-		Params:      cfg.Params,
+		Params:      params,
 		Mode:        cfg.Mode,
 		CopyToLocal: cfg.CopyToLocal,
 		ChunkBytes:  cfg.ChunkBytes,
@@ -378,9 +385,13 @@ func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg Searc
 			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
 		}
 	}
+	params := cfg.Params
+	if cfg.Threads != 0 {
+		params.Threads = cfg.Threads
+	}
 	pcfg := pblast.Config{
 		DBName:      cfg.DBName,
-		Params:      cfg.Params,
+		Params:      params,
 		CopyToLocal: cfg.CopyToLocal,
 		ChunkBytes:  cfg.ChunkBytes,
 	}

@@ -426,6 +426,21 @@ func splitQuery(length, n, overlap int, p blast.Params) []piece {
 	return pieces
 }
 
+// WorkerOption tunes RunWorker beyond its file systems.
+type WorkerOption func(*workerOpts)
+
+type workerOpts struct {
+	pipe *blast.PipeMetrics
+}
+
+// WithPipeMetrics publishes the worker's search-pipeline telemetry
+// (shard busy/idle seconds, decode stalls, merge depth) into the
+// given sink, so a multicore worker's compute-vs-I/O overlap shows up
+// on its /metrics endpoint.
+func WithPipeMetrics(m *blast.PipeMetrics) WorkerOption {
+	return func(o *workerOpts) { o.pipe = m }
+}
+
 // RunWorker executes search tasks on any rank > 0. fs is this
 // worker's file system onto the shared database store; scratch is the
 // worker's local scratch space, used only when the job requests
@@ -434,9 +449,15 @@ func splitQuery(length, n, overlap int, p blast.Params) []piece {
 // Cancelling ctx makes the worker exit between tasks, and when fs
 // supports chio.ContextBinder its in-flight parallel-FS reads abort
 // too, so a cancelled query releases the I/O path immediately.
-func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem) error {
+func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem, opts ...WorkerOption) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var o workerOpts
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
 	}
 	fs = chio.BindContext(fs, ctx)
 	if scratch != nil {
@@ -469,14 +490,14 @@ func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio
 		if t.Kind == taskDone {
 			return nil
 		}
-		rm := runTask(&j, t.Index, fs, scratch)
+		rm := runTask(&j, t.Index, fs, scratch, o.pipe)
 		if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
 			return clean(err)
 		}
 	}
 }
 
-func runTask(j *job, index int, fs, scratch chio.FileSystem) *resultMsg {
+func runTask(j *job, index int, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
 	rm := &resultMsg{Index: index}
 	fail := func(err error) *resultMsg {
 		rm.Err = err.Error()
@@ -490,7 +511,7 @@ func runTask(j *job, index int, fs, scratch chio.FileSystem) *resultMsg {
 		nFrags := len(j.Alias.Fragments)
 		query = j.Queries[index/nFrags]
 		fragments = []int{index % nFrags}
-		return runSearchTask(j, rm, fail, query, fragments, fs, scratch)
+		return runSearchTask(j, rm, fail, query, fragments, fs, scratch, pipe)
 	}
 	switch j.Config.Mode {
 	case DatabaseSegmentation:
@@ -504,12 +525,12 @@ func runTask(j *job, index int, fs, scratch chio.FileSystem) *resultMsg {
 			fragments = append(fragments, i)
 		}
 	}
-	return runSearchTask(j, rm, fail, query, fragments, fs, scratch)
+	return runSearchTask(j, rm, fail, query, fragments, fs, scratch, pipe)
 }
 
 // runSearchTask performs the actual fragment reads and search for one
 // task.
-func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq.Sequence, fragments []int, fs, scratch chio.FileSystem) *resultMsg {
+func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq.Sequence, fragments []int, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
 	info := blast.DBInfo{Letters: j.Alias.Letters, Sequences: j.Alias.Seqs}
 	var sources []blast.SubjectSource
 	searchStart := time.Now()
@@ -538,7 +559,7 @@ func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq
 		sources = append(sources, fr.Source(j.Config.ChunkBytes))
 	}
 
-	res, err := blast.Search(&query, &multiSource{sources: sources}, info, j.Params)
+	res, err := blast.SearchWithMetrics(&query, &multiSource{sources: sources}, info, j.Params, pipe)
 	if err != nil {
 		return fail(err)
 	}

@@ -584,7 +584,7 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 		}
 		time.Sleep(700 * time.Millisecond) // long enough to be declared overdue
 		if tk.Kind == taskSearch {
-			rm := runTask(&j, tk.Index, fs, nil)
+			rm := runTask(&j, tk.Index, fs, nil, nil)
 			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil && !errorsIsClosed(err) {
 				errs[1] = err
 				return
@@ -608,7 +608,7 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 			if t2.Kind == taskDone {
 				return
 			}
-			rm := runTask(&j, t2.Index, fs, nil)
+			rm := runTask(&j, t2.Index, fs, nil, nil)
 			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
 				if !errorsIsClosed(err) {
 					errs[1] = err

@@ -47,7 +47,8 @@ func RunInProcess(
 			if scratch != nil {
 				sc = scratch(r)
 			}
-			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc)
+			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc,
+				WithPipeMetrics(cfg.tel.Pipe()))
 		}(r)
 	}
 	out, masterErr := RunMaster(ctx, world.Comm(0), masterFS, query, cfg)
@@ -95,7 +96,8 @@ func RunInProcessBatch(
 			if scratch != nil {
 				sc = scratch(r)
 			}
-			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc)
+			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc,
+				WithPipeMetrics(cfg.tel.Pipe()))
 		}(r)
 	}
 	out, masterErr := RunMasterBatch(ctx, world.Comm(0), masterFS, queries, cfg)

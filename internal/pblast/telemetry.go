@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"pario/internal/blast"
 	"pario/internal/telemetry"
 )
 
@@ -19,6 +20,7 @@ type Telemetry struct {
 	reassigned  *telemetry.Counter
 	workerTasks *telemetry.CounterVec
 	workerBusy  *telemetry.GaugeVec
+	pipe        *blast.PipeMetrics
 }
 
 // NewTelemetry registers the scheduling metric families on reg.
@@ -41,7 +43,17 @@ func NewTelemetry(reg *telemetry.Registry) *Telemetry {
 		workerBusy: reg.GaugeVec("pario_pblast_worker_busy_seconds",
 			"Cumulative copy+search seconds per worker rank, for straggler analysis.",
 			"worker"),
+		pipe: blast.NewPipeMetrics(reg),
 	}
+}
+
+// Pipe returns the search engine's subject-pipeline metrics, for
+// handing to in-process workers via WithPipeMetrics. Nil-safe.
+func (t *Telemetry) Pipe() *blast.PipeMetrics {
+	if t == nil {
+		return nil
+	}
+	return t.pipe
 }
 
 // observeTask records one accepted task result from the given worker.

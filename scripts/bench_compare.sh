@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench_compare.sh — re-run the benchmarks recorded in the BENCH_*.json
+# baselines and flag regressions. For every baseline benchmark that
+# still exists, the current ns/op may exceed the recorded value by at
+# most BENCH_TOLERANCE percent (default 100 — localhost timing is
+# noisy; this catches order-of-magnitude rot, not jitter).
+#
+# Usage: scripts/bench_compare.sh [BENCH_pr2.json BENCH_pr5.json ...]
+# With no arguments, every BENCH_*.json in the repo root is checked.
+# Exercised by `make bench-compare` (not part of `make check`: real
+# measurement runs are too slow and too noisy for the hygiene gate).
+set -eu
+
+TOL="${BENCH_TOLERANCE:-100}"
+cd "$(dirname "$0")/.."
+
+BASELINES="$*"
+[ -n "$BASELINES" ] || BASELINES="$(ls BENCH_*.json 2>/dev/null)"
+if [ -z "$BASELINES" ]; then
+    echo "bench-compare: no BENCH_*.json baselines found" >&2
+    exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# One benchmark pass over every package that defines benchmarks the
+# baselines reference (the root harness plus the blast kernel).
+go test -run '^$' -bench '.' -benchtime 3x . >"$TMP/bench.out" 2>&1 || {
+    cat "$TMP/bench.out" >&2
+    exit 1
+}
+go test -run '^$' -bench '.' -benchtime 3x ./internal/blast/ >>"$TMP/bench.out" 2>&1 || {
+    cat "$TMP/bench.out" >&2
+    exit 1
+}
+
+# Pull "BenchmarkName<tab>ns/op" pairs out of the go test output.
+awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }' \
+    "$TMP/bench.out" >"$TMP/current.txt"
+
+fail=0
+for base in $BASELINES; do
+    [ -f "$base" ] || { echo "bench-compare: $base not found" >&2; exit 1; }
+    # Extract name -> ns_per_op from the baseline JSON (no jq in the
+    # image; the files are machine-written with stable formatting).
+    awk '
+        /^    "Benchmark/ { gsub(/[":]/ , "", $1); name = $1 }
+        /"ns_per_op"/ && name != "" {
+            gsub(/[^0-9.]/, "", $2); print name, $2; name = ""
+        }' "$base" >"$TMP/baseline.txt"
+    while read -r name want; do
+        got="$(awk -v n="$name" '$1 == n { print $2; exit }' "$TMP/current.txt")"
+        if [ -z "$got" ]; then
+            echo "bench-compare: $base: $name no longer runs" >&2
+            fail=1
+            continue
+        fi
+        # pass when got <= want * (1 + TOL/100)
+        ok="$(awk -v g="$got" -v w="$want" -v t="$TOL" \
+            'BEGIN { print (g <= w * (1 + t / 100)) ? 1 : 0 }')"
+        ratio="$(awk -v g="$got" -v w="$want" 'BEGIN { printf "%.2f", g / w }')"
+        if [ "$ok" = 1 ]; then
+            echo "bench-compare: ok   $name ${ratio}x of $base baseline"
+        else
+            echo "bench-compare: FAIL $name ${ratio}x of $base baseline (tolerance ${TOL}%)" >&2
+            fail=1
+        fi
+    done <"$TMP/baseline.txt"
+done
+exit "$fail"
