@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke
+.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check: lint
 	$(MAKE) bench-smoke
 	$(MAKE) metrics-smoke
 	$(MAKE) report-smoke
+	$(MAKE) service-smoke
 
 # go vet always; staticcheck and govulncheck when installed (the
 # container image may not carry them, and `go install` needs network).
@@ -37,6 +38,12 @@ metrics-smoke:
 # stressed server.
 report-smoke:
 	./scripts/report_smoke.sh
+
+# Boot a CEFT mini-cluster, serve it with blastd, load it with 8
+# concurrent blastbench clients, and require zero failures, queue
+# build-up, cache hits and a clean SIGTERM drain.
+service-smoke:
+	sh ./scripts/service_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

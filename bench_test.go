@@ -26,6 +26,7 @@ import (
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/mpi"
+	"pario/internal/pblast"
 	"pario/internal/readahead"
 	"pario/internal/rpcpool"
 	"pario/internal/seq"
@@ -53,9 +54,8 @@ func BenchmarkFig4TracePattern(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		trace := iotrace.NewTrace()
 		_, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-			DBName:   "nt",
+			Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 			Workers:  8,
-			Params:   blast.Params{Program: blast.BlastN},
 			MasterFS: fs,
 			WorkerFS: func(int) chio.FileSystem { return fs },
 			Trace:    trace,
@@ -404,9 +404,8 @@ func BenchmarkParallelSearchWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-					DBName:   "nt",
+					Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 					Workers:  w,
-					Params:   blast.Params{Program: blast.BlastN},
 					MasterFS: fs,
 					WorkerFS: func(int) chio.FileSystem { return fs },
 				}); err != nil {

@@ -1,0 +1,260 @@
+// Command blastd is the always-on parallel BLAST search service: it
+// keeps a worker pool warm over the shared store and serves searches
+// over HTTP, with admission control, per-client quotas and a result
+// cache keyed by database version.
+//
+//	POST /search            {"db":"nt","query":">q\nACGT...","program":"blastn"}
+//	GET  /metrics           Prometheus text metrics
+//	GET  /healthz           200 ok / 503 draining
+//	POST /admin/invalidate  ?db=NAME after reformatting a database
+//
+// The storage flags mirror mpiblast: -io local reads -root, -io
+// pvfs/-io ceft dial the parallel file system daemons. SIGTERM (or
+// SIGINT) drains: new requests get 503, queued and running searches
+// finish, then the process exits.
+//
+// Examples:
+//
+//	blastd -db nt -workers 8 -io local -root /data
+//	blastd -db nt -workers 8 -io ceft -mgr 10.0.0.1:7000 \
+//	    -primary 10.0.0.2:7001,10.0.0.3:7001 -mirror 10.0.0.4:7001,10.0.0.5:7001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pario/internal/blastd"
+	"pario/internal/ceft"
+	"pario/internal/chio"
+	"pario/internal/pblast"
+	"pario/internal/pvfs"
+	"pario/internal/readahead"
+	"pario/internal/rpcpool"
+	"pario/internal/telemetry"
+)
+
+var logger *slog.Logger
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7044", "HTTP listen address")
+		dbs    = flag.String("db", "", "comma-separated databases to serve (empty = any on the store)")
+
+		workers    = flag.Int("workers", 4, "persistent worker ranks")
+		maxWorkers = flag.Int("max-workers", 0, "cap for growing the pool later (default -workers)")
+		threads    = flag.Int("threads", runtime.NumCPU(), "search shards per worker task")
+		chunk      = flag.Int("chunk", 0, "worker read chunk size in bytes (0 = backend default)")
+
+		ioMode  = flag.String("io", "local", "local|pvfs|ceft")
+		root    = flag.String("root", ".", "shared store directory (local mode)")
+		scratch = flag.String("scratch", "", "per-worker scratch directory; enables copy-to-local")
+		mgr     = flag.String("mgr", "", "metadata server address (pvfs/ceft)")
+		servers = flag.String("servers", "", "comma-separated data servers (pvfs)")
+		primary = flag.String("primary", "", "comma-separated primary group (ceft)")
+		mirror  = flag.String("mirror", "", "comma-separated mirror group (ceft)")
+
+		queueDepth    = flag.Int("queue-depth", 64, "max requests waiting for a slot")
+		maxPerClient  = flag.Int("max-per-client", 8, "max queued+running requests per client")
+		maxConcurrent = flag.Int("max-concurrent", 4, "max searches running at once")
+		cacheSize     = flag.Int("cache-size", 256, "result cache entries")
+		drainTimeout  = flag.Duration("drain-timeout", 60*time.Second, "bound on completing in-flight work at shutdown")
+
+		raEnable = flag.Bool("readahead", false, "client-side readahead/block cache on worker reads")
+		raBlock  = flag.Int64("ra-block", readahead.DefaultBlockSize, "readahead block size in bytes")
+		raCache  = flag.Int("ra-cache", readahead.DefaultCapacity, "readahead cache capacity in blocks")
+		raWindow = flag.Int("ra-window", readahead.DefaultWindow, "readahead prefetch depth in blocks")
+
+		ioTimeout = flag.Duration("io-timeout", rpcpool.DefaultTimeout, "per-request parallel-FS deadline")
+		ioRetries = flag.Int("io-retries", rpcpool.DefaultRetries, "parallel-FS retry budget per request")
+		ioPool    = flag.Int("io-pool", rpcpool.DefaultPoolSize, "parallel-FS connections per server")
+	)
+	flag.Parse()
+	logger = telemetry.NewProcessLogger("blastd")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+
+	transportOpts := []rpcpool.Option{
+		rpcpool.WithTimeout(*ioTimeout),
+		rpcpool.WithRetries(*ioRetries),
+		rpcpool.WithPoolSize(*ioPool),
+		rpcpool.WithMetrics(rpcpool.NewMetrics(reg)),
+		rpcpool.WithTracer(tracer),
+	}
+
+	// Storage wiring. Parallel-FS clients are dialed once per worker
+	// rank and memoized: the pool may restart a rank after a resize,
+	// and re-dialing every time would leak connections.
+	var (
+		masterFS chio.FileSystem
+		dial     func() (chio.FileSystem, error)
+		closers  []func() error
+		mu       sync.Mutex
+	)
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	switch *ioMode {
+	case "local":
+		fs, err := chio.NewLocalFS(*root)
+		if err != nil {
+			fatal(err)
+		}
+		masterFS = fs
+		dial = func() (chio.FileSystem, error) { return fs, nil }
+	case "pvfs":
+		if *mgr == "" || *servers == "" {
+			fatal(fmt.Errorf("pvfs mode needs -mgr and -servers"))
+		}
+		addrs := strings.Split(*servers, ",")
+		dial = func() (chio.FileSystem, error) {
+			cl, err := pvfs.Dial(*mgr, addrs, transportOpts...)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, cl.Close)
+			return cl, nil
+		}
+	case "ceft":
+		if *mgr == "" || *primary == "" || *mirror == "" {
+			fatal(fmt.Errorf("ceft mode needs -mgr, -primary and -mirror"))
+		}
+		prim := strings.Split(*primary, ",")
+		mirr := strings.Split(*mirror, ",")
+		opts := ceft.DefaultOptions()
+		opts.Logger = logger
+		dial = func() (chio.FileSystem, error) {
+			cl, err := ceft.Dial(*mgr, prim, mirr, opts, transportOpts...)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, cl.Close)
+			return cl, nil
+		}
+	default:
+		fatal(fmt.Errorf("unknown -io mode %q", *ioMode))
+	}
+	if masterFS == nil {
+		fs, err := dial()
+		if err != nil {
+			fatal(err)
+		}
+		masterFS = fs
+	}
+	rankFS := make(map[int]chio.FileSystem)
+	workerFS := func(rank int) chio.FileSystem {
+		mu.Lock()
+		defer mu.Unlock()
+		if fs, ok := rankFS[rank]; ok {
+			return fs
+		}
+		fs, err := dial()
+		if err != nil {
+			fatal(err)
+		}
+		rankFS[rank] = fs
+		return fs
+	}
+
+	searchOpts := []pblast.Option{
+		pblast.WithThreads(*threads),
+		pblast.WithChunkBytes(*chunk),
+		pblast.WithTelemetry(pblast.NewTelemetry(reg)),
+	}
+	if *raEnable {
+		searchOpts = append(searchOpts, pblast.WithReadahead(
+			readahead.WithBlockSize(*raBlock),
+			readahead.WithCapacity(*raCache),
+			readahead.WithWindow(*raWindow)))
+	}
+	var scratchFS func(rank int) chio.FileSystem
+	if *scratch != "" {
+		searchOpts = append(searchOpts, pblast.WithCopyToLocal(true))
+		scratchFS = func(rank int) chio.FileSystem {
+			fs, err := chio.NewLocalFS(fmt.Sprintf("%s/worker%d", *scratch, rank))
+			if err != nil {
+				fatal(err)
+			}
+			return fs
+		}
+	}
+
+	var serve []string
+	if *dbs != "" {
+		serve = strings.Split(*dbs, ",")
+	}
+	// The pool gets a background context deliberately: SIGTERM must
+	// trigger the graceful drain below, not tear the stream down
+	// mid-task.
+	srv, err := blastd.New(context.Background(), blastd.Config{
+		DBs:           serve,
+		FS:            masterFS,
+		WorkerFS:      workerFS,
+		Scratch:       scratchFS,
+		Search:        pblast.NewConfig("", searchOpts...),
+		Workers:       *workers,
+		MaxWorkers:    *maxWorkers,
+		QueueDepth:    *queueDepth,
+		MaxPerClient:  *maxPerClient,
+		MaxConcurrent: *maxConcurrent,
+		CacheSize:     *cacheSize,
+		Registry:      reg,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("http serve failed", "err", err)
+		}
+	}()
+	logger.Info("blastd up",
+		"addr", ln.Addr().String(), "io", *ioMode, "workers", *workers,
+		"max_concurrent", *maxConcurrent, "queue_depth", *queueDepth)
+
+	// Block until SIGTERM/SIGINT, then drain: stop admitting, let
+	// queued and running searches finish, shut the pool and the
+	// listener down.
+	<-ctx.Done()
+	logger.Info("draining", "timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Error("drain incomplete", "err", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Error("http shutdown incomplete", "err", err)
+	}
+	logger.Info("drained cleanly")
+}
+
+func fatal(err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"pario/internal/chio"
 	"pario/internal/core"
 	"pario/internal/iotrace"
+	"pario/internal/pblast"
 	"pario/internal/sim"
 	"pario/internal/telemetry"
 	"pario/internal/util"
@@ -111,10 +112,10 @@ func runFig4(dbSize string, workers, threads int, scatterPath string) {
 	}
 	trace := iotrace.NewTrace()
 	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-		DBName:   "nt",
+		Search: pblast.NewConfig("nt",
+			pblast.WithParams(blast.Params{Program: blast.BlastN}),
+			pblast.WithThreads(threads)),
 		Workers:  workers,
-		Params:   blast.Params{Program: blast.BlastN},
-		Threads:  threads,
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 		Trace:    trace,

@@ -353,15 +353,16 @@ func main() {
 		}
 		defer comm.Close()
 		queries := loadQueries(*queryF, prog)
-		cfg := pblast.Config{
-			DBName:     *db,
-			Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC, Threads: *threads},
-			ChunkBytes: *chunk,
+		searchOpts := []pblast.Option{
+			pblast.WithParams(blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC}),
+			pblast.WithThreads(*threads),
+			pblast.WithChunkBytes(*chunk),
+			pblast.WithTelemetry(pblast.NewTelemetry(reg)),
 		}
-		cfg.SetTelemetry(pblast.NewTelemetry(reg))
 		if *querySeg {
-			cfg.Mode = pblast.QuerySegmentation
+			searchOpts = append(searchOpts, pblast.WithMode(pblast.QuerySegmentation))
 		}
+		cfg := pblast.NewConfig(*db, searchOpts...)
 		out := bufio.NewWriter(os.Stdout)
 		for _, q := range queries {
 			res, err := pblast.RunMaster(ctx, comm, masterFS, q, cfg)
@@ -380,21 +381,28 @@ func main() {
 
 	queries := loadQueries(*queryF, prog)
 
-	cfg := core.SearchConfig{
-		DBName:     *db,
-		Workers:    *workers,
-		Params:     blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC},
-		Threads:    *threads,
-		MasterFS:   masterFS,
-		WorkerFS:   workerFS,
-		Telemetry:  pblast.NewTelemetry(reg),
-		ChunkBytes: *chunk,
+	searchOpts := []pblast.Option{
+		pblast.WithParams(blast.Params{Program: prog, EValue: *evalue, Greedy: *mega, Filter: *filterLC}),
+		pblast.WithThreads(*threads),
+		pblast.WithChunkBytes(*chunk),
+		pblast.WithTelemetry(pblast.NewTelemetry(reg)),
 	}
 	if *querySeg {
-		cfg.Mode = pblast.QuerySegmentation
+		searchOpts = append(searchOpts, pblast.WithMode(pblast.QuerySegmentation))
+	}
+	if *raEnable {
+		searchOpts = append(searchOpts, pblast.WithReadahead(raOpts()...))
 	}
 	if *scratch != "" {
-		cfg.CopyToLocal = true
+		searchOpts = append(searchOpts, pblast.WithCopyToLocal(true))
+	}
+	cfg := core.SearchConfig{
+		Search:   pblast.NewConfig(*db, searchOpts...),
+		Workers:  *workers,
+		MasterFS: masterFS,
+		WorkerFS: workerFS,
+	}
+	if *scratch != "" {
 		cfg.Scratch = func(rank int) chio.FileSystem {
 			fs, err := chio.NewLocalFS(fmt.Sprintf("%s/worker%d", *scratch, rank))
 			if err != nil {
@@ -408,17 +416,13 @@ func main() {
 		trace = iotrace.NewTrace()
 		cfg.Trace = trace
 	}
-	var searchOpts []core.SearchOption
-	if *raEnable {
-		searchOpts = append(searchOpts, core.WithReadahead(raOpts()...))
-	}
 
 	start := time.Now()
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	if len(queries) > 1 && cfg.Mode == pblast.DatabaseSegmentation && !cfg.CopyToLocal {
+	if len(queries) > 1 && cfg.Search.Mode == pblast.DatabaseSegmentation && !cfg.Search.CopyToLocal {
 		// Multi-query batch: one (query x fragment) scheduling pass.
-		batch, err := core.ParallelSearchBatch(ctx, queries, cfg, searchOpts...)
+		batch, err := core.ParallelSearchBatch(ctx, queries, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -436,7 +440,7 @@ func main() {
 		}
 	} else {
 		for _, q := range queries {
-			res, err := core.ParallelSearch(ctx, q, cfg, searchOpts...)
+			res, err := core.ParallelSearch(ctx, q, cfg)
 			if err != nil {
 				fatal(err)
 			}

@@ -14,6 +14,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/chio"
 	"pario/internal/core"
+	"pario/internal/pblast"
 	"pario/internal/util"
 )
 
@@ -66,9 +67,8 @@ func main() {
 		}
 	}()
 	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  4,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: client,
 		WorkerFS: func(rank int) chio.FileSystem {
 			cl, err := dep.Client()

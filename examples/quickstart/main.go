@@ -12,6 +12,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/chio"
 	"pario/internal/core"
+	"pario/internal/pblast"
 )
 
 func main() {
@@ -48,9 +49,8 @@ func main() {
 	// 5. Parallel search: a master plus 4 workers (in-process ranks
 	//    of the mpi substrate), database-segmentation scheduling.
 	out, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-		DBName:   "demo",
+		Search:   pblast.NewConfig("demo", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  4,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 	})

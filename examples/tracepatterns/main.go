@@ -16,6 +16,7 @@ import (
 	"pario/internal/chio"
 	"pario/internal/core"
 	"pario/internal/iotrace"
+	"pario/internal/pblast"
 )
 
 func main() {
@@ -32,9 +33,8 @@ func main() {
 	// the workers' file system so every read and write is recorded.
 	trace := iotrace.NewTrace()
 	if _, err := core.ParallelSearch(context.Background(), query, core.SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  8,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 		Trace:    trace,

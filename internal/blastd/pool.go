@@ -1,0 +1,170 @@
+package blastd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pario/internal/blast"
+	"pario/internal/blastdb"
+	"pario/internal/chio"
+	"pario/internal/mpi"
+	"pario/internal/pblast"
+	"pario/internal/readahead"
+	"pario/internal/seq"
+)
+
+// workerPool keeps a pblast stream scheduler fed by a set of
+// persistent in-process workers. Unlike the batch runners, workers
+// here outlive any single request: they join the stream once and then
+// serve tasks until asked to leave. Resize grows the pool by starting
+// workers on free ranks and shrinks it by signalling graceful leave
+// (each departing worker finishes its current task first).
+type workerPool struct {
+	world  *mpi.World
+	stream *pblast.Stream
+	cfg    pblast.Config
+
+	workerFS func(rank int) chio.FileSystem
+	scratch  func(rank int) chio.FileSystem
+	pipe     *blast.PipeMetrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	quits   map[int]chan struct{} // rank -> leave signal for live workers
+	free    []int                 // ranks available for new workers
+	onError func(rank int, err error)
+	onSize  func(n int)
+}
+
+// newWorkerPool builds the mpi world (ranks 0..maxWorkers; rank 0 is
+// the scheduler) and starts the stream. No workers run until the
+// caller invokes Resize — that lets observability hooks be attached
+// first.
+func newWorkerPool(ctx context.Context, cfg pblast.Config, maxWorkers int,
+	workerFS, scratch func(rank int) chio.FileSystem, pipe *blast.PipeMetrics) (*workerPool, error) {
+	if maxWorkers < 1 {
+		return nil, fmt.Errorf("blastd: pool needs at least one worker")
+	}
+	world, err := mpi.NewWorld(maxWorkers + 1)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	stream, err := pblast.StartStream(ctx, world.Comm(0), cfg)
+	if err != nil {
+		cancel()
+		world.Close()
+		return nil, err
+	}
+	p := &workerPool{
+		world:    world,
+		stream:   stream,
+		cfg:      cfg,
+		workerFS: workerFS,
+		scratch:  scratch,
+		pipe:     pipe,
+		ctx:      ctx,
+		cancel:   cancel,
+		quits:    make(map[int]chan struct{}),
+	}
+	for r := maxWorkers; r >= 1; r-- {
+		p.free = append(p.free, r)
+	}
+	return p, nil
+}
+
+// Submit runs one query through the pool and blocks for the merged
+// result.
+func (p *workerPool) Submit(ctx context.Context, query *seq.Sequence, params blast.Params, alias *blastdb.Alias) (*pblast.Outcome, error) {
+	return p.stream.Submit(ctx, query, params, alias)
+}
+
+// Resize adjusts the number of live workers to n (clamped to the
+// world size). Growth starts workers immediately; shrinkage signals
+// the highest-ranked workers to leave after their current task.
+func (p *workerPool) Resize(n int) {
+	p.mu.Lock()
+	max := len(p.quits) + len(p.free)
+	if n < 0 {
+		n = 0
+	}
+	if n > max {
+		n = max
+	}
+	for len(p.quits) < n {
+		rank := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		quit := make(chan struct{})
+		p.quits[rank] = quit
+		p.wg.Add(1)
+		go p.runWorker(p.ctx, rank, quit)
+	}
+	for len(p.quits) > n {
+		// Retire the highest live rank so rank numbering stays dense.
+		top := -1
+		for rank := range p.quits {
+			if rank > top {
+				top = rank
+			}
+		}
+		close(p.quits[top])
+		delete(p.quits, top)
+	}
+	size := len(p.quits)
+	p.mu.Unlock()
+	if p.onSize != nil {
+		p.onSize(size)
+	}
+}
+
+// Size reports the number of live (or leaving-but-not-yet-left)
+// workers.
+func (p *workerPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.quits)
+}
+
+func (p *workerPool) runWorker(ctx context.Context, rank int, quit chan struct{}) {
+	defer p.wg.Done()
+	fs := p.workerFS(rank)
+	if on, raOpts := p.cfg.Readahead(); on {
+		fs = readahead.Wrap(fs, raOpts...)
+	}
+	var scratch chio.FileSystem
+	if p.scratch != nil {
+		scratch = p.scratch(rank)
+	}
+	err := pblast.RunWorker(ctx, p.world.Comm(rank), fs, scratch,
+		pblast.WithPipeMetrics(p.pipe), pblast.WithQuit(quit))
+	p.mu.Lock()
+	// A worker that left (or died) frees its rank for future growth;
+	// drop any still-open quit channel if the exit was unsolicited.
+	if q, live := p.quits[rank]; live {
+		close(q)
+		delete(p.quits, rank)
+	}
+	p.free = append(p.free, rank)
+	size := len(p.quits)
+	p.mu.Unlock()
+	if p.onSize != nil {
+		p.onSize(size)
+	}
+	if err != nil && p.onError != nil {
+		p.onError(rank, err)
+	}
+}
+
+// Close drains the stream (completing queued submissions), releases
+// the workers, and tears down the world. Safe to call once.
+func (p *workerPool) Close() error {
+	err := p.stream.Close()
+	p.cancel()
+	p.world.Close()
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,500 @@
+package blastd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pario/internal/blast"
+	"pario/internal/chio"
+	"pario/internal/pblast"
+	"pario/internal/seq"
+	"pario/internal/telemetry"
+)
+
+// Config wires a Server to its storage, worker pool and policy knobs.
+type Config struct {
+	// DBs restricts which database names may be searched. Empty means
+	// any database whose alias resolves on FS.
+	DBs []string
+	// FS is the master's view of the shared store (alias files).
+	FS chio.FileSystem
+	// WorkerFS builds each worker rank's view of the shared store.
+	WorkerFS func(rank int) chio.FileSystem
+	// Scratch builds each worker's local scratch (nil unless the
+	// search config copies fragments to local disk).
+	Scratch func(rank int) chio.FileSystem
+
+	// Search is the base pblast configuration (built with
+	// pblast.NewConfig and options); per-request fields — program,
+	// e-value, filter — override its Params.
+	Search pblast.Config
+	// Workers is the number of persistent workers to start.
+	Workers int
+	// MaxWorkers caps later growth via Resize; default Workers.
+	MaxWorkers int
+
+	// QueueDepth bounds waiting requests (default 64).
+	QueueDepth int
+	// MaxPerClient bounds one client's queued+running requests
+	// (default 8).
+	MaxPerClient int
+	// MaxConcurrent bounds searches running at once (default 4).
+	MaxConcurrent int
+	// CacheSize bounds the result cache entries (default 256).
+	CacheSize int
+
+	// Registry receives the service metrics (a fresh one is created
+	// if nil). Tracer, when set, enables /debug/traces.
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+}
+
+// Server is the blastd service core: admission queue in front of a
+// persistent worker pool, with a version-keyed result cache. The HTTP
+// layer (Handler) is a thin JSON shim over Search, so tests and other
+// front ends can drive the same path directly.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	catalog  *dbCatalog
+	cache    *resultCache
+	queue    *admitQueue
+	pool     *workerPool
+	draining atomic.Bool
+	started  time.Time
+
+	mRequests  *telemetry.CounterVec
+	mReqSecs   *telemetry.Histogram
+	mDepthPeak *telemetry.Gauge
+	mInflight  *telemetry.Gauge
+}
+
+// New starts the worker pool and returns a ready-to-serve Server.
+// Close (or Drain) must be called to release the pool.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("blastd: Config.FS is required")
+	}
+	if cfg.WorkerFS == nil {
+		return nil, fmt.Errorf("blastd: Config.WorkerFS is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxWorkers < cfg.Workers {
+		cfg.MaxWorkers = cfg.Workers
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxPerClient == 0 {
+		cfg.MaxPerClient = 8
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		catalog: newDBCatalog(cfg.FS, cfg.DBs),
+		cache:   newResultCache(cfg.CacheSize),
+		queue:   newAdmitQueue(cfg.QueueDepth, cfg.MaxPerClient, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+
+	pipe := blast.NewPipeMetrics(reg)
+	pool, err := newWorkerPool(ctx, cfg.Search, cfg.MaxWorkers,
+		cfg.WorkerFS, cfg.Scratch, pipe)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+
+	s.wireMetrics()
+	pool.Resize(cfg.Workers)
+	return s, nil
+}
+
+func (s *Server) wireMetrics() {
+	reg := s.reg
+	s.mRequests = reg.CounterVec("pario_blastd_requests_total",
+		"HTTP search requests by status code.", "code")
+	s.mReqSecs = reg.Histogram("pario_blastd_request_seconds",
+		"End-to-end search request latency.")
+	s.mDepthPeak = reg.Gauge("pario_blastd_queue_depth_peak",
+		"High-water mark of the admission queue depth.")
+	s.mInflight = reg.Gauge("pario_blastd_searches_inflight",
+		"Backend searches currently executing (cache misses).")
+
+	reg.GaugeFunc("pario_blastd_queue_depth",
+		"Requests waiting for an execution slot.",
+		func() float64 { return float64(s.queue.Depth()) })
+	reg.GaugeFunc("pario_blastd_searches_running",
+		"Requests holding an execution slot.",
+		func() float64 { return float64(s.queue.Running()) })
+	reg.GaugeFunc("pario_blastd_cache_entries",
+		"Results held in the cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("pario_blastd_workers",
+		"Live workers in the pool.",
+		func() float64 { return float64(s.pool.Size()) })
+	reg.GaugeFunc("pario_blastd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	timeInQueue := reg.Histogram("pario_blastd_time_in_queue_seconds",
+		"Time admitted requests spent waiting for a slot.")
+	rejected := reg.CounterVec("pario_blastd_admission_rejected_total",
+		"Requests shed at admission, by reason.", "reason")
+	clientInflight := reg.GaugeVec("pario_blastd_client_inflight",
+		"Queued+running requests per client.", "client")
+	s.queue.onWait = timeInQueue.ObserveDuration
+	s.queue.onReject = func(reason string) { rejected.With(reason).Inc() }
+	s.queue.onClient = func(client string, n int) {
+		if n == 0 {
+			clientInflight.Delete(client)
+			return
+		}
+		clientInflight.With(client).Set(float64(n))
+	}
+	s.queue.onDepth = func(depth int) {
+		if d := float64(depth); d > s.mDepthPeak.Value() {
+			s.mDepthPeak.Set(d)
+		}
+	}
+
+	hits := reg.Counter("pario_blastd_cache_hits_total",
+		"Searches answered from the result cache.")
+	misses := reg.Counter("pario_blastd_cache_misses_total",
+		"Searches that had to run on the worker pool.")
+	shared := reg.Counter("pario_blastd_singleflight_shared_total",
+		"Requests that joined an identical in-flight search.")
+	invalidated := reg.Counter("pario_blastd_cache_invalidated_total",
+		"Cache entries dropped by database invalidation.")
+	s.cache.onHit = hits.Inc
+	s.cache.onMiss = misses.Inc
+	s.cache.onShared = shared.Inc
+	s.cache.onInvalidate = func(n int) { invalidated.Add(int64(n)) }
+
+	workerErrors := reg.CounterVec("pario_blastd_worker_errors_total",
+		"Workers that exited with an error.", "rank")
+	s.pool.onError = func(rank int, err error) {
+		workerErrors.With(fmt.Sprint(rank)).Inc()
+	}
+}
+
+// SearchRequest is the JSON body of POST /search.
+type SearchRequest struct {
+	// DB names the database to search.
+	DB string `json:"db"`
+	// Query is the query sequence: a FASTA record or a bare sequence.
+	Query string `json:"query"`
+	// Program selects the BLAST flavor (default "blastn").
+	Program string `json:"program,omitempty"`
+	// EValue is the report threshold (default 10).
+	EValue float64 `json:"evalue,omitempty"`
+	// MaxTargetSeqs caps reported subjects (0 = server default).
+	MaxTargetSeqs int `json:"max_target_seqs,omitempty"`
+	// Megablast enables greedy gapped extension.
+	Megablast bool `json:"megablast,omitempty"`
+	// Filter masks low-complexity query regions.
+	Filter bool `json:"filter,omitempty"`
+	// Client identifies the caller for quota accounting; the HTTP
+	// layer falls back to the X-Client header, then the remote host.
+	Client string `json:"client,omitempty"`
+	// Priority orders queued requests (higher runs sooner).
+	Priority int `json:"priority,omitempty"`
+}
+
+// SearchResponse is the JSON body of a successful search.
+type SearchResponse struct {
+	QueryID   string        `json:"query_id"`
+	DB        string        `json:"db"`
+	DBVersion string        `json:"db_version"`
+	Cached    bool          `json:"cached"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	NumHits   int           `json:"num_hits"`
+	Result    *blast.Result `json:"result"`
+}
+
+// Search runs one request through admission, cache and pool. Errors
+// satisfy the package error contract (ErrBadQuery, ErrDBNotFound,
+// ErrOverloaded, ErrQuotaExceeded, ErrDraining) where applicable.
+func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	start := time.Now()
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+
+	progName := req.Program
+	if progName == "" {
+		progName = "blastn"
+	}
+	prog, err := blast.ParseProgram(progName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	query, err := parseQuery(req.Query, prog.QueryKind())
+	if err != nil {
+		return nil, err
+	}
+
+	info, err := s.catalog.Lookup(req.DB)
+	if err != nil {
+		return nil, err
+	}
+
+	params := s.cfg.Search.Params
+	params.Program = prog
+	params.EValue = req.EValue
+	if params.EValue == 0 {
+		params.EValue = 10
+	}
+	if req.MaxTargetSeqs > 0 {
+		params.MaxTargetSeqs = req.MaxTargetSeqs
+	}
+	params.Greedy = req.Megablast
+	params.Filter = req.Filter
+
+	client := req.Client
+	if client == "" {
+		client = "anonymous"
+	}
+	release, err := s.queue.Admit(ctx, client, req.Priority)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	key := makeCacheKey(*query, req.DB, info.Version, params)
+	res, cached, err := s.cache.Do(ctx, key, func() (*blast.Result, error) {
+		s.mInflight.Add(1)
+		defer s.mInflight.Add(-1)
+		out, err := s.pool.Submit(ctx, query, params, info.Alias)
+		if err != nil {
+			return nil, err
+		}
+		return out.Result, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResponse{
+		QueryID:   query.ID,
+		DB:        req.DB,
+		DBVersion: info.Version,
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		NumHits:   len(res.Hits),
+		Result:    res,
+	}, nil
+}
+
+// parseQuery accepts a FASTA record or a bare sequence.
+func parseQuery(text string, kind seq.Kind) (*seq.Sequence, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	if strings.HasPrefix(text, ">") {
+		q, err := seq.NewFastaReader(strings.NewReader(text), kind).Read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+		if q.Len() == 0 {
+			return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+		}
+		return q, nil
+	}
+	data := make([]byte, 0, len(text))
+	for _, b := range []byte(text) {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+		default:
+			data = append(data, b)
+		}
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrBadQuery)
+	}
+	return &seq.Sequence{ID: "query", Kind: kind, Data: data}, nil
+}
+
+// InvalidateDB re-reads the database's alias and drops cached results
+// for it. It reports the new version and how many entries were shed.
+func (s *Server) InvalidateDB(name string) (version string, invalidated int, err error) {
+	info, _, err := s.catalog.Refresh(name)
+	if err != nil {
+		return "", 0, err
+	}
+	return info.Version, s.cache.InvalidateDB(name), nil
+}
+
+// Pool exposes the worker pool for resizing.
+func (s *Server) Pool() interface {
+	Resize(n int)
+	Size() int
+} {
+	return s.pool
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting requests, waits (bounded by ctx) for queued
+// and running searches to finish, then shuts the worker pool down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	qerr := s.queue.Drain(ctx)
+	perr := s.pool.Close()
+	if qerr != nil {
+		return qerr
+	}
+	return perr
+}
+
+// Close is Drain with a 30-second bound, for defer convenience.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /search            run a search (SearchRequest -> SearchResponse)
+//	GET  /metrics           Prometheus text metrics
+//	GET  /healthz           200 ok / 503 draining
+//	POST /admin/invalidate  ?db=NAME re-version a database, drop its cache
+//	GET  /debug/traces      recent I/O spans (when a Tracer is configured)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /admin/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		db := r.URL.Query().Get("db")
+		if db == "" {
+			http.Error(w, `{"error":"missing db parameter"}`, http.StatusBadRequest)
+			return
+		}
+		version, n, err := s.InvalidateDB(db)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"db": db, "version": version, "invalidated": n,
+		})
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type spanJSON struct {
+			Name       string `json:"name"`
+			Server     string `json:"server,omitempty"`
+			DurationUS int64  `json:"duration_us"`
+			Bytes      int64  `json:"bytes,omitempty"`
+			Err        string `json:"err,omitempty"`
+		}
+		spans := s.cfg.Tracer.Recent()
+		out := make([]spanJSON, len(spans))
+		for i, sp := range spans {
+			out[i] = spanJSON{Name: sp.Name, Server: sp.Server,
+				DurationUS: sp.Duration.Microseconds(), Bytes: sp.Bytes, Err: sp.Err}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"spans": out})
+	})
+	return mux
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SearchRequest
+	body := io.LimitReader(r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.finishRequest(w, http.StatusBadRequest,
+			fmt.Errorf("%w: invalid JSON: %v", ErrBadQuery, err), start)
+		return
+	}
+	if req.Client == "" {
+		req.Client = r.Header.Get("X-Client")
+	}
+	if req.Client == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			req.Client = host
+		} else {
+			req.Client = r.RemoteAddr
+		}
+	}
+	resp, err := s.Search(r.Context(), &req)
+	if err != nil {
+		s.finishRequest(w, httpStatus(err), err, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+	s.mRequests.With(fmt.Sprint(http.StatusOK)).Inc()
+	s.mReqSecs.ObserveDuration(time.Since(start))
+}
+
+func (s *Server) finishRequest(w http.ResponseWriter, code int, err error, start time.Time) {
+	writeErrorCode(w, code, err)
+	s.mRequests.With(fmt.Sprint(code)).Inc()
+	s.mReqSecs.ObserveDuration(time.Since(start))
+}
+
+// httpStatus maps the package error contract onto HTTP statuses.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDBNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeErrorCode(w, httpStatus(err), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -90,94 +90,43 @@ func (c *chained) Next() (*seq.Sequence, error) {
 	return nil, io.EOF
 }
 
-// SearchConfig drives ParallelSearch.
+// SearchConfig wires a parallel search into this process: how many
+// worker goroutines to run and which file systems each rank sees.
+// Everything about the search itself — database, mode, threads,
+// readahead, telemetry — lives in Search, built with pblast.NewConfig
+// and its With* options, the same surface mpiblast, experiments and
+// blastd consume.
 type SearchConfig struct {
-	// DBName names the database (alias on the shared store).
-	DBName string
+	// Search is the search configuration (pblast.NewConfig + options:
+	// WithMode, WithThreads, WithReadahead, WithTelemetry, ...).
+	Search pblast.Config
 	// Workers is the number of BLAST workers (ranks 1..Workers).
 	Workers int
-	// Params are the BLAST search parameters.
-	Params blast.Params
-	// Threads, when non-zero, overrides Params.Threads: the number of
-	// search shards each worker's subject pipeline runs per task.
-	Threads int
 	// MasterFS is the master's view of the shared store.
 	MasterFS chio.FileSystem
 	// WorkerFS returns each worker's view of the shared store.
 	WorkerFS func(rank int) chio.FileSystem
-	// Scratch returns each worker's local scratch (required when
-	// CopyToLocal is set).
+	// Scratch returns each worker's local scratch (required when the
+	// search copies fragments to local disks).
 	Scratch func(rank int) chio.FileSystem
-	// CopyToLocal reproduces original mpiBLAST (copy then search).
-	CopyToLocal bool
-	// Mode selects database (default) or query segmentation.
-	Mode pblast.Mode
-	// ChunkBytes is the workers' fragment streaming read size
-	// (0 = pblast default, 16 MB).
-	ChunkBytes int
 	// Trace, when non-nil, records every worker's application-level
 	// I/O (Figure 4 instrumentation).
 	Trace *iotrace.Trace
-	// Telemetry, when non-nil, receives the master's scheduling
-	// metrics (task service times, reassignments).
-	Telemetry *pblast.Telemetry
-}
-
-// SearchOption tunes ParallelSearch/ParallelSearchBatch beyond the
-// SearchConfig struct.
-type SearchOption func(*searchOpts)
-
-type searchOpts struct {
-	readahead     bool
-	readaheadOpts []readahead.Option
-}
-
-// WithReadahead wraps every worker's view of the shared store in the
-// client-side block cache and sequential prefetcher of package
-// readahead, so small sequential fragment reads are served from cached
-// blocks and the next blocks' fetches overlap the worker's compute.
-// The raOpts tune block size, capacity, prefetch window, and the
-// shared counter sink.
-func WithReadahead(raOpts ...readahead.Option) SearchOption {
-	return func(o *searchOpts) {
-		o.readahead = true
-		o.readaheadOpts = raOpts
-	}
-}
-
-func applySearchOpts(opts []SearchOption) searchOpts {
-	var o searchOpts
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&o)
-		}
-	}
-	return o
 }
 
 // wrapWorkerFS applies the per-worker wrappers in their fixed order:
 // readahead next to the backend, iotrace outermost (so traces record
 // the application's own access pattern, not the cache's block
 // fetches).
-func wrapWorkerFS(workerFS func(int) chio.FileSystem, o searchOpts) func(int) chio.FileSystem {
-	if o.readahead {
+func wrapWorkerFS(cfg SearchConfig) (workerFS, scratch func(int) chio.FileSystem) {
+	workerFS = cfg.WorkerFS
+	scratch = cfg.Scratch
+	if ra, raOpts := cfg.Search.Readahead(); ra {
 		inner := workerFS
 		workerFS = func(rank int) chio.FileSystem {
-			return readahead.Wrap(inner(rank), o.readaheadOpts...)
+			return readahead.Wrap(inner(rank), raOpts...)
 		}
 	}
-	return workerFS
-}
-
-// ParallelSearch runs the master/worker parallel BLAST in-process.
-// Cancelling ctx aborts the search, including in-flight parallel-FS
-// I/O when the backends support chio.ContextBinder.
-func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, opts ...SearchOption) (*pblast.Outcome, error) {
-	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
-		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
-	}
-	workerFS := wrapWorkerFS(cfg.WorkerFS, applySearchOpts(opts))
-	scratch := cfg.Scratch
 	if cfg.Trace != nil {
 		inner := workerFS
 		workerFS = func(rank int) chio.FileSystem {
@@ -194,19 +143,18 @@ func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig, 
 			}
 		}
 	}
-	params := cfg.Params
-	if cfg.Threads != 0 {
-		params.Threads = cfg.Threads
+	return workerFS, scratch
+}
+
+// ParallelSearch runs the master/worker parallel BLAST in-process.
+// Cancelling ctx aborts the search, including in-flight parallel-FS
+// I/O when the backends support chio.ContextBinder.
+func ParallelSearch(ctx context.Context, query *seq.Sequence, cfg SearchConfig) (*pblast.Outcome, error) {
+	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
+		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
-	pcfg := pblast.Config{
-		DBName:      cfg.DBName,
-		Params:      params,
-		Mode:        cfg.Mode,
-		CopyToLocal: cfg.CopyToLocal,
-		ChunkBytes:  cfg.ChunkBytes,
-	}
-	pcfg.SetTelemetry(cfg.Telemetry)
-	return pblast.RunInProcess(ctx, cfg.Workers, query, pcfg, cfg.MasterFS, workerFS, scratch)
+	workerFS, scratch := wrapWorkerFS(cfg)
+	return pblast.RunInProcess(ctx, cfg.Workers, query, cfg.Search, cfg.MasterFS, workerFS, scratch)
 }
 
 // PVFSDeployment is a running single-machine PVFS: one metadata
@@ -373,28 +321,11 @@ func (d *CEFTDeployment) Close() error {
 // ParallelSearchBatch runs a multi-query batch through the parallel
 // master/worker: the task space is (query x fragment), dynamically
 // scheduled — how batch workloads (e.g. EST sets) were processed.
-func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg SearchConfig, opts ...SearchOption) (*pblast.BatchOutcome, error) {
+func ParallelSearchBatch(ctx context.Context, queries []*seq.Sequence, cfg SearchConfig) (*pblast.BatchOutcome, error) {
 	if cfg.MasterFS == nil || cfg.WorkerFS == nil {
 		return nil, fmt.Errorf("core: SearchConfig needs MasterFS and WorkerFS")
 	}
-	workerFS := wrapWorkerFS(cfg.WorkerFS, applySearchOpts(opts))
-	scratch := cfg.Scratch
-	if cfg.Trace != nil {
-		inner := workerFS
-		workerFS = func(rank int) chio.FileSystem {
-			return iotrace.Wrap(inner(rank), cfg.Trace, fmt.Sprintf("worker%d", rank))
-		}
-	}
-	params := cfg.Params
-	if cfg.Threads != 0 {
-		params.Threads = cfg.Threads
-	}
-	pcfg := pblast.Config{
-		DBName:      cfg.DBName,
-		Params:      params,
-		CopyToLocal: cfg.CopyToLocal,
-		ChunkBytes:  cfg.ChunkBytes,
-	}
-	pcfg.SetTelemetry(cfg.Telemetry)
-	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, pcfg, cfg.MasterFS, workerFS, scratch)
+	workerFS, scratch := wrapWorkerFS(cfg)
+	search := cfg.Search.Apply(pblast.WithMode(pblast.DatabaseSegmentation))
+	return pblast.RunInProcessBatch(ctx, cfg.Workers, queries, search, cfg.MasterFS, workerFS, scratch)
 }

@@ -72,9 +72,8 @@ func TestParallelSearchLocalBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  4,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 	})
@@ -117,9 +116,8 @@ func TestParallelSearchOverPVFSWithTrace(t *testing.T) {
 	var mu sync.Mutex
 	var clients []*struct{ c interface{ Close() error } }
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  3,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: shared,
 		WorkerFS: func(rank int) chio.FileSystem {
 			cl, err := dep.Client()
@@ -164,12 +162,12 @@ func TestParallelSearchCopyToLocal(t *testing.T) {
 	var mu sync.Mutex
 	scratches := map[int]chio.FileSystem{}
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:      "nt",
-		Workers:     2,
-		Params:      blast.Params{Program: blast.BlastN},
-		MasterFS:    shared,
-		WorkerFS:    func(int) chio.FileSystem { return shared },
-		CopyToLocal: true,
+		Search: pblast.NewConfig("nt",
+			pblast.WithParams(blast.Params{Program: blast.BlastN}),
+			pblast.WithCopyToLocal(true)),
+		Workers:  2,
+		MasterFS: shared,
+		WorkerFS: func(int) chio.FileSystem { return shared },
 		Scratch: func(rank int) chio.FileSystem {
 			mu.Lock()
 			defer mu.Unlock()
@@ -209,9 +207,8 @@ func TestParallelSearchOverCEFT(t *testing.T) {
 	var mu sync.Mutex
 	var clients []*ceft.Client
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  2,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: shared,
 		WorkerFS: func(rank int) chio.FileSystem {
 			cl, err := dep.Client(ceft.DefaultOptions())
@@ -246,12 +243,12 @@ func TestQuerySegmentationMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:   "nt",
+		Search: pblast.NewConfig("nt",
+			pblast.WithParams(blast.Params{Program: blast.BlastN}),
+			pblast.WithMode(pblast.QuerySegmentation)),
 		Workers:  2,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
-		Mode:     pblast.QuerySegmentation,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +264,7 @@ func TestSearchConfigValidation(t *testing.T) {
 		GenerateDatabase(fs, "nt", 10_000, 1, 1)
 		return fs
 	}(), "nt", 100, 1)
-	if _, err := ParallelSearch(context.Background(), q, SearchConfig{DBName: "nt"}); err == nil {
+	if _, err := ParallelSearch(context.Background(), q, SearchConfig{Search: pblast.NewConfig("nt")}); err == nil {
 		t.Error("missing FS accepted")
 	}
 }
@@ -289,9 +286,8 @@ func TestTabularAndReportOverParallelResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := ParallelSearch(context.Background(), query, SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  2,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 	})
@@ -328,12 +324,12 @@ func TestQuerySegmentationReadsMoreIO(t *testing.T) {
 	readBytes := func(mode pblast.Mode) float64 {
 		trace := iotrace.NewTrace()
 		_, err := ParallelSearch(context.Background(), query, SearchConfig{
-			DBName:   "nt",
+			Search: pblast.NewConfig("nt",
+				pblast.WithParams(blast.Params{Program: blast.BlastN}),
+				pblast.WithMode(mode)),
 			Workers:  4,
-			Params:   blast.Params{Program: blast.BlastN},
 			MasterFS: fs,
 			WorkerFS: func(int) chio.FileSystem { return fs },
-			Mode:     mode,
 			Trace:    trace,
 		})
 		if err != nil {
@@ -361,9 +357,8 @@ func TestParallelSearchBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := ParallelSearchBatch(context.Background(), []*seq.Sequence{q1, q2}, SearchConfig{
-		DBName:   "nt",
+		Search:   pblast.NewConfig("nt", pblast.WithParams(blast.Params{Program: blast.BlastN})),
 		Workers:  3,
-		Params:   blast.Params{Program: blast.BlastN},
 		MasterFS: fs,
 		WorkerFS: func(int) chio.FileSystem { return fs },
 	})

@@ -1,15 +1,25 @@
 // Package pblast implements parallel BLAST in the style of mpiBLAST:
-// a master that schedules database fragments (or query pieces) onto
-// idle workers over the mpi substrate and merges their results by
-// alignment score. Workers read database fragments through any
-// chio.FileSystem — the local-disk, PVFS, or CEFT-PVFS backends — so
-// the three configurations the paper compares differ only in the file
-// system handed to RunWorker, mirroring Figure 1's software stack.
+// a master that schedules search tasks onto idle workers over the mpi
+// substrate and merges their results by alignment score. Workers read
+// database fragments through any chio.FileSystem — the local-disk,
+// PVFS, or CEFT-PVFS backends — so the three configurations the paper
+// compares differ only in the file system handed to RunWorker,
+// mirroring Figure 1's software stack.
+//
+// The scheduler is a continuous stream, not a one-shot batch: a
+// Stream owns a persistent worker pool and accepts submissions (one
+// query each) at any time, feeding their (query x fragment) tasks to
+// whichever workers are idle. Workers join by announcing themselves
+// (so a pool can grow while searches run) and leave gracefully
+// between tasks; tasks held by a departed worker are re-queued. The
+// classic one-shot entry points RunMaster and RunMasterBatch are thin
+// wrappers that open a stream, submit, wait, and drain — the
+// always-on blastd service keeps the same stream open for its entire
+// lifetime.
 package pblast
 
 import (
 	"bytes"
-	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -17,10 +27,13 @@ import (
 	"sort"
 	"time"
 
+	"context"
+
 	"pario/internal/blast"
 	"pario/internal/blastdb"
 	"pario/internal/chio"
 	"pario/internal/mpi"
+	"pario/internal/readahead"
 	"pario/internal/seq"
 )
 
@@ -42,6 +55,9 @@ const (
 	tagReady
 	tagTask
 	tagResult
+	tagHello
+	tagLeave
+	tagWake
 )
 
 // task kinds.
@@ -50,7 +66,8 @@ const (
 	taskDone
 )
 
-// Config controls a parallel search.
+// Config controls a parallel search. Construct it with NewConfig and
+// the With* options; direct struct literals are deprecated.
 type Config struct {
 	// DBName is the database name (alias at DBName.pal).
 	DBName string
@@ -75,38 +92,50 @@ type Config struct {
 
 	// tel is the master-side scheduling telemetry sink. Unexported so
 	// it never travels in the gob-encoded job broadcast (gob skips
-	// unexported fields); set it with SetTelemetry.
+	// unexported fields); set it with WithTelemetry.
 	tel *Telemetry
+	// raEnable/raOpts wrap every in-process worker's file system in
+	// the client-side readahead block cache. Local to the runner —
+	// distributed workers wrap their own transports.
+	raEnable bool
+	raOpts   []readahead.Option
 }
 
 // SetTelemetry installs the master-side scheduling telemetry sink.
 // The sink stays local to the master: it is not part of the job
 // broadcast to workers.
+//
+// Deprecated: use WithTelemetry with NewConfig.
 func (c *Config) SetTelemetry(t *Telemetry) { c.tel = t }
 
-// job is broadcast from the master to every worker before scheduling.
+// job is sent to each worker when it announces itself, before any
+// tasks: the run-wide settings that do not vary per task.
 type job struct {
-	Query  seq.Sequence
-	Params blast.Params
-	Alias  blastdb.Alias
 	Config Config
-	// Pieces holds the query piece boundaries for query segmentation.
-	Pieces []piece
-	// Queries, when non-empty, switches the job to batch mode: the
-	// task space is (query x fragment) and Query is ignored.
-	Queries []seq.Sequence
 }
 
-type piece struct {
-	Start, End int
-}
-
+// taskMsg is one unit of work: a query searched against a set of
+// fragment files. Tasks carry the query and parameters inline, so a
+// persistent worker pool serves any mix of queries — and databases —
+// without re-broadcasting state.
 type taskMsg struct {
 	Kind  int
-	Index int // fragment index or piece index
+	Sub   int64 // submission the task belongs to
+	Index int   // task index within the submission
+
+	Query  seq.Sequence
+	Params blast.Params
+	// Paths are the fragment files to search, resolved by the master
+	// from the database alias.
+	Paths []string
+	// DBLetters/DBSeqs are the whole-database totals used for search
+	// statistics (E-values are database-wide, not per-fragment).
+	DBLetters int64
+	DBSeqs    int64
 }
 
 type resultMsg struct {
+	Sub        int64
 	Index      int
 	Err        string
 	Result     *blast.Result
@@ -152,13 +181,16 @@ type Outcome struct {
 	// Timeline records every accepted task in completion order.
 	Timeline []TaskEvent
 	// Reassigned counts tasks re-handed to another worker after their
-	// original assignee went silent (fault-tolerant scheduling).
+	// original assignee went silent or left (fault-tolerant
+	// scheduling and graceful worker departure).
 	Reassigned int
 }
 
-// RunMaster drives the search from rank 0. fs is the master's view of
-// the shared store (used to read the database alias). The query is
-// searched against cfg.DBName and the merged result returned.
+// RunMaster drives a single-query search from rank 0: it opens a
+// stream over the communicator, submits the query (split into pieces
+// in QuerySegmentation mode), waits, and drains the workers. fs is
+// the master's view of the shared store (used to read the database
+// alias).
 //
 // ctx governs the whole search: cancelling it aborts the scheduling
 // loop, and when fs supports chio.ContextBinder the master's I/O —
@@ -168,214 +200,125 @@ func RunMaster(ctx context.Context, c mpi.Comm, fs chio.FileSystem, query *seq.S
 		ctx = context.Background()
 	}
 	fs = chio.BindContext(fs, ctx)
-	if c.Rank() != 0 {
-		return nil, fmt.Errorf("pblast: RunMaster called on rank %d", c.Rank())
-	}
-	if c.Size() < 2 {
-		return nil, fmt.Errorf("pblast: need at least one worker (size %d)", c.Size())
-	}
 	start := time.Now()
-	alias, err := blastdb.ReadAlias(fs, cfg.DBName)
-	if err != nil {
-		return nil, fmt.Errorf("pblast: reading alias: %w", err)
-	}
-	j := job{Query: *query, Params: cfg.Params, Alias: *alias, Config: cfg}
-	nTasks := len(alias.Fragments)
-	if cfg.Mode == QuerySegmentation {
-		j.Pieces = splitQuery(query.Len(), c.Size()-1, cfg.queryOverlap(), cfg.Params)
-		nTasks = len(j.Pieces)
-	}
-	for r := 1; r < c.Size(); r++ {
-		if err := mpi.SendGob(c, r, tagJob, &j); err != nil {
-			return nil, err
-		}
-	}
-
-	out := &Outcome{TaskTimes: make(map[int]time.Duration)}
-	collected, err := scheduleTasks(ctx, c, cfg, nTasks, out)
+	st, alias, err := startMasterStream(ctx, c, fs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	// In query-segmentation mode, shift piece-local query coordinates
-	// back into full-query space before merging and deduplication.
-	results := make([]*blast.Result, 0, len(collected))
-	for _, tr := range collected {
-		if cfg.Mode == QuerySegmentation {
-			shift := j.Pieces[tr.index].Start
-			for hi := range tr.res.Hits {
-				for pi := range tr.res.Hits[hi].HSPs {
-					tr.res.Hits[hi].HSPs[pi].QueryFrom += shift
-					tr.res.Hits[hi].HSPs[pi].QueryTo += shift
-				}
-			}
-		}
-		results = append(results, tr.res)
+	var sub *submission
+	if cfg.Mode == QuerySegmentation {
+		pieces := splitQuery(query.Len(), c.Size()-1, cfg.queryOverlap(), cfg.Params)
+		sub, err = st.submitPieces(query, cfg.Params, alias, pieces)
+	} else {
+		sub, err = st.submit(query, cfg.Params, alias)
 	}
-	merged := mergeResults(query, results, cfg)
-	out.Result = merged
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	out, err := st.await(ctx, sub)
+	cerr := st.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
 	out.WallTime = time.Since(start)
 	return out, nil
 }
 
-// taskResult pairs a completed task index with its result.
-type taskResult struct {
-	index int
-	res   *blast.Result
+// BatchOutcome is the result of a multi-query parallel search.
+type BatchOutcome struct {
+	// Results holds one merged result per query, in input order.
+	Results []*blast.Result
+	// WallTime, CopyTime, SearchTime, Timeline and Reassigned
+	// aggregate the whole batch, like Outcome's fields.
+	WallTime   time.Duration
+	CopyTime   time.Duration
+	SearchTime time.Duration
+	TaskTimes  map[int]time.Duration
+	Timeline   []TaskEvent
+	Reassigned int
 }
 
-// scheduleTasks runs the master's fault-tolerant scheduling loop until
-// every task in [0, nTasks) has a result or ctx is cancelled, then
-// releases the workers.
-func scheduleTasks(ctx context.Context, c mpi.Comm, cfg Config, nTasks int, out *Outcome) ([]taskResult, error) {
-	var collected []taskResult
-
-	// Fault-tolerant scheduling state: tasks move pending -> assigned
-	// -> done; with TaskTimeout set, overdue assigned tasks are
-	// re-handed to idle workers and duplicate results discarded.
-	const (
-		statePending = iota
-		stateAssigned
-		stateDone
-	)
-	states := make([]int, nTasks)
-	assignedAt := make([]time.Time, nTasks)
-	assignedTo := make([]int, nTasks)
-	rehanded := make([]bool, nTasks)
-	var idle []int
-	doneTasks := 0
-	loopStart := time.Now()
-
-	// assign hands the best available task to worker, returning false
-	// when nothing is currently assignable.
-	assign := func(worker int) (bool, error) {
-		pick := -1
-		for i := range states {
-			if states[i] == statePending {
-				pick = i
-				break
-			}
-		}
-		if pick < 0 && cfg.TaskTimeout > 0 {
-			// No fresh work: look for an overdue assignment held by a
-			// different worker (it may have died).
-			for i := range states {
-				if states[i] == stateAssigned && assignedTo[i] != worker &&
-					time.Since(assignedAt[i]) >= cfg.TaskTimeout {
-					pick = i
-					out.Reassigned++
-					rehanded[i] = true
-					cfg.tel.observeReassign()
-					break
-				}
-			}
-		}
-		if pick < 0 {
-			return false, nil
-		}
-		if err := mpi.SendGob(c, worker, tagTask, &taskMsg{Kind: taskSearch, Index: pick}); err != nil {
-			return false, err
-		}
-		states[pick] = stateAssigned
-		assignedAt[pick] = time.Now()
-		assignedTo[pick] = worker
-		return true, nil
+// RunMasterBatch drives a multi-query search: every query is
+// submitted to the stream up front, so the task space is the full
+// (query x fragment) matrix, scheduled dynamically onto idle workers —
+// how mpiBLAST-era installations processed EST batches. Batch mode
+// implies database segmentation. ctx governs the batch as in
+// RunMaster.
+func RunMasterBatch(ctx context.Context, c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg Config) (*BatchOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-
-	for doneTasks < nTasks {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var m mpi.Message
-		var err error
-		ok := true
-		if cfg.TaskTimeout > 0 {
-			m, ok, err = mpi.RecvTimeout(c, mpi.AnySource, mpi.AnyTag, cfg.TaskTimeout/2)
-		} else if ctxHasDeadlineOrCancel(ctx) {
-			// Poll so cancellation is noticed even while no messages
-			// arrive (a hung worker would otherwise block Recv forever).
-			m, ok, err = mpi.RecvTimeout(c, mpi.AnySource, mpi.AnyTag, 100*time.Millisecond)
-		} else {
-			m, err = c.Recv(mpi.AnySource, mpi.AnyTag)
-		}
+	fs = chio.BindContext(fs, ctx)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("pblast: empty query batch")
+	}
+	if cfg.Mode != DatabaseSegmentation {
+		return nil, fmt.Errorf("pblast: batch mode requires database segmentation")
+	}
+	start := time.Now()
+	st, alias, err := startMasterStream(ctx, c, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nFrags := len(alias.Fragments)
+	subs := make([]*submission, 0, len(queries))
+	for _, q := range queries {
+		sub, err := st.submit(q, cfg.Params, alias)
 		if err != nil {
+			st.Close()
 			return nil, err
 		}
-		if !ok {
-			// Deadline tick: try to pair overdue tasks with idle workers.
-			for len(idle) > 0 {
-				granted, err := assign(idle[0])
-				if err != nil {
-					return nil, err
-				}
-				if !granted {
-					break
-				}
-				idle = idle[1:]
-			}
-			continue
-		}
-		switch m.Tag {
-		case tagReady:
-			granted, err := assign(m.From)
-			if err != nil {
-				return nil, err
-			}
-			if !granted {
-				idle = append(idle, m.From)
-			}
-		case tagResult:
-			var rm resultMsg
-			if err := decodeGob(m.Data, &rm); err != nil {
-				return nil, err
-			}
-			if rm.Err != "" {
-				return nil, fmt.Errorf("pblast: task %d failed: %s", rm.Index, rm.Err)
-			}
-			if states[rm.Index] == stateDone {
-				break // duplicate result from a reassigned task
-			}
-			states[rm.Index] = stateDone
-			doneTasks++
-			collected = append(collected, taskResult{index: rm.Index, res: rm.Result})
-			out.CopyTime += rm.CopyTime
-			out.SearchTime += rm.SearchTime
-			out.TaskTimes[rm.Index] = rm.SearchTime
-			out.Timeline = append(out.Timeline, TaskEvent{
-				Index:      rm.Index,
-				Worker:     m.From,
-				Start:      assignedAt[rm.Index].Sub(loopStart),
-				Copy:       rm.CopyTime,
-				Search:     rm.SearchTime,
-				Reassigned: rehanded[rm.Index],
-			})
-			cfg.tel.observeTask(m.From, rm.SearchTime, rm.CopyTime)
-		default:
-			return nil, fmt.Errorf("pblast: master got unexpected tag %d", m.Tag)
-		}
+		subs = append(subs, sub)
 	}
-	// Release every worker currently waiting for work, then drain
-	// late Ready messages until every live worker has been released
-	// (a short deadline per wait bounds the cost when workers have
-	// died); stragglers computing duplicates learn of completion when
-	// the communicator shuts down.
-	released := map[int]bool{}
-	for _, w := range idle {
-		if err := mpi.SendGob(c, w, tagTask, &taskMsg{Kind: taskDone}); err != nil {
+	out := &BatchOutcome{TaskTimes: make(map[int]time.Duration)}
+	for qi, sub := range subs {
+		o, err := st.await(ctx, sub)
+		if err != nil {
+			st.Close()
 			return nil, err
 		}
-		released[w] = true
-	}
-	for len(released) < c.Size()-1 {
-		m, ok, err := mpi.RecvTimeout(c, mpi.AnySource, tagReady, 250*time.Millisecond)
-		if err != nil || !ok {
-			break
+		out.Results = append(out.Results, o.Result)
+		out.CopyTime += o.CopyTime
+		out.SearchTime += o.SearchTime
+		out.Reassigned += o.Reassigned
+		for idx, d := range o.TaskTimes {
+			out.TaskTimes[qi*nFrags+idx] = d
 		}
-		if err := mpi.SendGob(c, m.From, tagTask, &taskMsg{Kind: taskDone}); err != nil {
-			return nil, err
+		for _, ev := range o.Timeline {
+			ev.Index += qi * nFrags
+			out.Timeline = append(out.Timeline, ev)
 		}
-		released[m.From] = true
 	}
-	return collected, nil
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	// Per-submission timelines interleave; restore assignment order.
+	sort.Slice(out.Timeline, func(a, b int) bool {
+		return out.Timeline[a].Start < out.Timeline[b].Start
+	})
+	out.WallTime = time.Since(start)
+	return out, nil
+}
+
+// startMasterStream validates the one-shot master preconditions,
+// reads the database alias and opens the stream — the shared preamble
+// of RunMaster and RunMasterBatch.
+func startMasterStream(ctx context.Context, c mpi.Comm, fs chio.FileSystem, cfg Config) (*Stream, *blastdb.Alias, error) {
+	if c.Rank() != 0 {
+		return nil, nil, fmt.Errorf("pblast: master called on rank %d", c.Rank())
+	}
+	if c.Size() < 2 {
+		return nil, nil, fmt.Errorf("pblast: need at least one worker (size %d)", c.Size())
+	}
+	alias, err := blastdb.ReadAlias(fs, cfg.DBName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pblast: reading alias: %w", err)
+	}
+	return startStream(ctx, c, cfg), alias, nil
 }
 
 func decodeGob(data []byte, v interface{}) error {
@@ -393,6 +336,10 @@ func (cfg Config) queryOverlap() int {
 		return cfg.QueryOverlap
 	}
 	return 100
+}
+
+type piece struct {
+	Start, End int
 }
 
 // splitQuery produces n overlapping pieces covering [0, length).
@@ -431,6 +378,7 @@ type WorkerOption func(*workerOpts)
 
 type workerOpts struct {
 	pipe *blast.PipeMetrics
+	quit <-chan struct{}
 }
 
 // WithPipeMetrics publishes the worker's search-pipeline telemetry
@@ -441,14 +389,26 @@ func WithPipeMetrics(m *blast.PipeMetrics) WorkerOption {
 	return func(o *workerOpts) { o.pipe = m }
 }
 
+// WithQuit hands the worker a graceful-departure signal: when quit
+// fires, the worker finishes its current task (if any), announces its
+// departure to the master, and returns nil. The master re-queues any
+// task that was in flight to it. This is how a service shrinks its
+// worker pool without aborting searches.
+func WithQuit(quit <-chan struct{}) WorkerOption {
+	return func(o *workerOpts) { o.quit = quit }
+}
+
 // RunWorker executes search tasks on any rank > 0. fs is this
 // worker's file system onto the shared database store; scratch is the
 // worker's local scratch space, used only when the job requests
 // CopyToLocal (pass nil otherwise).
 //
-// Cancelling ctx makes the worker exit between tasks, and when fs
-// supports chio.ContextBinder its in-flight parallel-FS reads abort
-// too, so a cancelled query releases the I/O path immediately.
+// The worker announces itself to the master first, so workers may
+// join a running stream at any time. Cancelling ctx makes the worker
+// exit between tasks, and when fs supports chio.ContextBinder its
+// in-flight parallel-FS reads abort too, so a cancelled query
+// releases the I/O path immediately. For a graceful exit that
+// completes the current task, use WithQuit.
 func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio.FileSystem, opts ...WorkerOption) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -463,79 +423,119 @@ func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio
 	if scratch != nil {
 		scratch = chio.BindContext(scratch, ctx)
 	}
-	var j job
-	if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
-		return err
-	}
-	// A closed communicator after the job started means the master
-	// completed and shut the world down — a clean exit, not a fault
-	// (this worker may have been computing a reassigned duplicate).
+	// A closed communicator means the master completed and shut the
+	// world down — a clean exit, not a fault (this worker may have
+	// been computing a reassigned duplicate).
 	clean := func(err error) error {
 		if errors.Is(err, mpi.ErrClosed) {
 			return nil
 		}
 		return err
 	}
+	quitFired := func() bool {
+		select {
+		case <-o.quit:
+			return true
+		default:
+			return false
+		}
+	}
+	leave := func() error {
+		c.Send(0, tagLeave, nil) // best effort; master may be gone
+		return nil
+	}
+
+	if err := c.Send(0, tagHello, nil); err != nil {
+		return clean(err)
+	}
+	// Wait for the job reply. A stale task from a previous occupant of
+	// this rank may still sit in the mailbox — discard anything that
+	// is not the job (the master re-queued those tasks when the old
+	// occupant left). A done-task here means the stream is draining.
+	var j job
+	for {
+		m, err := c.Recv(0, mpi.AnyTag)
+		if err != nil {
+			return clean(err)
+		}
+		if m.Tag == tagJob {
+			if err := decodeGob(m.Data, &j); err != nil {
+				return err
+			}
+			break
+		}
+		if m.Tag == tagTask {
+			var t taskMsg
+			if err := decodeGob(m.Data, &t); err != nil {
+				return err
+			}
+			if t.Kind == taskDone {
+				return nil
+			}
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
+			leave()
 			return err
+		}
+		if quitFired() {
+			return leave()
 		}
 		if err := c.Send(0, tagReady, nil); err != nil {
 			return clean(err)
 		}
 		var t taskMsg
-		if _, err := mpi.RecvGob(c, 0, tagTask, &t); err != nil {
-			return clean(err)
+		if o.quit == nil && !ctxHasDeadlineOrCancel(ctx) {
+			if _, err := mpi.RecvGob(c, 0, tagTask, &t); err != nil {
+				return clean(err)
+			}
+		} else {
+			// Poll so a quit or cancel fired while idle is noticed;
+			// the master re-queues whatever it assigned us meanwhile.
+			got := false
+			for !got {
+				m, ok, err := mpi.RecvTimeout(c, 0, tagTask, 50*time.Millisecond)
+				if err != nil {
+					return clean(err)
+				}
+				if ok {
+					if err := decodeGob(m.Data, &t); err != nil {
+						return err
+					}
+					got = true
+					break
+				}
+				if quitFired() {
+					return leave()
+				}
+				if err := ctx.Err(); err != nil {
+					leave()
+					return err
+				}
+			}
 		}
 		if t.Kind == taskDone {
 			return nil
 		}
-		rm := runTask(&j, t.Index, fs, scratch, o.pipe)
+		rm := runTask(&j, &t, fs, scratch, o.pipe)
 		if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
 			return clean(err)
 		}
 	}
 }
 
-func runTask(j *job, index int, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
-	rm := &resultMsg{Index: index}
+// runTask performs the fragment reads and search for one task.
+func runTask(j *job, t *taskMsg, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
+	rm := &resultMsg{Sub: t.Sub, Index: t.Index}
 	fail := func(err error) *resultMsg {
 		rm.Err = err.Error()
 		return rm
 	}
-	query := j.Query
-
-	var fragments []int
-	if len(j.Queries) > 0 {
-		// Batch mode: index = query*nFragments + fragment.
-		nFrags := len(j.Alias.Fragments)
-		query = j.Queries[index/nFrags]
-		fragments = []int{index % nFrags}
-		return runSearchTask(j, rm, fail, query, fragments, fs, scratch, pipe)
-	}
-	switch j.Config.Mode {
-	case DatabaseSegmentation:
-		fragments = []int{index}
-	case QuerySegmentation:
-		p := j.Pieces[index]
-		sub := j.Query.Subsequence(p.Start, p.End)
-		sub.ID = j.Query.ID // keep the original ID; offsets fixed at merge
-		query = *sub
-		for i := range j.Alias.Fragments {
-			fragments = append(fragments, i)
-		}
-	}
-	return runSearchTask(j, rm, fail, query, fragments, fs, scratch, pipe)
-}
-
-// runSearchTask performs the actual fragment reads and search for one
-// task.
-func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq.Sequence, fragments []int, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
-	info := blast.DBInfo{Letters: j.Alias.Letters, Sequences: j.Alias.Seqs}
+	info := blast.DBInfo{Letters: t.DBLetters, Sequences: t.DBSeqs}
 	var sources []blast.SubjectSource
 	searchStart := time.Now()
-	for _, fi := range fragments {
-		path := j.Alias.Fragments[fi].Path
+	for _, path := range t.Paths {
 		readFS := fs
 		if j.Config.CopyToLocal {
 			if scratch == nil {
@@ -559,14 +559,15 @@ func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq
 		sources = append(sources, fr.Source(j.Config.ChunkBytes))
 	}
 
-	res, err := blast.SearchWithMetrics(&query, &multiSource{sources: sources}, info, j.Params, pipe)
+	query := t.Query
+	res, err := blast.SearchWithMetrics(&query, &multiSource{sources: sources}, info, t.Params, pipe)
 	if err != nil {
 		return fail(err)
 	}
 	// Record temporary results, as mpiBLAST workers do before the
 	// master merges — these are the small (tens to hundreds of bytes)
 	// writes visible in the paper's Figure 4 trace.
-	if err := writeTempResult(fs, rm.Index, res); err != nil {
+	if err := writeTempResult(fs, t.Sub, t.Index, res); err != nil {
 		return fail(err)
 	}
 	rm.SearchTime = time.Since(searchStart)
@@ -575,7 +576,7 @@ func runSearchTask(j *job, rm *resultMsg, fail func(error) *resultMsg, query seq
 }
 
 // writeTempResult persists a compact per-task result summary.
-func writeTempResult(fs chio.FileSystem, index int, res *blast.Result) error {
+func writeTempResult(fs chio.FileSystem, sub int64, index int, res *blast.Result) error {
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "task %d query %s hits %d\n", index, res.QueryID, len(res.Hits))
 	for _, h := range res.Hits {
@@ -584,7 +585,7 @@ func writeTempResult(fs chio.FileSystem, index int, res *blast.Result) error {
 	for buf.Len() < 50 { // the paper's smallest result write is 50 bytes
 		buf.WriteByte('\n')
 	}
-	return chio.WriteFull(fs, fmt.Sprintf("tmp/result.%03d", index), buf.Bytes())
+	return chio.WriteFull(fs, fmt.Sprintf("tmp/result.%d.%03d", sub, index), buf.Bytes())
 }
 
 // multiSource chains fragment sources.
@@ -611,7 +612,7 @@ func (ms *multiSource) Next() (*seq.Sequence, error) {
 // query-piece coordinates are shifted back into full-query space and
 // duplicate HSPs from overlapping pieces removed, then everything is
 // re-sorted by significance, as the mpiBLAST master does.
-func mergeResults(query *seq.Sequence, results []*blast.Result, cfg Config) *blast.Result {
+func mergeResults(query *seq.Sequence, results []*blast.Result, mode Mode, params blast.Params) *blast.Result {
 	merged := &blast.Result{
 		QueryID:  query.ID,
 		QueryLen: query.Len(),
@@ -631,7 +632,7 @@ func mergeResults(query *seq.Sequence, results []*blast.Result, cfg Config) *bla
 		merged.Stats.K = r.Stats.K
 		merged.Stats.H = r.Stats.H
 		merged.Stats.EffSearchLen = r.Stats.EffSearchLen
-		if cfg.Mode == DatabaseSegmentation {
+		if mode == DatabaseSegmentation {
 			merged.Stats.DBSequences += r.Stats.DBSequences
 			merged.Stats.DBLetters += r.Stats.DBLetters
 		} else {
@@ -671,85 +672,8 @@ func mergeResults(query *seq.Sequence, results []*blast.Result, cfg Config) *bla
 		}
 		return merged.Hits[a].SubjectID < merged.Hits[b].SubjectID
 	})
-	if cfg.Params.MaxTargetSeqs > 0 && len(merged.Hits) > cfg.Params.MaxTargetSeqs {
-		merged.Hits = merged.Hits[:cfg.Params.MaxTargetSeqs]
+	if params.MaxTargetSeqs > 0 && len(merged.Hits) > params.MaxTargetSeqs {
+		merged.Hits = merged.Hits[:params.MaxTargetSeqs]
 	}
 	return merged
-}
-
-// BatchOutcome is the result of a multi-query parallel search.
-type BatchOutcome struct {
-	// Results holds one merged result per query, in input order.
-	Results []*blast.Result
-	// WallTime, CopyTime, SearchTime, Timeline and Reassigned
-	// aggregate the whole batch, like Outcome's fields.
-	WallTime   time.Duration
-	CopyTime   time.Duration
-	SearchTime time.Duration
-	TaskTimes  map[int]time.Duration
-	Timeline   []TaskEvent
-	Reassigned int
-}
-
-// RunMasterBatch drives a multi-query search: the task space is the
-// (query x fragment) matrix, scheduled dynamically onto idle workers —
-// how mpiBLAST-era installations processed EST batches. Batch mode
-// implies database segmentation. ctx governs the batch as in
-// RunMaster.
-func RunMasterBatch(ctx context.Context, c mpi.Comm, fs chio.FileSystem, queries []*seq.Sequence, cfg Config) (*BatchOutcome, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	fs = chio.BindContext(fs, ctx)
-	if c.Rank() != 0 {
-		return nil, fmt.Errorf("pblast: RunMasterBatch called on rank %d", c.Rank())
-	}
-	if c.Size() < 2 {
-		return nil, fmt.Errorf("pblast: need at least one worker (size %d)", c.Size())
-	}
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("pblast: empty query batch")
-	}
-	if cfg.Mode != DatabaseSegmentation {
-		return nil, fmt.Errorf("pblast: batch mode requires database segmentation")
-	}
-	start := time.Now()
-	alias, err := blastdb.ReadAlias(fs, cfg.DBName)
-	if err != nil {
-		return nil, fmt.Errorf("pblast: reading alias: %w", err)
-	}
-	j := job{Params: cfg.Params, Alias: *alias, Config: cfg}
-	for _, q := range queries {
-		j.Queries = append(j.Queries, *q)
-	}
-	nFrags := len(alias.Fragments)
-	nTasks := len(queries) * nFrags
-	for r := 1; r < c.Size(); r++ {
-		if err := mpi.SendGob(c, r, tagJob, &j); err != nil {
-			return nil, err
-		}
-	}
-	inner := &Outcome{TaskTimes: make(map[int]time.Duration)}
-	collected, err := scheduleTasks(ctx, c, cfg, nTasks, inner)
-	if err != nil {
-		return nil, err
-	}
-	// Group per query and merge.
-	perQuery := make([][]*blast.Result, len(queries))
-	for _, tr := range collected {
-		qi := tr.index / nFrags
-		perQuery[qi] = append(perQuery[qi], tr.res)
-	}
-	out := &BatchOutcome{
-		CopyTime:   inner.CopyTime,
-		SearchTime: inner.SearchTime,
-		TaskTimes:  inner.TaskTimes,
-		Timeline:   inner.Timeline,
-		Reassigned: inner.Reassigned,
-	}
-	for qi, results := range perQuery {
-		out.Results = append(out.Results, mergeResults(queries[qi], results, cfg))
-	}
-	out.WallTime = time.Since(start)
-	return out, nil
 }

@@ -84,10 +84,7 @@ func checkFound(t *testing.T, out *Outcome) {
 func TestDatabaseSegmentationSharedMem(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 8)
-	out, err := RunInProcess(context.Background(), 4, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 4, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +101,7 @@ func TestResultsMatchSerialSearch(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 5)
 
-	out, err := RunInProcess(context.Background(), 3, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 3, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +145,9 @@ func TestCopyToLocalMeasuresCopyTime(t *testing.T) {
 	query := buildTestDB(t, shared, "nt", 4)
 	var mu sync.Mutex
 	scratches := map[int]chio.FileSystem{}
-	out, err := RunInProcess(context.Background(), 2, query, Config{
-		DBName:      "nt",
-		Params:      blast.Params{Program: blast.BlastN},
-		CopyToLocal: true,
-	}, shared, sameFS(shared), func(rank int) chio.FileSystem {
+	out, err := RunInProcess(context.Background(), 2, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithCopyToLocal(true)), shared, sameFS(shared), func(rank int) chio.FileSystem {
 		mu.Lock()
 		defer mu.Unlock()
 		if scratches[rank] == nil {
@@ -184,11 +176,9 @@ func TestCopyToLocalMeasuresCopyTime(t *testing.T) {
 func TestCopyToLocalWithoutScratchFails(t *testing.T) {
 	shared := chio.NewMemFS()
 	query := buildTestDB(t, shared, "nt", 2)
-	_, err := RunInProcess(context.Background(), 1, query, Config{
-		DBName:      "nt",
-		Params:      blast.Params{Program: blast.BlastN},
-		CopyToLocal: true,
-	}, shared, sameFS(shared), nil)
+	_, err := RunInProcess(context.Background(), 1, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithCopyToLocal(true)), shared, sameFS(shared), nil)
 	if err == nil {
 		t.Fatal("expected failure without scratch FS")
 	}
@@ -199,12 +189,10 @@ func TestQuerySegmentation(t *testing.T) {
 	query := buildTestDB(t, fs, "nt", 3)
 	// The planted alignment is 300 letters; with 4 pieces of ~142 the
 	// overlap must be large enough that one piece spans it entirely.
-	out, err := RunInProcess(context.Background(), 4, query, Config{
-		DBName:       "nt",
-		Params:       blast.Params{Program: blast.BlastN},
-		Mode:         QuerySegmentation,
-		QueryOverlap: 200,
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 4, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithMode(QuerySegmentation),
+		WithQueryOverlap(200)), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,16 +202,13 @@ func TestQuerySegmentation(t *testing.T) {
 func TestQuerySegmentationCoordinatesShifted(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 2)
-	qOut, err := RunInProcess(context.Background(), 4, query, Config{
-		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
-		Mode: QuerySegmentation, QueryOverlap: 200,
-	}, fs, sameFS(fs), nil)
+	qOut, err := RunInProcess(context.Background(), 4, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithMode(QuerySegmentation), WithQueryOverlap(200)), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dOut, err := RunInProcess(context.Background(), 4, query, Config{
-		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	dOut, err := RunInProcess(context.Background(), 4, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,10 +274,7 @@ func TestOverPVFS(t *testing.T) {
 			cl.Close()
 		}
 	}()
-	out, err := RunInProcess(context.Background(), 3, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, masterCl, func(rank int) chio.FileSystem {
+	out, err := RunInProcess(context.Background(), 3, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), masterCl, func(rank int) chio.FileSystem {
 		cl, err := pvfs.Dial(mgr.Addr(), addrs)
 		if err != nil {
 			t.Errorf("worker %d dial: %v", rank, err)
@@ -319,10 +301,7 @@ func TestOverCEFT(t *testing.T) {
 			cl.Close()
 		}
 	}()
-	out, err := RunInProcess(context.Background(), 2, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, env.Client, func(rank int) chio.FileSystem {
+	out, err := RunInProcess(context.Background(), 2, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), env.Client, func(rank int) chio.FileSystem {
 		cl, err := ceft.Dial(env.MgrAddr, env.PrimaryAddrs, env.MirrorAddrs, ceft.DefaultOptions())
 		if err != nil {
 			t.Errorf("worker %d dial: %v", rank, err)
@@ -347,7 +326,7 @@ func TestMasterValidation(t *testing.T) {
 	defer w.Close()
 	fs := chio.NewMemFS()
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: []byte("ACGT")}
-	if _, err := RunMaster(context.Background(), w.Comm(0), fs, q, Config{DBName: "x"}); err == nil {
+	if _, err := RunMaster(context.Background(), w.Comm(0), fs, q, NewConfig("x")); err == nil {
 		t.Error("master with no workers accepted")
 	}
 }
@@ -355,10 +334,7 @@ func TestMasterValidation(t *testing.T) {
 func TestMissingDatabaseFails(t *testing.T) {
 	fs := chio.NewMemFS()
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
-	_, err := RunInProcess(context.Background(), 2, q, Config{
-		DBName: "absent",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	_, err := RunInProcess(context.Background(), 2, q, NewConfig("absent", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err == nil {
 		t.Fatal("missing database accepted")
 	}
@@ -367,10 +343,7 @@ func TestMissingDatabaseFails(t *testing.T) {
 func TestOutcomeTimingsPopulated(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 4)
-	out, err := RunInProcess(context.Background(), 2, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 2, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,10 +365,7 @@ func TestOutcomeTimingsPopulated(t *testing.T) {
 func TestOutcomeTimeline(t *testing.T) {
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 6)
-	out, err := RunInProcess(context.Background(), 3, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 3, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,10 +424,7 @@ func TestOverTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c0.Close()
-	out, err := RunMaster(context.Background(), c0, fs, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	})
+	out, err := RunMaster(context.Background(), c0, fs, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,6 +440,9 @@ func TestOverTCPTransport(t *testing.T) {
 // crashingWorker takes the job and exactly one task, then vanishes
 // without sending its result — a silent worker death.
 func crashingWorker(c mpi.Comm) error {
+	if err := c.Send(0, tagHello, nil); err != nil {
+		return err
+	}
 	var j job
 	if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
 		return err
@@ -508,11 +478,9 @@ func TestWorkerCrashReassignment(t *testing.T) {
 			errs[r] = RunWorker(context.Background(), world.Comm(r), fs, nil)
 		}(r)
 	}
-	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, Config{
-		DBName:      "nt",
-		Params:      blast.Params{Program: blast.BlastN},
-		TaskTimeout: 300 * time.Millisecond,
-	})
+	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithTaskTimeout(300*time.Millisecond)))
 	world.Close()
 	wg.Wait()
 	if masterErr != nil {
@@ -537,10 +505,7 @@ func TestNoReassignmentWithoutTimeout(t *testing.T) {
 	// runs report zero reassignments.
 	fs := chio.NewMemFS()
 	query := buildTestDB(t, fs, "nt", 4)
-	out, err := RunInProcess(context.Background(), 3, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcess(context.Background(), 3, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -568,6 +533,10 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		c := world.Comm(1)
+		if err := c.Send(0, tagHello, nil); err != nil {
+			errs[1] = err
+			return
+		}
 		var j job
 		if _, err := mpi.RecvGob(c, 0, tagJob, &j); err != nil {
 			errs[1] = err
@@ -584,7 +553,7 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 		}
 		time.Sleep(700 * time.Millisecond) // long enough to be declared overdue
 		if tk.Kind == taskSearch {
-			rm := runTask(&j, tk.Index, fs, nil, nil)
+			rm := runTask(&j, &tk, fs, nil, nil)
 			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil && !errorsIsClosed(err) {
 				errs[1] = err
 				return
@@ -608,7 +577,7 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 			if t2.Kind == taskDone {
 				return
 			}
-			rm := runTask(&j, t2.Index, fs, nil, nil)
+			rm := runTask(&j, &t2, fs, nil, nil)
 			if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
 				if !errorsIsClosed(err) {
 					errs[1] = err
@@ -619,11 +588,9 @@ func TestSlowWorkerDuplicateResultDiscarded(t *testing.T) {
 	}()
 	wg.Add(1)
 	go func() { defer wg.Done(); errs[2] = RunWorker(context.Background(), world.Comm(2), fs, nil) }()
-	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, Config{
-		DBName:      "nt",
-		Params:      blast.Params{Program: blast.BlastN},
-		TaskTimeout: 200 * time.Millisecond,
-	})
+	out, masterErr := RunMaster(context.Background(), world.Comm(0), fs, query, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithTaskTimeout(200*time.Millisecond)))
 	world.Close()
 	wg.Wait()
 	if masterErr != nil {
@@ -686,10 +653,7 @@ func TestBatchMultiQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	out, err := RunInProcessBatch(context.Background(), 3, []*seq.Sequence{q1, q2}, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	out, err := RunInProcessBatch(context.Background(), 3, []*seq.Sequence{q1, q2}, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -716,9 +680,7 @@ func TestBatchMatchesIndividualRuns(t *testing.T) {
 	q1 := buildTestDB(t, fs, "nt", 4)
 	q2 := q1.Subsequence(50, 450)
 	q2.ID = "sub"
-	batch, err := RunInProcessBatch(context.Background(), 2, []*seq.Sequence{q1, q2}, Config{
-		DBName: "nt", Params: blast.Params{Program: blast.BlastN},
-	}, fs, sameFS(fs), nil)
+	batch, err := RunInProcessBatch(context.Background(), 2, []*seq.Sequence{q1, q2}, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -747,14 +709,13 @@ func TestBatchMatchesIndividualRuns(t *testing.T) {
 func TestBatchValidation(t *testing.T) {
 	fs := chio.NewMemFS()
 	buildTestDB(t, fs, "nt", 2)
-	if _, err := RunInProcessBatch(context.Background(), 1, nil, Config{DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN}}, fs, sameFS(fs), nil); err == nil {
+	if _, err := RunInProcessBatch(context.Background(), 1, nil, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), fs, sameFS(fs), nil); err == nil {
 		t.Error("empty batch accepted")
 	}
 	q := &seq.Sequence{ID: "q", Kind: seq.Nucleotide, Data: bytes.Repeat([]byte("ACGT"), 50)}
-	if _, err := RunInProcessBatch(context.Background(), 1, []*seq.Sequence{q}, Config{DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-		Mode:   QuerySegmentation}, fs, sameFS(fs), nil); err == nil {
+	if _, err := RunInProcessBatch(context.Background(), 1, []*seq.Sequence{q}, NewConfig("nt",
+		WithParams(blast.Params{Program: blast.BlastN}),
+		WithMode(QuerySegmentation)), fs, sameFS(fs), nil); err == nil {
 		t.Error("batch with query segmentation accepted")
 	}
 }
@@ -767,10 +728,7 @@ func TestWorkerTaskFailureSurfacesToMaster(t *testing.T) {
 	query := buildTestDB(t, shared, "nt", 3)
 	ffs := chio.NewFaultFS(shared)
 	ffs.Arm(errors.New("simulated disk failure"))
-	_, err := RunInProcess(context.Background(), 2, query, Config{
-		DBName: "nt",
-		Params: blast.Params{Program: blast.BlastN},
-	}, shared /* master reads alias fine */, func(int) chio.FileSystem { return ffs }, nil)
+	_, err := RunInProcess(context.Background(), 2, query, NewConfig("nt", WithParams(blast.Params{Program: blast.BlastN})), shared /* master reads alias fine */, func(int) chio.FileSystem { return ffs }, nil)
 	if err == nil {
 		t.Fatal("master succeeded despite failing worker reads")
 	}

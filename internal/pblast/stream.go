@@ -1,0 +1,530 @@
+package pblast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pario/internal/blast"
+	"pario/internal/blastdb"
+	"pario/internal/mpi"
+	"pario/internal/seq"
+)
+
+// ErrDraining is returned by Submit once Close has begun: the stream
+// finishes in-flight submissions but accepts no new ones.
+var ErrDraining = errors.New("pblast: stream draining")
+
+// Stream is a continuously-fed master scheduler: it owns rank 0 of a
+// communicator and hands (query x fragment) tasks to whichever
+// workers are idle, for as long as the stream lives. Submissions may
+// arrive from any goroutine at any time; workers may join (by
+// announcing themselves) and leave (gracefully, via WithQuit) while
+// searches run. Close drains in-flight submissions and releases the
+// workers. This is the machinery behind both the one-shot RunMaster /
+// RunMasterBatch calls and the always-on blastd service.
+type Stream struct {
+	c   mpi.Comm
+	cfg Config
+
+	mu      sync.Mutex
+	queue   []*submission // enqueued, not yet seen by the loop
+	nextSub int64
+	closing bool
+
+	loopDone chan struct{}
+	loopErr  error
+}
+
+// submission is one query's worth of tasks moving through the stream.
+type submission struct {
+	id     int64
+	query  seq.Sequence
+	params blast.Params
+	mode   Mode
+	pieces []piece // query-segmentation piece bounds, nil otherwise
+	tasks  []*taskMsg
+
+	// Loop-owned while in flight; read by the awaiter after done.
+	remaining int
+	results   []*blast.Result
+	out       *Outcome
+	err       error
+
+	mergeOnce sync.Once
+	done      chan struct{}
+}
+
+// StartStream opens a stream on rank 0 of c. Workers running
+// RunWorker on the other ranks join as they announce themselves —
+// none need exist yet. cfg supplies the run-wide settings every task
+// inherits (CopyToLocal, ChunkBytes, TaskTimeout, telemetry); the
+// query, parameters and database arrive per submission.
+func StartStream(ctx context.Context, c mpi.Comm, cfg Config) (*Stream, error) {
+	if c.Rank() != 0 {
+		return nil, fmt.Errorf("pblast: stream must run on rank 0, not %d", c.Rank())
+	}
+	return startStream(ctx, c, cfg), nil
+}
+
+func startStream(ctx context.Context, c mpi.Comm, cfg Config) *Stream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Stream{c: c, cfg: cfg, loopDone: make(chan struct{})}
+	go s.loop(ctx)
+	return s
+}
+
+// Submit searches one query against the database described by alias
+// and returns the merged outcome. It blocks until the search
+// completes, ctx is cancelled, or the stream fails; any number of
+// goroutines may submit concurrently. alias must describe a database
+// reachable through the workers' file systems.
+func (s *Stream) Submit(ctx context.Context, query *seq.Sequence, params blast.Params, alias *blastdb.Alias) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	sub, err := s.submit(query, params, alias)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.await(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	out.WallTime = time.Since(start)
+	return out, nil
+}
+
+// submit enqueues a database-segmentation submission: one task per
+// fragment, each searching the full query.
+func (s *Stream) submit(query *seq.Sequence, params blast.Params, alias *blastdb.Alias) (*submission, error) {
+	if len(alias.Fragments) == 0 {
+		return nil, fmt.Errorf("pblast: database %s has no fragments", alias.Title)
+	}
+	sub := &submission{
+		query:  *query,
+		params: params,
+		mode:   DatabaseSegmentation,
+		done:   make(chan struct{}),
+	}
+	for i, fr := range alias.Fragments {
+		sub.tasks = append(sub.tasks, &taskMsg{
+			Kind:      taskSearch,
+			Index:     i,
+			Query:     *query,
+			Params:    params,
+			Paths:     []string{fr.Path},
+			DBLetters: alias.Letters,
+			DBSeqs:    alias.Seqs,
+		})
+	}
+	return sub, s.enqueue(sub)
+}
+
+// submitPieces enqueues a query-segmentation submission: one task per
+// query piece, each searching every fragment. Piece-local coordinates
+// are shifted back into full-query space at merge time.
+func (s *Stream) submitPieces(query *seq.Sequence, params blast.Params, alias *blastdb.Alias, pieces []piece) (*submission, error) {
+	if len(alias.Fragments) == 0 {
+		return nil, fmt.Errorf("pblast: database %s has no fragments", alias.Title)
+	}
+	paths := make([]string, len(alias.Fragments))
+	for i, fr := range alias.Fragments {
+		paths[i] = fr.Path
+	}
+	sub := &submission{
+		query:  *query,
+		params: params,
+		mode:   QuerySegmentation,
+		pieces: pieces,
+		done:   make(chan struct{}),
+	}
+	for i, p := range pieces {
+		pq := query.Subsequence(p.Start, p.End)
+		pq.ID = query.ID // keep the original ID; offsets fixed at merge
+		sub.tasks = append(sub.tasks, &taskMsg{
+			Kind:      taskSearch,
+			Index:     i,
+			Query:     *pq,
+			Params:    params,
+			Paths:     paths,
+			DBLetters: alias.Letters,
+			DBSeqs:    alias.Seqs,
+		})
+	}
+	return sub, s.enqueue(sub)
+}
+
+func (s *Stream) enqueue(sub *submission) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	sub.id = s.nextSub
+	s.nextSub++
+	for _, t := range sub.tasks {
+		t.Sub = sub.id
+	}
+	sub.remaining = len(sub.tasks)
+	sub.results = make([]*blast.Result, len(sub.tasks))
+	sub.out = &Outcome{TaskTimes: make(map[int]time.Duration)}
+	s.queue = append(s.queue, sub)
+	s.mu.Unlock()
+	s.wake()
+	return nil
+}
+
+// wake nudges the scheduling loop out of a blocking receive by
+// sending rank 0 a message to itself (both transports loop self-sends
+// back through the local mailbox without touching the network).
+func (s *Stream) wake() {
+	s.c.Send(0, tagWake, nil) // best effort: a dead loop fails all waiters anyway
+}
+
+// await blocks until sub completes, then merges and returns its
+// outcome. The merge runs once, on the first awaiting goroutine, off
+// the scheduling loop.
+func (s *Stream) await(ctx context.Context, sub *submission) (*Outcome, error) {
+	select {
+	case <-sub.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if sub.err != nil {
+		return nil, sub.err
+	}
+	sub.mergeOnce.Do(sub.merge)
+	return sub.out, nil
+}
+
+// merge builds the final Result from the per-task results.
+func (sub *submission) merge() {
+	results := make([]*blast.Result, 0, len(sub.results))
+	for i, r := range sub.results {
+		if r == nil {
+			continue
+		}
+		if sub.mode == QuerySegmentation {
+			// Shift piece-local query coordinates back into
+			// full-query space before merging and deduplication.
+			shift := sub.pieces[i].Start
+			for hi := range r.Hits {
+				for pi := range r.Hits[hi].HSPs {
+					r.Hits[hi].HSPs[pi].QueryFrom += shift
+					r.Hits[hi].HSPs[pi].QueryTo += shift
+				}
+			}
+		}
+		results = append(results, r)
+	}
+	sub.out.Result = mergeResults(&sub.query, results, sub.mode, sub.params)
+}
+
+// Close drains the stream: new submissions are refused, in-flight
+// submissions run to completion, and every worker still attached is
+// released with a done-task. It returns the loop's terminal error, if
+// any. Close is idempotent and safe to call concurrently with Submit.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	s.wake()
+	<-s.loopDone
+	return s.loopErr
+}
+
+// Task lifecycle states inside the loop.
+const (
+	statePending = iota
+	stateAssigned
+	stateDone
+)
+
+type taskKey struct {
+	sub int64
+	idx int
+}
+
+type taskState struct {
+	sub      *submission
+	msg      *taskMsg
+	state    int
+	at       time.Time // last assignment time
+	to       int       // rank holding the task
+	rehanded bool
+}
+
+// loop is the scheduling goroutine: the single owner of all task and
+// worker state. It mirrors the fault-tolerant scheduler the one-shot
+// master used — pending -> assigned -> done with overdue reassignment
+// and duplicate-result discard — generalized to many concurrent
+// submissions and a worker set that changes underneath it.
+func (s *Stream) loop(ctx context.Context) {
+	defer close(s.loopDone)
+
+	tasks := make(map[taskKey]*taskState)
+	subs := make(map[int64]*submission)
+	var pending []taskKey // FIFO; requeued tasks go to the front
+	var idle []int
+	active := make(map[int]bool) // joined and not departed
+	loopStart := time.Now()
+
+	// failAll completes every in-flight submission with err and
+	// records it as the stream's terminal error.
+	failAll := func(err error) {
+		for id, sub := range subs {
+			sub.err = err
+			close(sub.done)
+			delete(subs, id)
+		}
+		s.mu.Lock()
+		for _, sub := range s.queue {
+			sub.err = err
+			close(sub.done)
+		}
+		s.queue = nil
+		s.closing = true
+		s.mu.Unlock()
+		s.loopErr = err
+	}
+
+	// finishSub completes a submission (err == nil means success).
+	finishSub := func(sub *submission, err error) {
+		sub.err = err
+		for _, t := range sub.tasks {
+			delete(tasks, taskKey{sub.id, t.Index})
+		}
+		delete(subs, sub.id)
+		close(sub.done)
+	}
+
+	// drainQueue absorbs newly-enqueued submissions into the task
+	// table and reports whether Close has been requested.
+	drainQueue := func() bool {
+		s.mu.Lock()
+		fresh := s.queue
+		s.queue = nil
+		closing := s.closing
+		s.mu.Unlock()
+		for _, sub := range fresh {
+			subs[sub.id] = sub
+			for _, t := range sub.tasks {
+				k := taskKey{sub.id, t.Index}
+				tasks[k] = &taskState{sub: sub, msg: t, state: statePending}
+				pending = append(pending, k)
+			}
+		}
+		return closing
+	}
+
+	// requeue puts an assigned task back at the head of the line —
+	// its holder departed.
+	requeue := func(ts *taskState) {
+		ts.state = statePending
+		ts.rehanded = true
+		ts.sub.out.Reassigned++
+		s.cfg.tel.observeReassign()
+		pending = append([]taskKey{{ts.sub.id, ts.msg.Index}}, pending...)
+	}
+
+	// pickTask chooses work for an idle worker: fresh tasks first,
+	// then — with TaskTimeout set — an overdue assignment held by a
+	// different worker (it may have died).
+	pickTask := func(worker int) *taskState {
+		for len(pending) > 0 {
+			k := pending[0]
+			ts := tasks[k]
+			if ts == nil || ts.state != statePending {
+				pending = pending[1:]
+				continue
+			}
+			pending = pending[1:]
+			return ts
+		}
+		if s.cfg.TaskTimeout > 0 {
+			for _, ts := range tasks {
+				if ts.state == stateAssigned && ts.to != worker &&
+					time.Since(ts.at) >= s.cfg.TaskTimeout {
+					ts.rehanded = true
+					ts.sub.out.Reassigned++
+					s.cfg.tel.observeReassign()
+					return ts
+				}
+			}
+		}
+		return nil
+	}
+
+	// dispatch pairs idle workers with assignable tasks.
+	dispatch := func() error {
+		for len(idle) > 0 {
+			w := idle[0]
+			ts := pickTask(w)
+			if ts == nil {
+				return nil
+			}
+			if err := mpi.SendGob(s.c, w, tagTask, ts.msg); err != nil {
+				return err
+			}
+			ts.state = stateAssigned
+			ts.at = time.Now()
+			ts.to = w
+			idle = idle[1:]
+		}
+		return nil
+	}
+
+	closing := false
+	for {
+		closing = drainQueue() || closing
+		if closing && len(subs) == 0 {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			failAll(err)
+			return
+		}
+		if err := dispatch(); err != nil {
+			failAll(err)
+			return
+		}
+
+		var m mpi.Message
+		var err error
+		ok := true
+		if s.cfg.TaskTimeout > 0 {
+			m, ok, err = mpi.RecvTimeout(s.c, mpi.AnySource, mpi.AnyTag, s.cfg.TaskTimeout/2)
+		} else if ctxHasDeadlineOrCancel(ctx) {
+			// Poll so cancellation is noticed even while no messages
+			// arrive (a hung worker would otherwise block Recv forever).
+			m, ok, err = mpi.RecvTimeout(s.c, mpi.AnySource, mpi.AnyTag, 100*time.Millisecond)
+		} else {
+			m, err = s.c.Recv(mpi.AnySource, mpi.AnyTag)
+		}
+		if err != nil {
+			failAll(err)
+			return
+		}
+		if !ok {
+			continue // deadline tick: dispatch retries overdue tasks
+		}
+
+		switch m.Tag {
+		case tagWake:
+			// Just a nudge; the top of the loop drains the queue.
+		case tagHello:
+			// A worker joined: reply with the run-wide settings. It
+			// sends Ready once it has them.
+			active[m.From] = true
+			if err := mpi.SendGob(s.c, m.From, tagJob, &job{Config: s.cfg}); err != nil {
+				failAll(err)
+				return
+			}
+		case tagReady:
+			idle = append(idle, m.From)
+		case tagLeave:
+			delete(active, m.From)
+			for i, w := range idle {
+				if w == m.From {
+					idle = append(idle[:i], idle[i+1:]...)
+					break
+				}
+			}
+			// Hand its in-flight tasks to someone else.
+			for _, ts := range tasks {
+				if ts.state == stateAssigned && ts.to == m.From {
+					requeue(ts)
+				}
+			}
+		case tagResult:
+			var rm resultMsg
+			if err := decodeGob(m.Data, &rm); err != nil {
+				failAll(err)
+				return
+			}
+			ts := tasks[taskKey{rm.Sub, rm.Index}]
+			if ts == nil || ts.state == stateDone {
+				break // duplicate from a reassigned task, or failed submission
+			}
+			if rm.Err != "" {
+				finishSub(ts.sub, fmt.Errorf("pblast: task %d failed: %s", rm.Index, rm.Err))
+				break
+			}
+			ts.state = stateDone
+			sub := ts.sub
+			sub.results[rm.Index] = rm.Result
+			sub.remaining--
+			sub.out.CopyTime += rm.CopyTime
+			sub.out.SearchTime += rm.SearchTime
+			sub.out.TaskTimes[rm.Index] = rm.SearchTime
+			sub.out.Timeline = append(sub.out.Timeline, TaskEvent{
+				Index:      rm.Index,
+				Worker:     m.From,
+				Start:      ts.at.Sub(loopStart),
+				Copy:       rm.CopyTime,
+				Search:     rm.SearchTime,
+				Reassigned: ts.rehanded,
+			})
+			s.cfg.tel.observeTask(m.From, rm.SearchTime, rm.CopyTime)
+			if sub.remaining == 0 {
+				finishSub(sub, nil)
+			}
+		default:
+			failAll(fmt.Errorf("pblast: master got unexpected tag %d", m.Tag))
+			return
+		}
+	}
+
+	// Release phase: every worker currently waiting for work gets a
+	// done-task, then late Ready/Hello messages are drained until all
+	// attached workers have been released (a short deadline per wait
+	// bounds the cost when workers have died); stragglers computing
+	// duplicates learn of completion when the communicator shuts down.
+	released := make(map[int]bool)
+	release := func(w int) error {
+		if released[w] {
+			return nil
+		}
+		if err := mpi.SendGob(s.c, w, tagTask, &taskMsg{Kind: taskDone}); err != nil {
+			return err
+		}
+		released[w] = true
+		return nil
+	}
+	for _, w := range idle {
+		if err := release(w); err != nil {
+			s.loopErr = err
+			return
+		}
+	}
+	allReleased := func() bool {
+		for w := range active {
+			if !released[w] {
+				return false
+			}
+		}
+		return true
+	}
+	for !allReleased() {
+		m, ok, err := mpi.RecvTimeout(s.c, mpi.AnySource, mpi.AnyTag, 250*time.Millisecond)
+		if err != nil || !ok {
+			break
+		}
+		switch m.Tag {
+		case tagReady, tagHello:
+			if err := release(m.From); err != nil {
+				s.loopErr = err
+				return
+			}
+		case tagLeave:
+			delete(active, m.From)
+		}
+		// Duplicate results and wakes are dropped on the floor.
+	}
+}
