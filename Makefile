@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke
+.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke collio-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check: lint
 	$(MAKE) metrics-smoke
 	$(MAKE) report-smoke
 	$(MAKE) service-smoke
+	$(MAKE) collio-smoke
 
 # go vet always; staticcheck and govulncheck when installed (the
 # container image may not carry them, and `go install` needs network).
@@ -44,6 +45,12 @@ report-smoke:
 # build-up, cache hits and a clean SIGTERM drain.
 service-smoke:
 	sh ./scripts/service_smoke.sh
+
+# Boot a PVFS mini-cluster and run a -collio search with -report,
+# requiring the report's collective-I/O section to show real merged
+# rounds (CLI wiring end to end).
+collio-smoke:
+	sh ./scripts/collio_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

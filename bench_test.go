@@ -16,13 +16,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
+	"time"
 
 	"pario/internal/align"
 	"pario/internal/blast"
 	"pario/internal/blastdb"
 	"pario/internal/ceft"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/mpi"
@@ -652,6 +655,96 @@ func BenchmarkSequentialScanReadahead(b *testing.B) {
 					off += int64(n)
 				}
 				f.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(dataRPCs()-before)/float64(b.N), "rpcs/op")
+		})
+	}
+}
+
+// BenchmarkCollectiveScan measures the multi-worker interleaved scan
+// that the collective layer exists for: 8 workers in lockstep each
+// read their 8 KB slice of every 64 KB stripe of a 4 MB file (one op
+// = one full scan by all workers). collio=off is the independent
+// baseline where every worker's read is its own server RPC; collio=on
+// routes all workers through one shared aggregator so each lockstep
+// round costs a single merged list RPC.
+func BenchmarkCollectiveScan(b *testing.B) {
+	const (
+		workers  = 8
+		slice    = 8 << 10
+		block    = workers * slice
+		fileSize = 4 << 20
+		rounds   = fileSize / block
+	)
+	for _, coll := range []bool{false, true} {
+		name := "off"
+		if coll {
+			name = "on"
+		}
+		b.Run("collio="+name, func(b *testing.B) {
+			dep, err := core.StartPVFS(4, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dep.Close()
+			m := iotrace.NewRPCMetrics()
+			cl, err := dep.Client(rpcpool.WithObserver(m), rpcpool.WithBatchObserver(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			payload := make([]byte, fileSize)
+			if err := chio.WriteFull(cl, "bench", payload); err != nil {
+				b.Fatal(err)
+			}
+			var fs chio.FileSystem = cl
+			if coll {
+				fs = collio.Wrap(cl,
+					collio.WithWindow(200*time.Millisecond),
+					collio.WithMaxFanIn(workers))
+			}
+			files := make([]chio.File, workers)
+			for w := range files {
+				f, err := fs.Open("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer f.Close()
+				files[w] = f
+			}
+			bufs := make([][]byte, workers)
+			for w := range bufs {
+				bufs[w] = make([]byte, slice)
+			}
+			dataRPCs := func() int64 {
+				var n int64
+				for _, s := range m.Snapshot() {
+					if s.Server != dep.Mgr.Addr() {
+						n += s.Calls
+					}
+				}
+				return n
+			}
+			b.SetBytes(fileSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			before := dataRPCs()
+			for i := 0; i < b.N; i++ {
+				for round := 0; round < rounds; round++ {
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							off := int64(round*block + w*slice)
+							if _, err := files[w].ReadAt(bufs[w], off); err != nil && err != io.EOF {
+								b.Error(err)
+							}
+						}(w)
+					}
+					wg.Wait()
+				}
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(dataRPCs()-before)/float64(b.N), "rpcs/op")

@@ -38,6 +38,7 @@ import (
 	"pario/internal/blastd"
 	"pario/internal/ceft"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
 	"pario/internal/readahead"
@@ -76,6 +77,10 @@ func main() {
 		raCache  = flag.Int("ra-cache", readahead.DefaultCapacity, "readahead cache capacity in blocks")
 		raWindow = flag.Int("ra-window", readahead.DefaultWindow, "readahead prefetch depth in blocks")
 
+		collEnable = flag.Bool("collio", false, "collective two-phase reads: combine concurrent worker reads into one list-I/O RPC per server per round")
+		collWindow = flag.Duration("collio-window", collio.DefaultWindow, "collective read round collection window")
+		collFanIn  = flag.Int("collio-fanin", 0, "close a collective round once this many readers enrolled (0 = window/coverage only)")
+
 		ioTimeout = flag.Duration("io-timeout", rpcpool.DefaultTimeout, "per-request parallel-FS deadline")
 		ioRetries = flag.Int("io-retries", rpcpool.DefaultRetries, "parallel-FS retry budget per request")
 		ioPool    = flag.Int("io-pool", rpcpool.DefaultPoolSize, "parallel-FS connections per server")
@@ -89,12 +94,20 @@ func main() {
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(0)
 
+	rpcMetrics := rpcpool.NewMetrics(reg)
 	transportOpts := []rpcpool.Option{
 		rpcpool.WithTimeout(*ioTimeout),
 		rpcpool.WithRetries(*ioRetries),
 		rpcpool.WithPoolSize(*ioPool),
-		rpcpool.WithMetrics(rpcpool.NewMetrics(reg)),
+		rpcpool.WithMetrics(rpcMetrics),
 		rpcpool.WithTracer(tracer),
+	}
+	// Cumulative RPC round trips across every server and op: the
+	// sampler behind pario_blastd_rpc_ops_per_search.
+	rpcOps := func() int64 {
+		var total int64
+		rpcMetrics.Calls.Each(func(_ []string, c *telemetry.Counter) { total += c.Value() })
+		return total
 	}
 
 	// Storage wiring. Parallel-FS clients are dialed once per worker
@@ -184,6 +197,12 @@ func main() {
 			readahead.WithCapacity(*raCache),
 			readahead.WithWindow(*raWindow)))
 	}
+	if *collEnable {
+		searchOpts = append(searchOpts, pblast.WithCollectiveIO(
+			collio.WithWindow(*collWindow),
+			collio.WithMaxFanIn(*collFanIn),
+			collio.WithTelemetry(reg)))
+	}
 	var scratchFS func(rank int) chio.FileSystem
 	if *scratch != "" {
 		searchOpts = append(searchOpts, pblast.WithCopyToLocal(true))
@@ -217,6 +236,7 @@ func main() {
 		CacheSize:     *cacheSize,
 		Registry:      reg,
 		Tracer:        tracer,
+		RPCOps:        rpcOps,
 	})
 	if err != nil {
 		fatal(err)

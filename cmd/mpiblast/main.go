@@ -35,6 +35,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/ceft"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/mpi"
@@ -95,6 +96,11 @@ func main() {
 		raBlock  = flag.Int64("ra-block", readahead.DefaultBlockSize, "readahead block size in bytes")
 		raCache  = flag.Int("ra-cache", readahead.DefaultCapacity, "readahead cache capacity in blocks")
 		raWindow = flag.Int("ra-window", readahead.DefaultWindow, "readahead prefetch depth in blocks (0 disables prefetch)")
+
+		// Collective two-phase reads across the in-process workers.
+		collEnable = flag.Bool("collio", false, "enable collective two-phase reads: concurrent worker reads of one file combine into one list-I/O RPC per server per round")
+		collWindow = flag.Duration("collio-window", collio.DefaultWindow, "collective read round collection window")
+		collFanIn  = flag.Int("collio-fanin", 0, "close a collective round once this many readers enrolled (0 = window/coverage only)")
 
 		// Distributed mode: run this process as one rank of a
 		// multi-process (multi-machine) job over the TCP transport.
@@ -392,6 +398,16 @@ func main() {
 	}
 	if *raEnable {
 		searchOpts = append(searchOpts, pblast.WithReadahead(raOpts()...))
+	}
+	if *collEnable {
+		collOpts := []collio.Option{
+			collio.WithWindow(*collWindow),
+			collio.WithMaxFanIn(*collFanIn),
+		}
+		if reg != nil {
+			collOpts = append(collOpts, collio.WithTelemetry(reg))
+		}
+		searchOpts = append(searchOpts, core.WithCollectiveIO(collOpts...))
 	}
 	if *scratch != "" {
 		searchOpts = append(searchOpts, pblast.WithCopyToLocal(true))

@@ -8,6 +8,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/blastdb"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/mpi"
 	"pario/internal/pblast"
 	"pario/internal/readahead"
@@ -28,6 +29,13 @@ type workerPool struct {
 	workerFS func(rank int) chio.FileSystem
 	scratch  func(rank int) chio.FileSystem
 	pipe     *blast.PipeMetrics
+
+	// collOnce/collFS lazily build the single collective-read
+	// aggregator every worker shares when the config enables it — the
+	// sharing is what lets concurrent searches combine their fragment
+	// reads.
+	collOnce sync.Once
+	collFS   *collio.FS
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -132,6 +140,10 @@ func (p *workerPool) Size() int {
 func (p *workerPool) runWorker(ctx context.Context, rank int, quit chan struct{}) {
 	defer p.wg.Done()
 	fs := p.workerFS(rank)
+	if on, collOpts := p.cfg.CollectiveIO(); on {
+		p.collOnce.Do(func() { p.collFS = collio.Wrap(fs, collOpts...) })
+		fs = p.collFS
+	}
 	if on, raOpts := p.cfg.Readahead(); on {
 		fs = readahead.Wrap(fs, raOpts...)
 	}

@@ -55,6 +55,16 @@ type Config struct {
 	// if nil). Tracer, when set, enables /debug/traces.
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+
+	// RPCOps, when set, returns the cumulative count of storage RPC
+	// round trips this process's clients have issued (for example
+	// iotrace.RPCMetrics.TotalCalls). The server samples it around
+	// each backend search and exposes the deltas as the
+	// pario_blastd_rpc_ops_per_search histogram — the per-request
+	// server-op cost that list I/O and collective reads drive down.
+	// Deltas are approximate when searches overlap: concurrent
+	// searches' ops land in whichever windows are open.
+	RPCOps func() int64
 }
 
 // Server is the blastd service core: admission queue in front of a
@@ -75,6 +85,7 @@ type Server struct {
 	mReqSecs   *telemetry.Histogram
 	mDepthPeak *telemetry.Gauge
 	mInflight  *telemetry.Gauge
+	mRPCOps    *telemetry.Histogram
 }
 
 // New starts the worker pool and returns a ready-to-serve Server.
@@ -141,6 +152,10 @@ func (s *Server) wireMetrics() {
 		"High-water mark of the admission queue depth.")
 	s.mInflight = reg.Gauge("pario_blastd_searches_inflight",
 		"Backend searches currently executing (cache misses).")
+	if s.cfg.RPCOps != nil {
+		s.mRPCOps = reg.Histogram("pario_blastd_rpc_ops_per_search",
+			"Storage RPC round trips per backend search (approximate under overlap).")
+	}
 
 	reg.GaugeFunc("pario_blastd_queue_depth",
 		"Requests waiting for an execution slot.",
@@ -286,7 +301,16 @@ func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchRespons
 	res, cached, err := s.cache.Do(ctx, key, func() (*blast.Result, error) {
 		s.mInflight.Add(1)
 		defer s.mInflight.Add(-1)
+		var opsBefore int64
+		if s.mRPCOps != nil {
+			opsBefore = s.cfg.RPCOps()
+		}
 		out, err := s.pool.Submit(ctx, query, params, info.Alias)
+		if s.mRPCOps != nil {
+			if d := s.cfg.RPCOps() - opsBefore; d >= 0 {
+				s.mRPCOps.Observe(float64(d))
+			}
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -839,6 +839,22 @@ func (f *file) writeAt(ctx context.Context, p []byte, off int64) (int, error) {
 // available on its mirror, and a partial failure degrades per run
 // rather than failing the whole request).
 func readRuns(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
+	return readRunsWith(ctx, conns, fallback, runs, handle, p, failovers,
+		(*pvfs.DataConn).ReadRuns)
+}
+
+// readRunsList is readRuns over the list-I/O op: each server's runs —
+// which may be unsorted and overlapping, the decomposition of many
+// discontiguous logical ranges — travel as one OpListRead. The mirror
+// fallback is unchanged: a failed server degrades per run onto its
+// partner.
+func readRunsList(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64) error {
+	return readRunsWith(ctx, conns, fallback, runs, handle, p, failovers,
+		(*pvfs.DataConn).ReadRunsList)
+}
+
+func readRunsWith(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pvfs.StripeRun, handle uint64, p []byte, failovers *int64,
+	read func(d *pvfs.DataConn, ctx context.Context, handle uint64, list []pvfs.StripeRun, p []byte) error) error {
 	errs := make([]error, len(conns))
 	var wg sync.WaitGroup
 	var failedOver int64
@@ -851,7 +867,7 @@ func readRuns(ctx context.Context, conns, fallback []*pvfs.DataConn, runs [][]pv
 		go func(server int, list []pvfs.StripeRun) {
 			defer wg.Done()
 			d := conns[server]
-			err := d.ReadRuns(ctx, handle, list, p)
+			err := read(d, ctx, handle, list, p)
 			if err == nil {
 				return
 			}
@@ -965,6 +981,79 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	sp.AddBytes(n)
 	sp.Finish(nil)
 	return int(n), outErr
+}
+
+// ReadvAt implements chio.VectorReaderAt: the whole segment list is
+// decomposed into per-server stripe runs and served with one list-I/O
+// RPC per data server, with hot-spot skipping applied to the
+// connection choice and the per-run mirror fallback preserved — a
+// server that fails its list read degrades run by run onto its
+// partner, exactly like the contiguous path. Doubled-group reads do
+// not apply here (the list already fans out to every server); the
+// preferred group serves it.
+func (f *file) ReadvAt(segs []chio.Seg, dst []byte) ([]int64, error) {
+	m, err := f.handle()
+	if err != nil {
+		return nil, err
+	}
+	var maxEnd int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 {
+			return nil, fmt.Errorf("ceft: negative segment [%d,+%d)", s.Off, s.Len)
+		}
+		if end := s.Off + s.Len; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if maxEnd > m.Size {
+		if err := f.refreshSize(&m); err != nil {
+			return nil, err
+		}
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total > int64(len(dst)) {
+		return nil, fmt.Errorf("ceft: readv needs %d bytes, dst holds %d", total, len(dst))
+	}
+	g := len(f.cl.primary)
+	perServer := make([][]pvfs.StripeRun, g)
+	lens := make([]int64, len(segs))
+	var base, served int64
+	for i, s := range segs {
+		n := m.Size - s.Off
+		if n < 0 {
+			n = 0
+		}
+		if n > s.Len {
+			n = s.Len
+		}
+		lens[i] = n
+		if n > 0 {
+			for server, list := range pvfs.Decompose(s.Off, n, m.StripeSize, g) {
+				for _, r := range list {
+					r.BufOff += base
+					perServer[server] = append(perServer[server], r)
+				}
+			}
+			served += n
+		}
+		// EOF tails read back as zeros.
+		clear(dst[base+n : base+s.Len])
+		base += s.Len
+	}
+	ctx, sp := f.cl.tracer.Start(f.ctx, "readv")
+	conns, _ := f.cl.pickConns(ctx, true)
+	var fo int64
+	if err := readRunsList(ctx, conns, f.cl.partners(conns), perServer, m.Handle, dst, &fo); err != nil {
+		sp.Finish(err)
+		return nil, err
+	}
+	f.cl.addFailovers(fo)
+	sp.AddBytes(served)
+	sp.Finish(nil)
+	return lens, nil
 }
 
 func (f *file) Read(p []byte) (int, error) {

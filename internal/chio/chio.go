@@ -71,6 +71,68 @@ func BindContext(fs FileSystem, ctx context.Context) FileSystem {
 	return fs
 }
 
+// Seg is one byte range of a vectored positional read: Len bytes
+// starting at Off.
+type Seg struct {
+	Off int64
+	Len int64
+}
+
+// VectorReaderAt is implemented by Files that can serve many
+// discontiguous ranges in one backend round (the parallel-FS clients
+// turn the whole list into one list-I/O RPC per data server).
+type VectorReaderAt interface {
+	// ReadvAt fills dst — the segments' bytes concatenated in request
+	// order, so len(dst) must be at least the sum of the segment
+	// lengths — and returns the byte count served for each segment.
+	// Holes read as zeros; a segment extending past EOF comes back
+	// short (its unserved tail in dst is zeroed); EOF is reported by
+	// the short count, not by an error.
+	ReadvAt(segs []Seg, dst []byte) ([]int64, error)
+}
+
+// RangeHinter is implemented by Files that benefit from advance
+// notice of ranges a reader expects to request soon. The readahead
+// prefetcher hints its planned window so a collective-I/O layer below
+// can hold its merge round open for exactly those ranges instead of
+// waiting out a timer. Hints are advisory: they trigger no I/O and
+// carry no completion.
+type RangeHinter interface {
+	HintRanges(segs []Seg)
+}
+
+// ReadvAt serves segs through f's native vectored path when it has
+// one, and otherwise falls back to one ReadAt per segment with the
+// same semantics (zero-filled tails, EOF as a short count).
+func ReadvAt(f File, segs []Seg, dst []byte) ([]int64, error) {
+	if v, ok := f.(VectorReaderAt); ok {
+		return v.ReadvAt(segs, dst)
+	}
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 {
+			return nil, fmt.Errorf("chio: negative segment [%d,+%d)", s.Off, s.Len)
+		}
+		total += s.Len
+	}
+	if total > int64(len(dst)) {
+		return nil, fmt.Errorf("chio: readv needs %d bytes, dst holds %d", total, len(dst))
+	}
+	lens := make([]int64, len(segs))
+	var base int64
+	for i, s := range segs {
+		region := dst[base : base+s.Len]
+		n, err := f.ReadAt(region, s.Off)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		lens[i] = int64(n)
+		clear(region[n:])
+		base += s.Len
+	}
+	return lens, nil
+}
+
 // FileInfo describes a stored file.
 type FileInfo struct {
 	Name string

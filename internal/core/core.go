@@ -10,11 +10,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"pario/internal/blast"
 	"pario/internal/blastdb"
 	"pario/internal/ceft"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/iotrace"
 	"pario/internal/pblast"
 	"pario/internal/pvfs"
@@ -114,6 +116,13 @@ type SearchConfig struct {
 	Trace *iotrace.Trace
 }
 
+// WithCollectiveIO is pblast.WithCollectiveIO re-exported at the
+// façade: it layers one shared collective two-phase read aggregator
+// (internal/collio) under the in-process workers of a parallel
+// search, so concurrent fragment reads combine into one list-I/O RPC
+// per data server per round.
+var WithCollectiveIO = pblast.WithCollectiveIO
+
 // wrapWorkerFS applies the per-worker wrappers in their fixed order:
 // readahead next to the backend, iotrace outermost (so traces record
 // the application's own access pattern, not the cache's block
@@ -121,6 +130,19 @@ type SearchConfig struct {
 func wrapWorkerFS(cfg SearchConfig) (workerFS, scratch func(int) chio.FileSystem) {
 	workerFS = cfg.WorkerFS
 	scratch = cfg.Scratch
+	if coll, collOpts := cfg.Search.CollectiveIO(); coll {
+		// One aggregator shared by every rank — that sharing is what
+		// makes the reads collective. It sits below the per-rank
+		// readahead caches so their block fetches (and the hints
+		// announcing them) combine across workers.
+		inner := workerFS
+		var once sync.Once
+		var shared *collio.FS
+		workerFS = func(rank int) chio.FileSystem {
+			once.Do(func() { shared = collio.Wrap(inner(rank), collOpts...) })
+			return shared
+		}
+	}
 	if ra, raOpts := cfg.Search.Readahead(); ra {
 		inner := workerFS
 		workerFS = func(rank int) chio.FileSystem {

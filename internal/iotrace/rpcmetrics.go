@@ -138,6 +138,17 @@ func (m *RPCMetrics) ObserveBatch(server string, runs, rpcs int) {
 	m.batchRPCs.With(server).Add(int64(rpcs))
 }
 
+// TotalCalls returns the cumulative RPC round trips across every
+// server. Samplers that charge I/O to higher-level work units — like
+// blastd's ops-per-search histogram — take before/after deltas of it.
+func (m *RPCMetrics) TotalCalls() int64 {
+	var total int64
+	for _, s := range m.Snapshot() {
+		total += s.Calls
+	}
+	return total
+}
+
 // Snapshot returns the per-server statistics sorted by server address.
 func (m *RPCMetrics) Snapshot() []ServerStats {
 	m.mu.Lock()

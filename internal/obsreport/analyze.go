@@ -146,6 +146,7 @@ func (b *Builder) Build() *Report {
 	rep.Workers = workerStats(b.timeline)
 	rep.Servers = serverStats(b.snaps)
 	rep.CriticalPath = criticalPath(b.run, trees, b.snaps)
+	rep.CollectiveIO = collIOStats(b.snaps)
 	rep.Imbalance = imbalance(rep.Servers, rep.Workers)
 	finishHotSpot(&rep.HotSpot)
 	return rep
@@ -280,6 +281,24 @@ func serverStats(snaps []Snapshot) []ServerStat {
 			names[k] = true
 		}
 	}
+	// Per-op breakdown of the same request counter, keyed by server.
+	ops := map[string]map[string]int64{}
+	for i := range snaps {
+		for _, s := range snaps[i].Samples {
+			if s.Name != "pario_server_requests_total" {
+				continue
+			}
+			srv, op := s.Label("server"), s.Label("op")
+			if srv == "" || op == "" {
+				continue
+			}
+			if ops[srv] == nil {
+				ops[srv] = make(map[string]int64)
+			}
+			ops[srv][op] += int64(s.Value)
+		}
+	}
+
 	out := make([]ServerStat, 0, len(names))
 	for _, name := range sortedKeys(names) {
 		ss := ServerStat{
@@ -289,6 +308,7 @@ func serverStats(snaps []Snapshot) []ServerStat {
 			MgrLoad:          -1,
 			Requests:         int64(requests[name]),
 			QueueWaitSeconds: queueWait[name],
+			Ops:              ops[name],
 		}
 		if v, ok := mgrLoad[name]; ok {
 			ss.MgrLoad = v
@@ -296,6 +316,34 @@ func serverStats(snaps []Snapshot) []ServerStat {
 		out = append(out, ss)
 	}
 	return out
+}
+
+// collIOStats reduces the master's pario_collio_* families to the
+// report's collective-read section.
+func collIOStats(snaps []Snapshot) CollIOStats {
+	var st CollIOStats
+	sum := func(name string) float64 {
+		var total float64
+		for i := range snaps {
+			total += snaps[i].Sum(name, nil)
+		}
+		return total
+	}
+	st.Rounds = int64(sum("pario_collio_rounds_total"))
+	if st.Rounds == 0 {
+		return st
+	}
+	st.Enabled = true
+	st.Ranges = int64(sum("pario_collio_ranges_total"))
+	st.MergedSegments = int64(sum("pario_collio_merged_segments_total"))
+	st.DedupBytes = int64(sum("pario_collio_dedup_bytes_total"))
+	if n := sum("pario_collio_round_fan_in_count"); n > 0 {
+		st.MeanFanIn = sum("pario_collio_round_fan_in_sum") / n
+	}
+	if n := sum("pario_collio_round_seconds_count"); n > 0 {
+		st.MeanRoundSeconds = sum("pario_collio_round_seconds_sum") / n
+	}
+	return st
 }
 
 func criticalPath(run RunInfo, trees []*TraceTree, snaps []Snapshot) CriticalPath {

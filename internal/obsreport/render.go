@@ -111,6 +111,16 @@ func (r *Report) RenderText(w io.Writer) {
 			fmt.Fprintf(w, "  %-8s %12d %10d %9.2f %9s %12s  %s\n",
 				ss.Server, ss.Bytes, ss.Requests, ss.Load, mgr,
 				seconds(ss.QueueWaitSeconds), bar(float64(ss.Bytes), float64(maxBytes), 20))
+			if len(ss.Ops) > 0 {
+				fmt.Fprintf(w, "  %-8s ", "")
+				for i, op := range sortedKeys(ss.Ops) {
+					if i > 0 {
+						fmt.Fprintf(w, "  ")
+					}
+					fmt.Fprintf(w, "%s=%d", op, ss.Ops[op])
+				}
+				fmt.Fprintln(w)
+			}
 		}
 		fmt.Fprintf(w, "  byte imbalance: cv=%.2f max/mean=%.2f (max %s)\n",
 			r.Imbalance.ServerBytes.CV, r.Imbalance.ServerBytes.MaxOverMean, r.Imbalance.ServerBytes.MaxEntity)
@@ -142,6 +152,21 @@ func (r *Report) RenderText(w io.Writer) {
 					ev.Time.Format("15:04:05.000"), ev.Server, state, ev.Load, ev.Cutoff)
 			}
 		}
+	}
+
+	if r.CollectiveIO.Enabled {
+		ci := r.CollectiveIO
+		fmt.Fprintf(w, "\nCollective I/O\n--------------\n")
+		fmt.Fprintf(w, "  rounds                 %d\n", ci.Rounds)
+		fmt.Fprintf(w, "  ranges registered      %d\n", ci.Ranges)
+		fmt.Fprintf(w, "  segments fetched       %d", ci.MergedSegments)
+		if ci.MergedSegments > 0 {
+			fmt.Fprintf(w, "  (%.1fx merge)", float64(ci.Ranges)/float64(ci.MergedSegments))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  deduplicated bytes     %d\n", ci.DedupBytes)
+		fmt.Fprintf(w, "  mean fan-in            %.2f\n", ci.MeanFanIn)
+		fmt.Fprintf(w, "  mean round             %s\n", seconds(ci.MeanRoundSeconds))
 	}
 
 	t := r.Traces

@@ -43,7 +43,30 @@ type Report struct {
 	Servers      []ServerStat  `json:"servers"`
 	Imbalance    Imbalance     `json:"imbalance"`
 	HotSpot      HotSpotAudit  `json:"hot_spot"`
+	CollectiveIO CollIOStats   `json:"collective_io"`
 	Traces       TraceStats    `json:"traces"`
+}
+
+// CollIOStats summarizes the collective two-phase read layer from the
+// master's pario_collio_* metrics: how many rounds ran, how much the
+// range merging and cross-worker single-flighting saved. Empty
+// (Enabled false) when the run did not use -collio.
+type CollIOStats struct {
+	Enabled bool `json:"enabled"`
+	// Rounds is the number of collective rounds executed.
+	Rounds int64 `json:"rounds,omitempty"`
+	// Ranges is the number of waiter ranges registered across rounds.
+	Ranges int64 `json:"ranges,omitempty"`
+	// MergedSegments is the number of segments actually fetched;
+	// Ranges/MergedSegments is the fan-in the backend never saw.
+	MergedSegments int64 `json:"merged_segments,omitempty"`
+	// DedupBytes counts bytes served to waiters beyond bytes fetched.
+	DedupBytes int64 `json:"dedup_bytes,omitempty"`
+	// MeanFanIn is the average number of waiters per round.
+	MeanFanIn float64 `json:"mean_fan_in,omitempty"`
+	// MeanRoundSeconds is the average round duration (registration
+	// through scatter).
+	MeanRoundSeconds float64 `json:"mean_round_seconds,omitempty"`
 }
 
 // RunInfo describes the run itself.
@@ -135,6 +158,11 @@ type ServerStat struct {
 	MgrLoad float64 `json:"mgr_load"`
 	// Requests counts handled RPCs (pario_server_requests_total).
 	Requests int64 `json:"requests"`
+	// Ops breaks Requests down by wire op ("piece_read",
+	// "piece_readv", "list_read", ...). The shift of mass from
+	// piece_read toward readv/list ops — and the drop in the total —
+	// is the observable effect of vectored, list and collective I/O.
+	Ops map[string]int64 `json:"ops,omitempty"`
 	// QueueWaitSeconds sums the emulated-disk delays this server
 	// imposed (pario_iod_queue_wait_seconds).
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pario/internal/blast"
+	"pario/internal/collio"
 	"pario/internal/readahead"
 )
 
@@ -99,4 +100,24 @@ func WithReadahead(raOpts ...readahead.Option) Option {
 // cache options — consumed by in-process worker runners.
 func (c Config) Readahead() (bool, []readahead.Option) {
 	return c.raEnable, c.raOpts
+}
+
+// WithCollectiveIO layers the collective two-phase read aggregator
+// under every in-process worker's file system (below the readahead
+// cache, so prefetch fetches combine too): concurrent reads of one
+// file across workers merge into one list-I/O RPC per data server per
+// round. The aggregator is shared by all workers the runner or a
+// blastd pool spawns in this process; distributed workers configure
+// their own transports.
+func WithCollectiveIO(collOpts ...collio.Option) Option {
+	return func(c *Config) {
+		c.collEnable = true
+		c.collOpts = append(c.collOpts, collOpts...)
+	}
+}
+
+// CollectiveIO reports whether WithCollectiveIO was applied, and with
+// which aggregator options — consumed by in-process worker runners.
+func (c Config) CollectiveIO() (bool, []collio.Option) {
+	return c.collEnable, c.collOpts
 }

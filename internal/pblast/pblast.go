@@ -32,6 +32,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/blastdb"
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/mpi"
 	"pario/internal/readahead"
 	"pario/internal/seq"
@@ -99,6 +100,12 @@ type Config struct {
 	// distributed workers wrap their own transports.
 	raEnable bool
 	raOpts   []readahead.Option
+	// collEnable/collOpts layer the collective two-phase read
+	// aggregator under every in-process worker, combining concurrent
+	// fragment reads into one list-I/O RPC per server per round.
+	// Local to the runner for the same reason as readahead.
+	collEnable bool
+	collOpts   []collio.Option
 }
 
 // SetTelemetry installs the master-side scheduling telemetry sink.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -195,9 +196,9 @@ func (ds *DataServer) handle(req *Request) *Response {
 	if t := atomic.LoadInt64(&ds.throttleNsPerKiB); t > 0 {
 		n := req.Length
 		switch req.Op {
-		case OpPieceWrite, OpPieceWritev:
+		case OpPieceWrite, OpPieceWritev, OpListWrite:
 			n = int64(len(req.Data))
-		case OpPieceReadv:
+		case OpPieceReadv, OpListRead:
 			n = 0
 			for _, s := range req.Segs {
 				n += s.Length
@@ -232,10 +233,14 @@ func (ds *DataServer) dispatch(req *Request) *Response {
 		return &Response{OK: true, Data: buf[:n]}
 	case OpPieceReadv:
 		return ds.handleReadv(req)
+	case OpListRead:
+		return ds.handleListRead(req)
 	case OpPieceWrite:
 		return ds.handleWrite(req)
 	case OpPieceWritev:
 		return ds.handleWritev(req)
+	case OpListWrite:
+		return ds.handleListWrite(req)
 	case OpPieceRemove:
 		err := ds.store.Remove(pieceName(req.Handle))
 		if err != nil && !isNotExist(err) {
@@ -331,6 +336,159 @@ func (ds *DataServer) handleWritev(req *Request) *Response {
 			return errResp("piece writev: %v", err)
 		}
 		data = data[s.Length:]
+	}
+	return &Response{OK: true, N: int64(len(req.Data))}
+}
+
+// handleListRead serves a list-I/O read: an arbitrary — possibly
+// unsorted, possibly overlapping — segment list satisfied with a
+// single sorted pass over the piece. The segments are sorted by
+// offset, overlapping and adjacent ones merged into maximal extents,
+// each extent read once, and the extent bytes fanned back out to the
+// segments in request order. Per-segment semantics match OpPieceReadv:
+// short segments are holes or EOF and SegLens tells the client how
+// much of each was served.
+func (ds *DataServer) handleListRead(req *Request) *Response {
+	lens := make([]int64, len(req.Segs))
+	for _, s := range req.Segs {
+		if s.Offset < 0 || s.Length < 0 {
+			return errResp("list read: negative segment [%d,+%d)", s.Offset, s.Length)
+		}
+	}
+	f, err := ds.store.Open(pieceName(req.Handle))
+	if err != nil {
+		// Piece never written: every segment is a hole.
+		return &Response{OK: true, SegLens: lens}
+	}
+	defer f.Close()
+
+	order := make([]int, len(req.Segs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return req.Segs[order[a]].Offset < req.Segs[order[b]].Offset
+	})
+
+	// One ascending pass: walk the sorted segments, growing the current
+	// extent while the next segment overlaps or abuts it, and read each
+	// finished extent exactly once.
+	type extent struct {
+		off  int64
+		data []byte // served bytes (may be shorter than requested: EOF)
+	}
+	var extents []extent
+	segExt := make([]int, len(req.Segs)) // segment -> extent index
+	var lo, hi int64
+	open := false
+	flush := func() *Response {
+		if !open {
+			return nil
+		}
+		buf := make([]byte, hi-lo)
+		n, err := f.ReadAt(buf, lo)
+		if err != nil && err != io.EOF {
+			return errResp("list read: %v", err)
+		}
+		extents = append(extents, extent{off: lo, data: buf[:n]})
+		open = false
+		return nil
+	}
+	for _, i := range order {
+		s := req.Segs[i]
+		if s.Length == 0 {
+			segExt[i] = -1
+			continue
+		}
+		if open && s.Offset <= hi {
+			if end := s.Offset + s.Length; end > hi {
+				hi = end
+			}
+		} else {
+			if resp := flush(); resp != nil {
+				return resp
+			}
+			lo, hi, open = s.Offset, s.Offset+s.Length, true
+		}
+		segExt[i] = len(extents)
+	}
+	if resp := flush(); resp != nil {
+		return resp
+	}
+
+	var total int64
+	for _, s := range req.Segs {
+		total += s.Length
+	}
+	buf := make([]byte, 0, total)
+	for i, s := range req.Segs {
+		if segExt[i] < 0 {
+			continue
+		}
+		e := extents[segExt[i]]
+		rel := s.Offset - e.off
+		served := int64(len(e.data)) - rel
+		if served < 0 {
+			served = 0
+		}
+		if served > s.Length {
+			served = s.Length
+		}
+		lens[i] = served
+		buf = append(buf, e.data[rel:rel+served]...)
+	}
+	return &Response{OK: true, Data: buf, SegLens: lens}
+}
+
+// handleListWrite applies a list-I/O write: the segment list may be
+// unsorted (the piece is written in one ascending pass) but must not
+// overlap. Request.Data carries the segments' bytes concatenated in
+// request order.
+func (ds *DataServer) handleListWrite(req *Request) *Response {
+	var total int64
+	starts := make([]int64, len(req.Segs))
+	for i, s := range req.Segs {
+		if s.Offset < 0 || s.Length < 0 {
+			return errResp("list write: negative segment [%d,+%d)", s.Offset, s.Length)
+		}
+		starts[i] = total
+		total += s.Length
+	}
+	if total != int64(len(req.Data)) {
+		return errResp("list write: payload %d bytes, segments claim %d", len(req.Data), total)
+	}
+	order := make([]int, len(req.Segs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return req.Segs[order[a]].Offset < req.Segs[order[b]].Offset
+	})
+	for k := 1; k < len(order); k++ {
+		prev, cur := req.Segs[order[k-1]], req.Segs[order[k]]
+		if prev.Offset+prev.Length > cur.Offset {
+			return errResp("list write: overlapping segments [%d,+%d) and [%d,+%d)",
+				prev.Offset, prev.Length, cur.Offset, cur.Length)
+		}
+	}
+	ds.filesMu.Lock()
+	f, err := ds.store.Open(pieceName(req.Handle))
+	if err != nil {
+		f, err = ds.store.Create(pieceName(req.Handle))
+	}
+	ds.filesMu.Unlock()
+	if err != nil {
+		return errResp("piece create: %v", err)
+	}
+	defer f.Close()
+	for _, i := range order {
+		s := req.Segs[i]
+		if s.Length == 0 {
+			continue
+		}
+		if _, err := f.WriteAt(req.Data[starts[i]:starts[i]+s.Length], s.Offset); err != nil {
+			return errResp("list write: %v", err)
+		}
 	}
 	return &Response{OK: true, N: int64(len(req.Data))}
 }

@@ -58,6 +58,21 @@ const (
 	// trip; Request.Data carries the segments' bytes concatenated in
 	// request order (each Seg.Length bytes long).
 	OpPieceWritev
+	// OpListRead generalizes OpPieceReadv to an arbitrary (offset,
+	// length) list: Request.Segs may be unsorted and may overlap. The
+	// server makes a single sorted pass over the piece (each byte is
+	// read at most once) and answers like OpPieceReadv: Data is the
+	// segments' served bytes concatenated in request order, SegLens the
+	// per-segment byte counts (short segments are holes or EOF; the
+	// client zero-fills). Appended after the PR 2 ops so existing wire
+	// values are unchanged — old peers interoperate with new ones.
+	OpListRead
+	// OpListWrite generalizes OpPieceWritev: Request.Segs may be
+	// unsorted (the server sorts and writes in one ascending pass) but
+	// must not overlap, since overlap would make the result order-
+	// dependent. Request.Data is the segments' bytes concatenated in
+	// request order.
+	OpListWrite
 )
 
 // Seg is one server-local byte range of a vectored piece request.
@@ -129,6 +144,10 @@ func (o Op) String() string {
 		return "piece_readv"
 	case OpPieceWritev:
 		return "piece_writev"
+	case OpListRead:
+		return "list_read"
+	case OpListWrite:
+		return "list_write"
 	}
 	return fmt.Sprintf("op_%d", uint8(o))
 }

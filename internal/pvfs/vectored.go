@@ -30,10 +30,7 @@ func readRunsVec(ctx context.Context, t *transport, handle uint64, runs []Stripe
 		t.observeBatch(len(runs), len(runs))
 		return nil
 	}
-	segs := make([]Seg, len(runs))
-	for i, r := range runs {
-		segs[i] = Seg{Offset: r.ServerOff, Length: r.Length}
-	}
+	segs, group := mergeAdjacent(runs)
 	resp := getResp()
 	defer putResp(resp)
 	if err := t.callInto(ctx, &Request{Op: OpPieceReadv, Handle: handle, Segs: segs}, resp); err != nil {
@@ -42,24 +39,59 @@ func readRunsVec(ctx context.Context, t *transport, handle uint64, runs []Stripe
 	if !resp.OK {
 		return resp.err()
 	}
-	if len(resp.SegLens) != len(runs) {
+	if len(resp.SegLens) != len(segs) {
 		return fmt.Errorf("pvfs: readv returned %d segment lengths for %d segments",
-			len(resp.SegLens), len(runs))
+			len(resp.SegLens), len(segs))
 	}
 	data := resp.Data
-	for i, r := range runs {
+	views := make([][]byte, len(segs))
+	for i, s := range segs {
 		got := resp.SegLens[i]
-		if got < 0 || got > r.Length || got > int64(len(data)) {
+		if got < 0 || got > s.Length || got > int64(len(data)) {
 			return fmt.Errorf("pvfs: readv segment %d: bad length %d (want <= %d, %d bytes left)",
-				i, got, r.Length, len(data))
+				i, got, s.Length, len(data))
 		}
-		copy(p[r.BufOff:r.BufOff+got], data[:got])
+		views[i] = data[:got]
+		data = data[got:]
+	}
+	for i, r := range runs {
+		view := views[group[i]]
+		rel := r.ServerOff - segs[group[i]].Offset
+		got := int64(len(view)) - rel
+		if got < 0 {
+			got = 0
+		}
+		if got > r.Length {
+			got = r.Length
+		}
+		copy(p[r.BufOff:r.BufOff+got], view[rel:rel+got])
 		// Holes and EOF read back as zeros.
 		clear(p[r.BufOff+got : r.BufOff+r.Length])
-		data = data[got:]
 	}
 	t.observeBatch(len(runs), 1)
 	return nil
+}
+
+// mergeAdjacent coalesces runs that are contiguous in the server's
+// piece into single wire segments, returning the segments and each
+// run's segment index. Consecutive stripes of one server abut in its
+// piece even when they are far apart in the logical file, so a
+// stripe-aligned read that decompose split at every stripe boundary
+// collapses to one segment per server here — smaller requests on the
+// wire and one ReadAt instead of k on the server. Runs must be in
+// ascending ServerOff order (decompose's output order).
+func mergeAdjacent(runs []StripeRun) ([]Seg, []int) {
+	segs := make([]Seg, 0, len(runs))
+	group := make([]int, len(runs))
+	for i, r := range runs {
+		if k := len(segs); k > 0 && segs[k-1].Offset+segs[k-1].Length == r.ServerOff {
+			segs[k-1].Length += r.Length
+		} else {
+			segs = append(segs, Seg{Offset: r.ServerOff, Length: r.Length})
+		}
+		group[i] = len(segs) - 1
+	}
+	return segs, group
 }
 
 // readRunInto reads one run into p[r.BufOff:r.BufOff+r.Length],
@@ -122,10 +154,12 @@ func writeRunsVec(ctx context.Context, t *transport, handle uint64, runs []Strip
 		t.observeBatch(len(runs), len(runs))
 		return nil
 	}
-	segs := make([]Seg, len(runs))
+	// Adjacent-in-piece runs merge into one wire segment; the gathered
+	// payload is unchanged because a merged segment's runs are
+	// consecutive both in the list and in the piece.
+	segs, _ := mergeAdjacent(runs)
 	var total int64
-	for i, r := range runs {
-		segs[i] = Seg{Offset: r.ServerOff, Length: r.Length}
+	for _, r := range runs {
 		total += r.Length
 	}
 	buf := make([]byte, 0, total)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pario/internal/chio"
 	"pario/internal/iotrace"
 	"pario/internal/rpcpool"
 )
@@ -234,5 +235,99 @@ func TestWriteAtSkipsSizeRPCWhenNotExtending(t *testing.T) {
 	}
 	if fi.Size != 1100 {
 		t.Errorf("size = %d, want 1100", fi.Size)
+	}
+}
+
+// TestMergeAdjacentBoundaryRuns pins the piece-adjacency merge with
+// exact boundary offsets: consecutive stripes of one server abut in
+// its piece even though they are a full round apart in the logical
+// file, so decompose's per-stripe runs must collapse to one wire
+// segment per server — and a run that stops one byte short of the
+// boundary must NOT merge with the run starting at it.
+func TestMergeAdjacentBoundaryRuns(t *testing.T) {
+	const stripe = int64(64)
+	const nServers = 2
+
+	// Stripe-aligned read of 4 stripes: each server gets 2 runs that
+	// abut in its piece (server 0: [0,64)+[64,128); same for 1).
+	runs := decompose(0, 4*stripe, stripe, nServers)
+	for server, list := range runs {
+		if len(list) != 2 {
+			t.Fatalf("server %d: %d runs, want 2", server, len(list))
+		}
+		segs, group := mergeAdjacent(list)
+		if len(segs) != 1 {
+			t.Fatalf("server %d: %d wire segments, want 1 (runs %+v)", server, len(segs), list)
+		}
+		if segs[0].Offset != 0 || segs[0].Length != 2*stripe {
+			t.Errorf("server %d: merged segment [%d,+%d), want [0,+%d)",
+				server, segs[0].Offset, segs[0].Length, 2*stripe)
+		}
+		if group[0] != 0 || group[1] != 0 {
+			t.Errorf("server %d: group = %v, want [0 0]", server, group)
+		}
+	}
+
+	// One byte missing at the boundary: [0,63) and [64,128) in the
+	// piece must stay separate segments.
+	gap := []StripeRun{
+		{Server: 0, ServerOff: 0, BufOff: 0, Length: stripe - 1},
+		{Server: 0, ServerOff: stripe, BufOff: stripe, Length: stripe},
+	}
+	segs, group := mergeAdjacent(gap)
+	if len(segs) != 2 {
+		t.Fatalf("gapped runs merged into %d segments, want 2", len(segs))
+	}
+	if group[0] != 0 || group[1] != 1 {
+		t.Errorf("gapped group = %v, want [0 1]", group)
+	}
+
+	// Exact abutment one stripe in: [64,128) then [128,192).
+	abut := []StripeRun{
+		{Server: 0, ServerOff: stripe, BufOff: 0, Length: stripe},
+		{Server: 0, ServerOff: 2 * stripe, BufOff: stripe, Length: stripe},
+	}
+	segs, _ = mergeAdjacent(abut)
+	if len(segs) != 1 || segs[0].Offset != stripe || segs[0].Length != 2*stripe {
+		t.Fatalf("abutting runs gave segments %+v, want one [%d,+%d)", segs, stripe, 2*stripe)
+	}
+}
+
+// TestBoundaryMergedReadBytes reads exactly the shapes the merge
+// changes on the wire — stripe-aligned, boundary-straddling, and
+// boundary-minus-one — and checks byte-identical results against the
+// written payload.
+func TestBoundaryMergedReadBytes(t *testing.T) {
+	const stripe = int64(64)
+	tc := startCluster(t, 2, stripe)
+	payload := make([]byte, 8*stripe)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	if err := chio.WriteFull(tc.client, "bm", payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := tc.client.Open("bm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, r := range []struct{ off, n int64 }{
+		{0, 4 * stripe},            // aligned: 2 abutting runs per server merge
+		{stripe - 1, 2*stripe + 2}, // straddles three stripes
+		{0, 4*stripe - 1},          // last run one byte short of the boundary
+		{1, 4 * stripe},            // first run one byte past the boundary
+	} {
+		got := make([]byte, r.n)
+		n, err := f.ReadAt(got, r.off)
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d,+%d): %v", r.off, r.n, err)
+		}
+		if int64(n) != r.n {
+			t.Fatalf("ReadAt(%d,+%d): short read %d", r.off, r.n, n)
+		}
+		if !bytes.Equal(got, payload[r.off:r.off+r.n]) {
+			t.Fatalf("ReadAt(%d,+%d): data mismatch", r.off, r.n)
+		}
 	}
 }

@@ -169,6 +169,19 @@ func (fs *FS) WithContext(ctx context.Context) chio.FileSystem {
 	return &f2
 }
 
+// blockSpan returns the indices of the first and last block touched
+// by [off, off+length) — the one block-range computation shared by the
+// read, prefetch-planning, and write-invalidation paths. hi is
+// inclusive; a zero-length range spans only its starting block.
+func blockSpan(off, length, blockSize int64) (lo, hi int64) {
+	lo = off / blockSize
+	hi = lo
+	if length > 0 {
+		hi = (off + length - 1) / blockSize
+	}
+	return lo, hi
+}
+
 // blockKey identifies one cached block.
 type blockKey struct {
 	name string
@@ -251,8 +264,7 @@ func (c *blockCache) invalidateRange(name string, off, length, blockSize int64) 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen[name]++
-	lo := off / blockSize
-	hi := (off + length - 1) / blockSize
+	lo, hi := blockSpan(off, length, blockSize)
 	for key, b := range c.blocks {
 		if key.name != name {
 			continue
@@ -377,20 +389,45 @@ func (fs *FS) fetchBlock(inner chio.File, name string, idx int64, prefetched boo
 	return b, nil
 }
 
-// prefetch speculatively fetches blocks [from, from+count) of name in
-// the background. Errors are dropped: the reader that eventually needs
-// a failed block retries synchronously.
-func (fs *FS) prefetch(inner chio.File, name string, from int64, count int) {
-	c := fs.cache
-	for idx := from; idx < from+int64(count); idx++ {
+// uncached returns the block indices in [from, to] (inclusive) of
+// name that are neither cached nor already being fetched — the blocks
+// a demand read or prefetch would actually go to the backend for.
+func (c *blockCache) uncached(name string, from, to int64) []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int64
+	for idx := from; idx <= to; idx++ {
 		key := blockKey{name, idx}
-		c.mu.Lock()
-		_, cached := c.blocks[key]
-		_, fetching := c.inflight[key]
-		c.mu.Unlock()
-		if cached || fetching {
+		if _, ok := c.blocks[key]; ok {
 			continue
 		}
+		if _, ok := c.inflight[key]; ok {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// blockSegs converts block indices to block-aligned byte ranges,
+// merging consecutive indices.
+func blockSegs(idxs []int64, blockSize int64) []chio.Seg {
+	var out []chio.Seg
+	for _, idx := range idxs {
+		if k := len(out); k > 0 && out[k-1].Off+out[k-1].Len == idx*blockSize {
+			out[k-1].Len += blockSize
+		} else {
+			out = append(out, chio.Seg{Off: idx * blockSize, Len: blockSize})
+		}
+	}
+	return out
+}
+
+// prefetch speculatively fetches the given blocks of name in the
+// background. Errors are dropped: the reader that eventually needs a
+// failed block retries synchronously.
+func (fs *FS) prefetch(inner chio.File, name string, idxs []int64) {
+	for _, idx := range idxs {
 		fs.stats.PrefetchIssued()
 		go fs.fetchBlock(inner, name, idx, true)
 	}
@@ -410,6 +447,23 @@ type file struct {
 // Name implements chio.File.
 func (f *file) Name() string { return f.name }
 
+// NextRanges reports the block-aligned byte ranges the prefetcher
+// would fetch after a sequential read of [off, off+length): the
+// planned window following that read, minus blocks already cached or
+// in flight. It issues no I/O. Collective-I/O layers consume it (via
+// the chio.RangeHinter forwarding in ReadAt) to learn which fetches
+// are about to arrive; it is also the one place the window-peeking
+// arithmetic lives, shared with the invalidation path through
+// blockSpan.
+func (f *file) NextRanges(off, length int64) []chio.Seg {
+	if off < 0 || f.fs.window <= 0 {
+		return nil
+	}
+	_, last := blockSpan(off, length, f.fs.blockSize)
+	idxs := f.fs.cache.uncached(f.name, last+1, last+int64(f.fs.window))
+	return blockSegs(idxs, f.fs.blockSize)
+}
+
 // ReadAt implements io.ReaderAt through the block cache. A read that
 // continues the previous one (block-wise) is treated as a sequential
 // scan and triggers prefetch of the following window.
@@ -421,8 +475,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	bs := f.fs.blockSize
-	firstBlock := off / bs
-	lastBlock := (off + int64(len(p)) - 1) / bs
+	firstBlock, lastBlock := blockSpan(off, int64(len(p)), bs)
 
 	// Sequential-scan detection: the read starts in the block the
 	// previous read ended in or the one after it. Fire the prefetch
@@ -432,8 +485,23 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	seq := firstBlock == f.next || firstBlock == f.next-1
 	f.next = lastBlock + 1
 	f.mu.Unlock()
+	var planned []int64
 	if seq && f.fs.window > 0 {
-		f.fs.prefetch(f.inner, f.name, lastBlock+1, f.fs.window)
+		planned = f.fs.cache.uncached(f.name, lastBlock+1, lastBlock+int64(f.fs.window))
+	}
+	// Announce the round's expected block fetches — this read's misses
+	// plus the planned window — to a collective layer below, so it can
+	// close its merge round as soon as those ranges register instead of
+	// waiting out its batching timer.
+	if h, ok := f.inner.(chio.RangeHinter); ok {
+		want := f.fs.cache.uncached(f.name, firstBlock, lastBlock)
+		want = append(want, planned...)
+		if len(want) > 0 {
+			h.HintRanges(blockSegs(want, bs))
+		}
+	}
+	if len(planned) > 0 {
+		f.fs.prefetch(f.inner, f.name, planned)
 	}
 
 	n := 0

@@ -6,7 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"sync"
+
 	"pario/internal/chio"
+	"pario/internal/collio"
 	"pario/internal/core"
 	"pario/internal/iotrace"
 	"pario/internal/readahead"
@@ -125,5 +128,129 @@ func TestSequentialScanRPCReduction(t *testing.T) {
 		legacyRPCs, fastRPCs, ratio)
 	if ratio < 5 {
 		t.Errorf("RPC reduction %.1fx < 5x (legacy=%d, fast=%d)", ratio, legacyRPCs, fastRPCs)
+	}
+}
+
+// TestCollectiveScanRPCReduction is the acceptance bar for the
+// collective two-phase read layer: 8 workers scanning interleaved
+// slices of one striped file through a shared collio aggregator must
+// reach the data servers in at least 3x fewer RPCs than the same
+// workers reading independently, while both scans return
+// byte-identical data (checksummed).
+//
+// The arithmetic at the test's shape (4 servers, 64 KB stripes, 8
+// workers each reading an 8 KB slice of one 64 KB stripe per lockstep
+// round): independent readers cost 8 vectored RPCs per round — one
+// per worker, all to the stripe's one server; the collective layer
+// merges the 8 slices into one extent and fetches it with a single
+// list RPC, an 8x per-round reduction.
+func TestCollectiveScanRPCReduction(t *testing.T) {
+	const (
+		workers  = 8
+		slice    = 8 << 10
+		block    = workers * slice // 64 KB: exactly one stripe
+		fileSize = 4 << 20
+		rounds   = fileSize / block
+	)
+	dep, err := core.StartPVFS(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	seedCl, err := dep.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, fileSize)
+	for i := range payload {
+		payload[i] = byte(i*2654435761 + i>>8)
+	}
+	if err := chio.WriteFull(seedCl, "db", payload); err != nil {
+		t.Fatal(err)
+	}
+	seedCl.Close()
+	wantSum := sha256.Sum256(payload)
+
+	dataRPCs := func(m *iotrace.RPCMetrics) int64 {
+		var n int64
+		for _, s := range m.Snapshot() {
+			if s.Server != dep.Mgr.Addr() {
+				n += s.Calls
+			}
+		}
+		return n
+	}
+
+	// scan runs the interleaved lockstep workload through fs: in each
+	// round, all workers concurrently read their slice of the round's
+	// block. Returns the checksum of the reassembled file.
+	scan := func(fs chio.FileSystem) [32]byte {
+		got := make([]byte, fileSize)
+		files := make([]chio.File, workers)
+		for w := range files {
+			f, err := fs.Open("db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			files[w] = f
+		}
+		for round := 0; round < rounds; round++ {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					off := int64(round*block + w*slice)
+					if _, err := files[w].ReadAt(got[off:off+slice], off); err != nil && err != io.EOF {
+						t.Errorf("round %d worker %d: %v", round, w, err)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		return sha256.Sum256(got)
+	}
+
+	// Independent: every worker's read is its own vectored RPC.
+	indepM := iotrace.NewRPCMetrics()
+	indepCl, err := dep.Client(rpcpool.WithObserver(indepM), rpcpool.WithBatchObserver(indepM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indepSum := scan(indepCl)
+	indepCl.Close()
+
+	// Collective: one shared aggregator; the fan-in cap closes each
+	// round as soon as all workers have enrolled.
+	collM := iotrace.NewRPCMetrics()
+	collCl, err := dep.Client(rpcpool.WithObserver(collM), rpcpool.WithBatchObserver(collM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := collio.Wrap(collCl,
+		collio.WithWindow(200*time.Millisecond),
+		collio.WithMaxFanIn(workers))
+	collSum := scan(cfs)
+	collRPCs := dataRPCs(collM)
+	collCl.Close()
+
+	if indepSum != wantSum {
+		t.Fatal("independent scan checksum mismatch")
+	}
+	if collSum != wantSum {
+		t.Fatal("collective scan checksum mismatch")
+	}
+	indepRPCs := dataRPCs(indepM)
+	if indepRPCs == 0 || collRPCs == 0 {
+		t.Fatalf("implausible RPC counts: independent=%d collective=%d", indepRPCs, collRPCs)
+	}
+	ratio := float64(indepRPCs) / float64(collRPCs)
+	st := cfs.Stats()
+	t.Logf("data-server RPCs: independent=%d collective=%d (%.1fx reduction); %d rounds, %d ranges -> %d segments, %d dedup bytes",
+		indepRPCs, collRPCs, ratio, st.Rounds, st.Ranges, st.MergedSegments, st.DedupBytes)
+	if ratio < 3 {
+		t.Errorf("RPC reduction %.1fx < 3x (independent=%d, collective=%d)", ratio, indepRPCs, collRPCs)
 	}
 }

@@ -3,7 +3,13 @@
 # baselines and flag regressions. For every baseline benchmark that
 # still exists, the current ns/op may exceed the recorded value by at
 # most BENCH_TOLERANCE percent (default 100 — localhost timing is
-# noisy; this catches order-of-magnitude rot, not jitter).
+# noisy; this catches order-of-magnitude rot, not jitter). Baselines
+# that also record rpcs_per_op get a second, much tighter gate:
+# rpcs/op is a deterministic property of the fetch plan, not of the
+# machine, so the live value may exceed the recorded one by at most
+# BENCH_RPC_TOLERANCE percent (default 25). A coalescing, readahead
+# or collective-I/O regression that doubles the RPC count fails here
+# even when loopback wall-clock hides it.
 #
 # Usage: scripts/bench_compare.sh [BENCH_pr2.json BENCH_pr5.json ...]
 # With no arguments, every BENCH_*.json in the repo root is checked.
@@ -12,6 +18,7 @@
 set -eu
 
 TOL="${BENCH_TOLERANCE:-100}"
+RPCTOL="${BENCH_RPC_TOLERANCE:-25}"
 cd "$(dirname "$0")/.."
 
 BASELINES="$*"
@@ -35,9 +42,17 @@ go test -run '^$' -bench '.' -benchtime 3x ./internal/blast/ >>"$TMP/bench.out" 
     exit 1
 }
 
-# Pull "BenchmarkName<tab>ns/op" pairs out of the go test output.
+# Pull "BenchmarkName ns/op" pairs out of the go test output.
 awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }' \
     "$TMP/bench.out" >"$TMP/current.txt"
+
+# And "BenchmarkName rpcs/op" pairs for benchmarks that report them
+# (the value precedes the literal unit token).
+awk '/^Benchmark/ {
+        sub(/-[0-9]+$/, "", $1)
+        for (i = 3; i <= NF; i++)
+            if ($i == "rpcs/op") { print $1, $(i - 1); break }
+    }' "$TMP/bench.out" >"$TMP/current_rpcs.txt"
 
 fail=0
 for base in $BASELINES; do
@@ -67,5 +82,29 @@ for base in $BASELINES; do
             fail=1
         fi
     done <"$TMP/baseline.txt"
+
+    # Second gate: rpcs_per_op, where the baseline records it.
+    awk '
+        /^    "Benchmark/ { gsub(/[":]/ , "", $1); name = $1 }
+        /"rpcs_per_op"/ && name != "" {
+            gsub(/[^0-9.]/, "", $2); print name, $2; name = ""
+        }' "$base" >"$TMP/baseline_rpcs.txt"
+    while read -r name want; do
+        got="$(awk -v n="$name" '$1 == n { print $2; exit }' "$TMP/current_rpcs.txt")"
+        if [ -z "$got" ]; then
+            echo "bench-compare: $base: $name no longer reports rpcs/op" >&2
+            fail=1
+            continue
+        fi
+        ok="$(awk -v g="$got" -v w="$want" -v t="$RPCTOL" \
+            'BEGIN { print (g <= w * (1 + t / 100)) ? 1 : 0 }')"
+        ratio="$(awk -v g="$got" -v w="$want" 'BEGIN { printf "%.2f", g / w }')"
+        if [ "$ok" = 1 ]; then
+            echo "bench-compare: ok   $name rpcs/op ${ratio}x of $base baseline"
+        else
+            echo "bench-compare: FAIL $name rpcs/op ${ratio}x of $base baseline (tolerance ${RPCTOL}%)" >&2
+            fail=1
+        fi
+    done <"$TMP/baseline_rpcs.txt"
 done
 exit "$fail"
