@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke collio-smoke
+.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke collio-smoke alert-smoke
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,13 @@ check: lint
 	$(MAKE) report-smoke
 	$(MAKE) service-smoke
 	$(MAKE) collio-smoke
+	$(MAKE) alert-smoke
 
 # go vet always; staticcheck and govulncheck when installed (the
 # container image may not carry them, and `go install` needs network).
 lint:
 	$(GO) vet ./...
+	$(GO) run ./scripts/metriclint .
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
@@ -51,6 +53,13 @@ service-smoke:
 # rounds (CLI wiring end to end).
 collio-smoke:
 	sh ./scripts/collio_smoke.sh
+
+# Boot a CEFT mini-cluster with one throttled disk, serve it with a
+# monitored blastd, and require the server_skew alert to fire under
+# sustained load (naming the hot server), resolve after the load
+# stops, and pariotop to render live per-server RPC rates.
+alert-smoke:
+	sh ./scripts/alert_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

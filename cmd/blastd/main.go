@@ -84,6 +84,12 @@ func main() {
 		ioTimeout = flag.Duration("io-timeout", rpcpool.DefaultTimeout, "per-request parallel-FS deadline")
 		ioRetries = flag.Int("io-retries", rpcpool.DefaultRetries, "parallel-FS retry budget per request")
 		ioPool    = flag.Int("io-pool", rpcpool.DefaultPoolSize, "parallel-FS connections per server")
+
+		hotFactor  = flag.Float64("hot-factor", 0, "ceft: a server is hot above this multiple of the median load (0 = default)")
+		minHotLoad = flag.Float64("min-hot-load", -1, "ceft: absolute load floor below which no server is hot (-1 = default)")
+
+		monitorInterval = flag.Duration("monitor-interval", blastd.DefaultMonitorInterval, "in-process monitor sampling period (0 disables alerts and /debug/alerts)")
+		alertRules      = flag.String("alert-rules", "", "path to extra alert rules layered over the defaults (one rule per line)")
 	)
 	flag.Parse()
 	logger = telemetry.NewProcessLogger("blastd")
@@ -92,6 +98,7 @@ func main() {
 	defer stop()
 
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "blastd")
 	tracer := telemetry.NewTracer(0)
 
 	rpcMetrics := rpcpool.NewMetrics(reg)
@@ -153,11 +160,32 @@ func main() {
 		mirr := strings.Split(*mirror, ",")
 		opts := ceft.DefaultOptions()
 		opts.Logger = logger
+		if *hotFactor > 0 {
+			opts.HotFactor = *hotFactor
+		}
+		if *minHotLoad >= 0 {
+			opts.MinHotLoad = *minHotLoad
+		}
+		// Degraded writes across every dialed CEFT client, for the
+		// degraded_writes alert rule and external scrapers.
+		var ceftClients []*ceft.Client
+		reg.CounterFunc("pario_ceft_degraded_writes_total",
+			"Writes that lost their mirror copy, across this process's CEFT clients.",
+			func() float64 {
+				mu.Lock()
+				defer mu.Unlock()
+				var total int64
+				for _, cl := range ceftClients {
+					total += cl.DegradedWrites()
+				}
+				return float64(total)
+			})
 		dial = func() (chio.FileSystem, error) {
 			cl, err := ceft.Dial(*mgr, prim, mirr, opts, transportOpts...)
 			if err != nil {
 				return nil, err
 			}
+			ceftClients = append(ceftClients, cl)
 			closers = append(closers, cl.Close)
 			return cl, nil
 		}
@@ -219,6 +247,14 @@ func main() {
 	if *dbs != "" {
 		serve = strings.Split(*dbs, ",")
 	}
+	extraRules := ""
+	if *alertRules != "" {
+		b, err := os.ReadFile(*alertRules)
+		if err != nil {
+			fatal(err)
+		}
+		extraRules = string(b)
+	}
 	// The pool gets a background context deliberately: SIGTERM must
 	// trigger the graceful drain below, not tear the stream down
 	// mid-task.
@@ -237,6 +273,10 @@ func main() {
 		Registry:      reg,
 		Tracer:        tracer,
 		RPCOps:        rpcOps,
+
+		MonitorInterval: *monitorInterval,
+		AlertRules:      extraRules,
+		MonitorLogger:   logger,
 	})
 	if err != nil {
 		fatal(err)

@@ -51,7 +51,9 @@ func main() {
 	}
 	if *debugAddr != "" {
 		logger := telemetry.NewProcessLogger("blastn")
-		dbg, err := telemetry.StartDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewTracer(0))
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "blastn")
+		dbg, err := telemetry.StartDebug(*debugAddr, reg, telemetry.NewTracer(0))
 		if err != nil {
 			fatal(err)
 		}

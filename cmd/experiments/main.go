@@ -52,7 +52,9 @@ func main() {
 	}
 	if *debugAddr != "" {
 		logger := telemetry.NewProcessLogger("experiments")
-		dbg, err := telemetry.StartDebug(*debugAddr, telemetry.NewRegistry(), telemetry.NewTracer(0))
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "experiments")
+		dbg, err := telemetry.StartDebug(*debugAddr, reg, telemetry.NewTracer(0))
 		if err != nil {
 			fatal(err)
 		}

@@ -134,6 +134,7 @@ func main() {
 	)
 	if *debugAddr != "" || *reportOut != "" {
 		reg = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg, "mpiblast")
 		tracer = telemetry.NewTracer(0)
 		tracer.SetSlowThreshold(*slowRPC, logger)
 	}

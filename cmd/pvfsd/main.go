@@ -54,6 +54,7 @@ func main() {
 	var dbg *telemetry.DebugServer
 	if *debugAddr != "" {
 		cfg.Telemetry = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(cfg.Telemetry, "pvfsd")
 		cfg.Tracer = telemetry.NewTracer(0)
 		dbg, err = telemetry.StartDebug(*debugAddr, cfg.Telemetry, cfg.Tracer)
 		if err != nil {

@@ -43,6 +43,7 @@ func main() {
 	var dbg *telemetry.DebugServer
 	if *debugAddr != "" {
 		cfg.Telemetry = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(cfg.Telemetry, "pvfsmgr")
 		cfg.Tracer = telemetry.NewTracer(0)
 		dbg, err = telemetry.StartDebug(*debugAddr, cfg.Telemetry, cfg.Tracer)
 		if err != nil {

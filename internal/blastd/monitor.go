@@ -1,0 +1,76 @@
+package blastd
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"pario/internal/tsdb"
+)
+
+// The in-process monitor: a tsdb collector sampling the server's own
+// registry on a fixed interval, with an alert engine evaluating the
+// default SLO rules (plus any operator-supplied extras) after every
+// tick. The history and alert state feed /debug/alerts and pariotop;
+// firing/resolved transitions land in the service log.
+
+// DefaultAlertRules is the rule set every monitored blastd evaluates.
+// Operator rules (Config.AlertRules) are layered on top; a rule with
+// the same name overrides its default.
+//
+//   - queue_growing: admission queue depth rising monotonically across
+//     samples — demand outrunning the worker pool.
+//   - slo_burn: fraction of windowed searches slower than the 2-second
+//     latency SLO; >10% sustained means the error budget is burning.
+//   - server_skew: per-server storage RPC rates diverging (hottest
+//     server beyond 1.75x the mean, with at least 5 RPC/s mean so idle
+//     clusters never alert) — the paper's hot-server signature.
+//   - cache_collapse: result-cache hit ratio below 10% under real
+//     traffic — version churn or a worthless cache.
+//   - degraded_writes: any CEFT write that lost its mirror copy.
+const DefaultAlertRules = `
+queue_growing: growth(pario_blastd_queue_depth) >= 4 for 2
+slo_burn: burn(pario_blastd_request_seconds, 2.0) > 0.10 window 30s for 2
+server_skew: spread(rate(pario_rpc_calls_total) by server) > 1.75 min 5 window 10s for 2
+cache_collapse: hitratio(pario_blastd_cache_hits_total, pario_blastd_cache_misses_total) < 0.10 min 1 window 30s for 3
+degraded_writes: increase(pario_ceft_degraded_writes_total) > 0 window 30s
+`
+
+// DefaultMonitorInterval is the sampling period when Config enables
+// the monitor without choosing one.
+const DefaultMonitorInterval = 2 * time.Second
+
+// startMonitor builds and launches the collector+engine pair. The
+// collector owns one goroutine; Drain stops it and waits for exit.
+func (s *Server) startMonitor(interval time.Duration, extraRules string, logger *slog.Logger) error {
+	rules, err := tsdb.ParseRules(DefaultAlertRules + "\n" + extraRules)
+	if err != nil {
+		return fmt.Errorf("blastd: alert rules: %w", err)
+	}
+	store := tsdb.NewStore(0)
+	var engineOpts []tsdb.EngineOption
+	if logger != nil {
+		engineOpts = append(engineOpts, tsdb.WithLogger(logger))
+	}
+	engine := tsdb.NewEngine(store, rules, engineOpts...)
+	s.monitor = tsdb.NewCollector(store, interval,
+		tsdb.WithRegistry(s.reg), tsdb.WithEngine(engine))
+	// Background context: the monitor's lifetime is bounded by Drain,
+	// not by the request context that built the server.
+	s.monitor.Start(context.Background())
+	return nil
+}
+
+// Monitor returns the server's collector, or nil when monitoring is
+// disabled.
+func (s *Server) Monitor() *tsdb.Collector { return s.monitor }
+
+// Alerts returns the current alert states (nil when monitoring is
+// disabled), firing first.
+func (s *Server) Alerts() []tsdb.Alert {
+	if s.monitor == nil {
+		return nil
+	}
+	return s.monitor.Engine().Alerts()
+}

@@ -1,0 +1,127 @@
+package blastd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"pario/internal/chio"
+	"pario/internal/core"
+	"pario/internal/pblast"
+	"pario/internal/tsdb"
+)
+
+func TestMonitorLifecycleAndAlertsEndpoint(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, _, query := newTestServer(t, func(cfg *Config) {
+		cfg.MonitorInterval = 10 * time.Millisecond
+		// A rule that fires as soon as any search ran, so the
+		// endpoint has state to show.
+		cfg.AlertRules = `busy: increase(pario_blastd_requests_total) > 0 window 30s`
+	})
+	if srv.Monitor() == nil {
+		t.Fatal("monitor not started")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Keep searching over HTTP (the request counter lives in the HTTP
+	// layer) until two collection ticks bracket an increase: the
+	// counter's series only materializes in the exposition after the
+	// first request, so a single search can land entirely before the
+	// series' first sample.
+	reqBody, err := json.Marshal(&SearchRequest{
+		DB: "nt", Query: ">" + query.ID + "\n" + string(query.Data), Client: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyFiring := func() bool {
+		for _, a := range srv.Monitor().Engine().Firing() {
+			if a.Rule == "busy" {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !busyFiring() {
+		if time.Now().After(deadline) {
+			t.Fatalf("busy rule never fired; alerts = %+v", srv.Alerts())
+		}
+		resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("search status %d", resp.StatusCode)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/debug/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Alerts []tsdb.Alert `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range body.Alerts {
+		if a.Rule == "busy" && a.State == tsdb.StateFiring {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/alerts missing firing busy rule: %+v", body.Alerts)
+	}
+
+	// Drain stops the collector; no monitor goroutine survives.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	waitFor(t, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+func TestMonitorDisabledByDefault(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	if srv.Monitor() != nil {
+		t.Fatal("monitor running without MonitorInterval")
+	}
+	if srv.Alerts() != nil {
+		t.Fatal("alerts non-nil without monitor")
+	}
+}
+
+func TestMonitorRejectsBadRules(t *testing.T) {
+	fs := chio.NewMemFS()
+	if _, err := core.GenerateDatabase(fs, "nt", 1<<18, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(context.Background(), Config{
+		FS:              fs,
+		WorkerFS:        func(int) chio.FileSystem { return fs },
+		Workers:         1,
+		Search:          pblast.NewConfig("nt"),
+		MonitorInterval: time.Second,
+		AlertRules:      `bad: nosuchfunc(pario_x) > 1`,
+	})
+	if err == nil {
+		t.Fatal("expected an alert-rules error from New")
+	}
+}

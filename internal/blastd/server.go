@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"pario/internal/pblast"
 	"pario/internal/seq"
 	"pario/internal/telemetry"
+	"pario/internal/tsdb"
 )
 
 // Config wires a Server to its storage, worker pool and policy knobs.
@@ -56,6 +58,18 @@ type Config struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
 
+	// MonitorInterval, when positive, starts the in-process monitor:
+	// a tsdb collector sampling Registry every interval, with the
+	// DefaultAlertRules evaluated after each tick and alert state on
+	// GET /debug/alerts. Zero disables monitoring.
+	MonitorInterval time.Duration
+	// AlertRules holds extra rules (tsdb rule syntax, one per line)
+	// layered over DefaultAlertRules; same-name rules override.
+	AlertRules string
+	// MonitorLogger receives alert firing/resolved lines (default:
+	// the process slog default logger).
+	MonitorLogger *slog.Logger
+
 	// RPCOps, when set, returns the cumulative count of storage RPC
 	// round trips this process's clients have issued (for example
 	// iotrace.RPCMetrics.TotalCalls). The server samples it around
@@ -78,6 +92,7 @@ type Server struct {
 	cache    *resultCache
 	queue    *admitQueue
 	pool     *workerPool
+	monitor  *tsdb.Collector
 	draining atomic.Bool
 	started  time.Time
 
@@ -138,6 +153,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.pool = pool
 
 	s.wireMetrics()
+	if cfg.MonitorInterval > 0 {
+		if err := s.startMonitor(cfg.MonitorInterval, cfg.AlertRules, cfg.MonitorLogger); err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
 	pool.Resize(cfg.Workers)
 	return s, nil
 }
@@ -385,6 +406,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // and running searches to finish, then shuts the worker pool down.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.monitor != nil {
+		// Stop sampling first so teardown noise never fires alerts;
+		// Stop blocks until the collector goroutine has exited.
+		s.monitor.Stop()
+	}
 	qerr := s.queue.Drain(ctx)
 	perr := s.pool.Close()
 	if qerr != nil {
@@ -407,6 +433,7 @@ func (s *Server) Close() error {
 //	GET  /healthz           200 ok / 503 draining
 //	POST /admin/invalidate  ?db=NAME re-version a database, drop its cache
 //	GET  /debug/traces      recent I/O spans (when a Tracer is configured)
+//	GET  /debug/alerts      alert engine state (when the monitor is on)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
@@ -435,6 +462,16 @@ func (s *Server) Handler() http.Handler {
 		json.NewEncoder(w).Encode(map[string]any{
 			"db": db, "version": version, "invalidated": n,
 		})
+	})
+	mux.HandleFunc("GET /debug/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		alerts := s.Alerts()
+		if alerts == nil {
+			alerts = []tsdb.Alert{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Alerts []tsdb.Alert `json:"alerts"`
+		}{Alerts: alerts})
 	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

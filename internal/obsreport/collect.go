@@ -1,7 +1,6 @@
 package obsreport
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -13,19 +12,15 @@ import (
 	"strings"
 	"time"
 
+	"pario/internal/promtext"
 	"pario/internal/telemetry"
 )
 
 // Sample is one parsed metric sample: a family name, its label set,
-// and the value at collect time.
-type Sample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
-}
-
-// Label returns the value of label key, or "".
-func (s Sample) Label(key string) string { return s.Labels[key] }
+// and the value at collect time. It is promtext's type — the parser
+// is shared with the live time-series layer (internal/tsdb), so both
+// see identical shapes from one implementation.
+type Sample = promtext.Sample
 
 // SpanRecord is a span plus the process it was collected from.
 type SpanRecord struct {
@@ -173,110 +168,10 @@ func httpGet(ctx context.Context, url string) ([]byte, error) {
 }
 
 // ParsePrometheus parses text-exposition metric lines
-// (`name{k="v",...} value`) into samples. Comment and blank lines are
-// skipped; a malformed line is an error — the endpoints under report
-// collection are our own, so damage means a real bug.
+// (`name{k="v",...} value`) into samples. It delegates to the shared
+// promtext parser; see that package for the accepted grammar.
 func ParsePrometheus(r io.Reader) ([]Sample, error) {
-	var out []Sample
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sample, err := parseSampleLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("obsreport: metrics line %d: %w", lineNo, err)
-		}
-		out = append(out, sample)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obsreport: reading metrics: %w", err)
-	}
-	return out, nil
-}
-
-func parseSampleLine(line string) (Sample, error) {
-	// Split "name{labels}" from the value; the value is the last
-	// space-separated field so label values containing spaces survive.
-	idx := strings.LastIndexByte(line, ' ')
-	if idx < 0 {
-		return Sample{}, fmt.Errorf("no value in %q", line)
-	}
-	head, valStr := strings.TrimSpace(line[:idx]), line[idx+1:]
-	val, err := strconv.ParseFloat(valStr, 64)
-	if err != nil {
-		return Sample{}, fmt.Errorf("bad value in %q: %w", line, err)
-	}
-	s := Sample{Value: val}
-	if open := strings.IndexByte(head, '{'); open >= 0 {
-		if !strings.HasSuffix(head, "}") {
-			return Sample{}, fmt.Errorf("unterminated labels in %q", line)
-		}
-		s.Name = head[:open]
-		labels, err := parseLabels(head[open+1 : len(head)-1])
-		if err != nil {
-			return Sample{}, fmt.Errorf("bad labels in %q: %w", line, err)
-		}
-		s.Labels = labels
-	} else {
-		s.Name = head
-	}
-	if s.Name == "" {
-		return Sample{}, fmt.Errorf("empty metric name in %q", line)
-	}
-	return s, nil
-}
-
-func parseLabels(body string) (map[string]string, error) {
-	labels := make(map[string]string)
-	rest := body
-	for rest != "" {
-		eq := strings.IndexByte(rest, '=')
-		if eq < 0 {
-			return nil, fmt.Errorf("missing '=' near %q", rest)
-		}
-		key := strings.TrimSpace(rest[:eq])
-		rest = rest[eq+1:]
-		if !strings.HasPrefix(rest, `"`) {
-			return nil, fmt.Errorf("unquoted value for %q", key)
-		}
-		rest = rest[1:]
-		var val strings.Builder
-		closed := false
-		for i := 0; i < len(rest); i++ {
-			c := rest[i]
-			if c == '\\' && i+1 < len(rest) {
-				i++
-				switch rest[i] {
-				case 'n':
-					val.WriteByte('\n')
-				case '\\', '"':
-					val.WriteByte(rest[i])
-				default:
-					val.WriteByte('\\')
-					val.WriteByte(rest[i])
-				}
-				continue
-			}
-			if c == '"' {
-				rest = rest[i+1:]
-				closed = true
-				break
-			}
-			val.WriteByte(c)
-		}
-		if !closed {
-			return nil, fmt.Errorf("unterminated value for %q", key)
-		}
-		labels[key] = val.String()
-		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
-		rest = strings.TrimSpace(rest)
-	}
-	return labels, nil
+	return promtext.Parse(r)
 }
 
 // tracesDoc mirrors the /debug/traces wire shape (telemetry.spanJSON):

@@ -1,0 +1,180 @@
+// Package promtext parses the Prometheus text exposition format — the
+// wire shape of every /metrics endpoint in the system. It is the one
+// shared implementation behind run-report collection (obsreport) and
+// the live time-series sampler (tsdb), so a fix to the parser fixes
+// every consumer at once.
+//
+// The parser accepts the full sample-line grammar our registry emits
+// plus the parts of the upstream format a foreign exporter might use:
+// escaped label values (\" \\ \n), label values containing spaces or
+// commas, NaN and ±Inf sample values, and an optional trailing
+// millisecond timestamp.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample: a family name, its label set,
+// and the value at collect time.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of label key, or "".
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// Parse parses text-exposition metric lines (`name{k="v",...} value
+// [timestamp]`) into samples. Comment and blank lines are skipped; a
+// malformed line is an error — the endpoints under collection are our
+// own, so damage means a real bug, and silently dropping a line would
+// hide it.
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		out = append(out, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promtext: reading metrics: %w", err)
+	}
+	return out, nil
+}
+
+// ParseLine parses one sample line. The name and label block are
+// scanned left to right with quote awareness, so label values holding
+// spaces, commas or escapes never confuse the value split, and an
+// optional trailing timestamp is recognized and discarded.
+func ParseLine(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+
+	// Metric name: up to '{' or whitespace.
+	nameEnd := strings.IndexAny(rest, "{ \t")
+	if nameEnd < 0 {
+		return Sample{}, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if s.Name == "" {
+		return Sample{}, fmt.Errorf("empty metric name in %q", line)
+	}
+	rest = rest[nameEnd:]
+
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabelBlock(rest[1:])
+		if err != nil {
+			return Sample{}, fmt.Errorf("bad labels in %q: %w", line, err)
+		}
+		if len(labels) > 0 {
+			s.Labels = labels
+		}
+		rest = tail
+	}
+
+	// What remains is "value" or "value timestamp".
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 1:
+	case 2:
+		// The second field must be a timestamp (integer milliseconds);
+		// anything else is a malformed line, not a value to guess at.
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("bad timestamp in %q: %w", line, err)
+		}
+	default:
+		return Sample{}, fmt.Errorf("no value in %q", line)
+	}
+	// ParseFloat accepts NaN, Inf, +Inf and -Inf, so quantile gauges
+	// and ratio metrics with no observations parse instead of erroring.
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = val
+	return s, nil
+}
+
+// parseLabelBlock consumes `k="v",...}` (the opening brace already
+// eaten) and returns the labels plus the unconsumed tail of the line.
+func parseLabelBlock(rest string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("missing '=' near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if key == "" {
+			return nil, "", fmt.Errorf("empty label name near %q", rest)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("unquoted value for %q", key)
+		}
+		val, tail, err := parseQuoted(rest[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", key, err)
+		}
+		labels[key] = val
+		rest = strings.TrimLeft(tail, " \t")
+		rest = strings.TrimPrefix(rest, ",")
+	}
+}
+
+// parseQuoted consumes an exposition-escaped string up to its closing
+// quote (the opening quote already eaten). Escapes follow the format
+// spec: \\ is a backslash, \" a quote, \n a newline; Go's %q also
+// emits \t and \r for control bytes our own registry never produces,
+// so those round-trip too. An unknown escape keeps its backslash.
+func parseQuoted(rest string) (val, tail string, err error) {
+	var sb strings.Builder
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if c == '\\' && i+1 < len(rest) {
+			i++
+			switch rest[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '"':
+				sb.WriteByte(rest[i])
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(rest[i])
+			}
+			continue
+		}
+		if c == '"' {
+			return sb.String(), rest[i+1:], nil
+		}
+		sb.WriteByte(c)
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

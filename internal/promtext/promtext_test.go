@@ -1,0 +1,120 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapedLabels(t *testing.T) {
+	page := `weird{msg="a \"quoted\" value, with comma"} 1
+path{p="C:\\store\\piece"} 2
+multiline{m="line1\nline2"} 3
+tabbed{m="a\tb"} 4
+spaced{m="value with spaces"} 5
+`
+	samples, err := Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"weird":     `a "quoted" value, with comma`,
+		"path":      `C:\store\piece`,
+		"multiline": "line1\nline2",
+		"tabbed":    "a\tb",
+		"spaced":    "value with spaces",
+	}
+	if len(samples) != len(want) {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	for _, s := range samples {
+		var got string
+		for _, v := range s.Labels {
+			got = v
+		}
+		if got != want[s.Name] {
+			t.Errorf("%s: label %q, want %q", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	page := `ratio_nan NaN
+gauge_posinf +Inf
+gauge_neginf -Inf
+gauge_bareinf Inf
+counter_exp 1.5e+09
+`
+	samples, err := Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if !math.IsNaN(byName["ratio_nan"]) {
+		t.Errorf("NaN parsed as %g", byName["ratio_nan"])
+	}
+	if !math.IsInf(byName["gauge_posinf"], 1) || !math.IsInf(byName["gauge_bareinf"], 1) {
+		t.Errorf("+Inf parsed as %g / %g", byName["gauge_posinf"], byName["gauge_bareinf"])
+	}
+	if !math.IsInf(byName["gauge_neginf"], -1) {
+		t.Errorf("-Inf parsed as %g", byName["gauge_neginf"])
+	}
+	if byName["counter_exp"] != 1.5e9 {
+		t.Errorf("exponent: %g", byName["counter_exp"])
+	}
+}
+
+func TestParseTimestamps(t *testing.T) {
+	// Upstream exporters may append a millisecond timestamp; it must
+	// not be mistaken for the value.
+	s, err := ParseLine(`requests_total{server="iod0"} 42 1712345678901`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 42 {
+		t.Errorf("value: %g", s.Value)
+	}
+	// A value-position word after the value that is not a timestamp is
+	// a malformed line.
+	if _, err := ParseLine(`requests_total 42 notatime`); err == nil {
+		t.Error("no error for trailing junk")
+	}
+}
+
+func TestParseHistogramPage(t *testing.T) {
+	page := `# HELP pario_iod_queue_wait_seconds wait
+# TYPE pario_iod_queue_wait_seconds histogram
+pario_iod_queue_wait_seconds_bucket{server="iod0",le="0.001"} 3
+pario_iod_queue_wait_seconds_bucket{server="iod0",le="+Inf"} 5
+pario_iod_queue_wait_seconds_sum{server="iod0"} 0.25
+pario_iod_queue_wait_seconds_count{server="iod0"} 5
+`
+	samples, err := Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	if samples[1].Label("le") != "+Inf" || samples[1].Value != 5 {
+		t.Errorf("inf bucket: %+v", samples[1])
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`bad{unterminated="x 1` + "\n",
+		`bad{key=unquoted} 1` + "\n",
+		"name{} notanumber\n",
+		`bad{="novalue"} 1` + "\n",
+		"too many fields here 1 2 3\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}

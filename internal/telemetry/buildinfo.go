@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo publishes the standard process-identity metrics on
+// reg:
+//
+//	pario_build_info{component,version,go_version} 1
+//	pario_process_start_time_seconds <unix seconds>
+//
+// component names the binary (e.g. "pvfsd", "blastd"); version comes
+// from the module build info when available ("devel" otherwise). A
+// build_info constant-1 gauge is the conventional way to attach
+// version labels to a scrape, and the start-time gauge lets dashboards
+// and the tsdb layer detect restarts without counter heuristics.
+func RegisterBuildInfo(reg *Registry, component string) {
+	if reg == nil {
+		return
+	}
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	reg.GaugeVec("pario_build_info",
+		"Constant 1, labeled with the component name and build versions.",
+		"component", "version", "go_version").
+		With(component, version, runtime.Version()).Set(1)
+	start := float64(time.Now().UnixNano()) / 1e9
+	reg.GaugeFunc("pario_process_start_time_seconds",
+		"Unix time the process registered its metrics, in seconds.",
+		func() float64 { return start })
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -11,17 +12,36 @@ import (
 
 // DebugServer is the opt-in observability endpoint every daemon and the
 // mpiblast client can expose (-debug-addr): Prometheus text /metrics,
-// recent spans at /debug/traces, and the standard net/http/pprof
-// profiling handlers.
+// recent spans at /debug/traces, optional alert state at /debug/alerts,
+// and the standard net/http/pprof profiling handlers.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	served chan struct{} // closed when the serve goroutine exits
+}
+
+// DebugOption extends the debug mux with optional endpoints.
+type DebugOption func(mux *http.ServeMux)
+
+// WithAlerts serves the value returned by snapshot as JSON on
+// /debug/alerts — the tsdb alert engine's current state, typically
+// engine.Alerts wrapped in a closure. Taking a plain func keeps
+// telemetry free of a tsdb dependency (tsdb already imports telemetry).
+func WithAlerts(snapshot func() any) DebugOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Alerts any `json:"alerts"`
+			}{Alerts: snapshot()})
+		})
+	}
 }
 
 // StartDebug serves the debug endpoints on addr (host:port; port 0
 // picks a free one). reg and tr may each be nil, disabling the
 // corresponding endpoint's content.
-func StartDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+func StartDebug(addr string, reg *Registry, tr *Tracer, opts ...DebugOption) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
@@ -49,16 +69,36 @@ func StartDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
-	go d.srv.Serve(ln)
+	for _, o := range opts {
+		o(mux)
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, served: make(chan struct{})}
+	go func() {
+		defer close(d.served)
+		d.srv.Serve(ln)
+	}()
 	return d, nil
 }
 
 // Addr returns the bound listen address.
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops the server immediately, dropping in-flight requests, and
+// waits for the serve goroutine to exit.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.served
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests (bounded by ctx), then waits for the serve goroutine to
+// exit — so a daemon's drain path leaves no goroutine behind.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	<-d.served
+	return err
+}
 
 // spanJSON is the wire shape of one span on /debug/traces. IDs are
 // rendered as fixed-width hex so they grep and join cleanly.

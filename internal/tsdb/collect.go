@@ -1,0 +1,222 @@
+package tsdb
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pario/internal/promtext"
+	"pario/internal/telemetry"
+)
+
+// Target is one remote /metrics endpoint the collector polls. Name
+// becomes the value of the "instance" label on every scraped series,
+// so the same metric family from different processes stays distinct.
+type Target struct {
+	Name string
+	Addr string // host:port or full http:// base URL
+}
+
+// InstanceLabel is the label the collector stamps scraped samples
+// with (local registry samples carry no instance label).
+const InstanceLabel = "instance"
+
+// ScrapeTimeout bounds one target's HTTP collection per tick.
+const ScrapeTimeout = 2 * time.Second
+
+// Collector samples metric sources into a Store on a fixed interval:
+// the process's own registry (rendered and re-parsed, so local and
+// scraped series share one shape) and any number of remote /metrics
+// endpoints. After each tick it evaluates the attached rule engine,
+// if any. Start launches the loop; Stop halts it and blocks until
+// the goroutine has exited, so callers can assert no goroutine leaks.
+type Collector struct {
+	store    *Store
+	interval time.Duration
+	registry *telemetry.Registry
+	engine   *Engine
+	client   *http.Client
+
+	mu      sync.Mutex
+	targets []Target
+	errs    map[string]error // last scrape error per target name
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithRegistry samples the process's own registry each tick.
+func WithRegistry(reg *telemetry.Registry) CollectorOption {
+	return func(c *Collector) { c.registry = reg }
+}
+
+// WithTargets adds remote /metrics endpoints to poll each tick.
+func WithTargets(targets ...Target) CollectorOption {
+	return func(c *Collector) { c.targets = append(c.targets, targets...) }
+}
+
+// WithEngine evaluates the rule engine after every sampling tick.
+func WithEngine(e *Engine) CollectorOption {
+	return func(c *Collector) { c.engine = e }
+}
+
+// DefaultInterval is the sampling period when none is given.
+const DefaultInterval = 2 * time.Second
+
+// NewCollector builds a collector writing into store every interval
+// (DefaultInterval if interval <= 0).
+func NewCollector(store *Store, interval time.Duration, opts ...CollectorOption) *Collector {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	c := &Collector{
+		store:    store,
+		interval: interval,
+		client:   &http.Client{Timeout: ScrapeTimeout},
+		errs:     make(map[string]error),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Store returns the store the collector writes into.
+func (c *Collector) Store() *Store { return c.store }
+
+// Interval returns the sampling period.
+func (c *Collector) Interval() time.Duration { return c.interval }
+
+// Engine returns the attached rule engine, or nil.
+func (c *Collector) Engine() *Engine { return c.engine }
+
+// AddTarget registers another endpoint while running.
+func (c *Collector) AddTarget(t Target) {
+	c.mu.Lock()
+	c.targets = append(c.targets, t)
+	c.mu.Unlock()
+}
+
+// TargetErr reports the last scrape error for target name (nil when
+// the last scrape succeeded or the target never scraped).
+func (c *Collector) TargetErr(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs[name]
+}
+
+// Start launches the sampling loop under ctx. The first sample is
+// taken immediately, so one interval after Start there are already two
+// points per series and rates are answerable. Start is idempotent.
+func (c *Collector) Start(ctx context.Context) {
+	c.startOnce.Do(func() {
+		select {
+		case <-c.done:
+			// Stopped before ever starting; stay stopped.
+			return
+		default:
+		}
+		ctx, c.cancel = context.WithCancel(ctx)
+		go func() {
+			defer close(c.done)
+			ticker := time.NewTicker(c.interval)
+			defer ticker.Stop()
+			c.CollectOnce(ctx)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					c.CollectOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and blocks until the goroutine has exited. Safe
+// to call multiple times, and before Start (it then only marks the
+// collector stopped).
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() {
+		if c.cancel == nil {
+			close(c.done)
+			return
+		}
+		c.cancel()
+	})
+	<-c.done
+}
+
+// CollectOnce performs one sampling pass: local registry, then every
+// target, then a rule-engine evaluation. It is exported so pull-based
+// front ends (pariotop) can sample on their own cadence instead of
+// running the background loop.
+func (c *Collector) CollectOnce(ctx context.Context) {
+	now := time.Now()
+	if c.registry != nil {
+		var buf bytes.Buffer
+		c.registry.WritePrometheus(&buf)
+		if samples, err := promtext.Parse(&buf); err == nil {
+			c.store.Append(now, samples, nil)
+		}
+	}
+	c.mu.Lock()
+	targets := append([]Target(nil), c.targets...)
+	c.mu.Unlock()
+	for _, t := range targets {
+		samples, err := c.scrape(ctx, t)
+		c.mu.Lock()
+		if err != nil {
+			c.errs[t.Name] = err
+		} else {
+			delete(c.errs, t.Name)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		c.store.Append(now, samples, map[string]string{InstanceLabel: t.Name})
+	}
+	if c.engine != nil {
+		c.engine.Eval(now)
+	}
+}
+
+func (c *Collector) scrape(ctx context.Context, t Target) ([]promtext.Sample, error) {
+	base := t.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/metrics"
+	ctx, cancel := context.WithTimeout(ctx, ScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	return promtext.Parse(bytes.NewReader(body))
+}

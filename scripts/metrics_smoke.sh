@@ -40,7 +40,9 @@ for family in \
     pario_iod_load \
     pario_iod_bytes_per_second \
     pario_iod_bytes_served_total \
-    pario_server_requests_total; do
+    pario_server_requests_total \
+    pario_build_info \
+    pario_process_start_time_seconds; do
     if ! grep -q "^# HELP $family " "$SCRAPE"; then
         echo "metrics-smoke: missing family $family" >&2
         status=1
