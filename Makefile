@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke collio-smoke alert-smoke
+.PHONY: build test check lint race bench bench-smoke bench-compare metrics-smoke report-smoke service-smoke collio-smoke alert-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check: lint
 	$(MAKE) service-smoke
 	$(MAKE) collio-smoke
 	$(MAKE) alert-smoke
+	$(MAKE) trace-smoke
 
 # go vet always; staticcheck and govulncheck when installed (the
 # container image may not carry them, and `go install` needs network).
@@ -60,6 +61,15 @@ collio-smoke:
 # stops, and pariotop to render live per-server RPC rates.
 alert-smoke:
 	sh ./scripts/alert_smoke.sh
+
+# Boot a CEFT mini-cluster with one throttled disk, queue one query
+# behind another at -max-concurrent 1, and require a single trace ID
+# to span the HTTP response, blastd's queue/cache/task/search spans, a
+# data server's serve:* span, the flight recorder (with a non-zero
+# queue wait) and a request-latency exemplar — then render it with
+# pariostat -query.
+trace-smoke:
+	sh ./scripts/trace_smoke.sh
 
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.

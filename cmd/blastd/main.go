@@ -90,6 +90,9 @@ func main() {
 
 		monitorInterval = flag.Duration("monitor-interval", blastd.DefaultMonitorInterval, "in-process monitor sampling period (0 disables alerts and /debug/alerts)")
 		alertRules      = flag.String("alert-rules", "", "path to extra alert rules layered over the defaults (one rule per line)")
+
+		slowQuery  = flag.Duration("slow-query", 0, "pin full span sets for queries at or over this latency (0 disables pinning)")
+		flightSize = flag.Int("flight-size", blastd.DefaultFlightSize, "per-query flight recorder entries served at /debug/queries")
 	)
 	flag.Parse()
 	logger = telemetry.NewProcessLogger("blastd")
@@ -273,6 +276,9 @@ func main() {
 		Registry:      reg,
 		Tracer:        tracer,
 		RPCOps:        rpcOps,
+		SlowQuery:     *slowQuery,
+		FlightSize:    *flightSize,
+		Logger:        logger,
 
 		MonitorInterval: *monitorInterval,
 		AlertRules:      extraRules,

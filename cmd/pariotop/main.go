@@ -91,6 +91,7 @@ func render(store *tsdb.Store, coll *tsdb.Collector, targets []tsdb.Target, now 
 	renderServers(&b, store, now, window)
 	renderClients(&b, store, now, window)
 	renderBlastd(&b, store, now, window)
+	renderSlowQueries(&b, targets)
 	renderCollio(&b, store, now, window)
 	renderAlerts(&b, targets)
 	renderTargetErrs(&b, coll, targets)
@@ -171,6 +172,85 @@ func renderBlastd(b *strings.Builder, store *tsdb.Store, now time.Time, window t
 		fmt.Fprintf(b, "  cache hit %.0f%%", 100*hits/(hits+misses))
 	}
 	b.WriteString("\n\n")
+}
+
+// slowQueryRows caps the slow-query panel.
+const slowQueryRows = 5
+
+// querySummary mirrors the fields of blastd's /debug/queries entries
+// that the panel shows; unknown fields are ignored, so the dashboard
+// keeps working against newer daemons.
+type querySummary struct {
+	TraceID string  `json:"trace_id"`
+	Client  string  `json:"client"`
+	DB      string  `json:"db"`
+	Cache   string  `json:"cache"`
+	Status  int     `json:"status"`
+	QueueMS float64 `json:"queue_ms"`
+	TotalMS float64 `json:"total_ms"`
+	Tasks   int     `json:"tasks"`
+	Slow    bool    `json:"slow"`
+}
+
+// renderSlowQueries polls each target's /debug/queries (only blastd
+// serves it; others are skipped) and lists the slowest recent queries
+// with the trace IDs that feed pariostat -query.
+func renderSlowQueries(b *strings.Builder, targets []tsdb.Target) {
+	client := &http.Client{Timeout: tsdb.ScrapeTimeout}
+	var all []querySummary
+	for _, t := range targets {
+		all = append(all, fetchQueries(client, t.Addr)...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].TotalMS > all[j].TotalMS })
+	if len(all) > slowQueryRows {
+		all = all[:slowQueryRows]
+	}
+	fmt.Fprintf(b, "SLOWEST RECENT QUERIES   total     queue  cache   tasks  status\n")
+	for _, q := range all {
+		id := q.TraceID
+		if id == "" {
+			id = "-"
+		}
+		mark := ""
+		if q.Slow {
+			mark = "  << slow"
+		}
+		fmt.Fprintf(b, "  %-16s %3s %8.1fms %7.1fms  %-6s %6d %7d%s\n",
+			id, q.DB, q.TotalMS, q.QueueMS, orDash(q.Cache), q.Tasks, q.Status, mark)
+	}
+	b.WriteByte('\n')
+}
+
+func fetchQueries(client *http.Client, addr string) []querySummary {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/debug/queries")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Queries []querySummary `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	return body.Queries
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // renderCollio shows the collective-I/O layer's merge effectiveness.

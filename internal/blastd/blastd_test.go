@@ -35,18 +35,18 @@ func TestCacheHitMiss(t *testing.T) {
 		calls.Add(1)
 		return &blast.Result{QueryID: "q"}, nil
 	}
-	res, cached, err := c.Do(context.Background(), testKey("a"), fn)
-	if err != nil || cached || res == nil {
-		t.Fatalf("first Do: res=%v cached=%v err=%v", res, cached, err)
+	res, status, err := c.Do(context.Background(), testKey("a"), fn)
+	if err != nil || status != cacheMiss || res == nil {
+		t.Fatalf("first Do: res=%v status=%v err=%v", res, status, err)
 	}
-	res, cached, err = c.Do(context.Background(), testKey("a"), fn)
-	if err != nil || !cached || res == nil {
-		t.Fatalf("second Do: res=%v cached=%v err=%v", res, cached, err)
+	res, status, err = c.Do(context.Background(), testKey("a"), fn)
+	if err != nil || status != cacheHit || res == nil {
+		t.Fatalf("second Do: res=%v status=%v err=%v", res, status, err)
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("backend ran %d times, want 1", calls.Load())
 	}
-	if _, cached, _ = c.Do(context.Background(), testKey("b"), fn); cached {
+	if _, status, _ = c.Do(context.Background(), testKey("b"), fn); status != cacheMiss {
 		t.Fatal("different key reported cached")
 	}
 	if calls.Load() != 2 {
@@ -117,7 +117,7 @@ func TestCacheEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("cache holds %d entries, want 2", c.Len())
 	}
-	if _, cached, _ := c.Do(context.Background(), testKey("a"), fn); cached {
+	if _, status, _ := c.Do(context.Background(), testKey("a"), fn); status != cacheMiss {
 		t.Fatal("oldest entry survived eviction")
 	}
 }
@@ -131,13 +131,13 @@ func TestCacheVersionBumpAndInvalidate(t *testing.T) {
 
 	v1 := makeCacheKey(q, "nt", "v1", p)
 	c.Do(context.Background(), v1, fn)
-	if _, cached, _ := c.Do(context.Background(), v1, fn); !cached {
+	if _, status, _ := c.Do(context.Background(), v1, fn); status != cacheHit {
 		t.Fatal("same version should hit")
 	}
 	// A database-version bump changes the key: stale entries are
 	// never consulted, even before invalidation runs.
 	v2 := makeCacheKey(q, "nt", "v2", p)
-	if _, cached, _ := c.Do(context.Background(), v2, fn); cached {
+	if _, status, _ := c.Do(context.Background(), v2, fn); status != cacheMiss {
 		t.Fatal("bumped version should miss")
 	}
 	other := makeCacheKey(q, "est", "v1", p)
@@ -146,10 +146,10 @@ func TestCacheVersionBumpAndInvalidate(t *testing.T) {
 	if n := c.InvalidateDB("nt"); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, cached, _ := c.Do(context.Background(), other, fn); !cached {
+	if _, status, _ := c.Do(context.Background(), other, fn); status != cacheHit {
 		t.Fatal("invalidation of nt touched est")
 	}
-	if _, cached, _ := c.Do(context.Background(), v1, fn); cached {
+	if _, status, _ := c.Do(context.Background(), v1, fn); status != cacheMiss {
 		t.Fatal("invalidated entry still served")
 	}
 }

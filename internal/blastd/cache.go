@@ -85,11 +85,19 @@ func newResultCache(max int) *resultCache {
 	}
 }
 
+// Cache lookup statuses reported by Do — also the values of the cache
+// span's status attribute and the flight recorder's cache field.
+const (
+	cacheHit    = "hit"    // answered from a stored entry
+	cacheMiss   = "miss"   // this caller ran the backend search
+	cacheShared = "shared" // joined an identical in-flight search
+)
+
 // Do returns the cached result for key, or runs fn exactly once to
 // produce it (concurrent callers with the same key wait for the first
-// call's outcome). cached reports whether the result came from the
-// cache rather than from this caller's own fn execution.
-func (c *resultCache) Do(ctx context.Context, key cacheKey, fn func() (*blast.Result, error)) (res *blast.Result, cached bool, err error) {
+// call's outcome). status reports how the result was obtained:
+// cacheHit, cacheMiss (this caller's own fn execution) or cacheShared.
+func (c *resultCache) Do(ctx context.Context, key cacheKey, fn func() (*blast.Result, error)) (res *blast.Result, status string, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -98,7 +106,7 @@ func (c *resultCache) Do(ctx context.Context, key cacheKey, fn func() (*blast.Re
 		if c.onHit != nil {
 			c.onHit()
 		}
-		return res, true, nil
+		return res, cacheHit, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
@@ -107,9 +115,9 @@ func (c *resultCache) Do(ctx context.Context, key cacheKey, fn func() (*blast.Re
 		}
 		select {
 		case <-f.done:
-			return f.res, true, f.err
+			return f.res, cacheShared, f.err
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, cacheShared, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -132,7 +140,7 @@ func (c *resultCache) Do(ctx context.Context, key cacheKey, fn func() (*blast.Re
 	if c.onEntries != nil {
 		c.onEntries(n)
 	}
-	return f.res, false, f.err
+	return f.res, cacheMiss, f.err
 }
 
 // addLocked inserts and evicts beyond capacity. Caller holds c.mu.

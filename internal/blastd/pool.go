@@ -152,7 +152,8 @@ func (p *workerPool) runWorker(ctx context.Context, rank int, quit chan struct{}
 		scratch = p.scratch(rank)
 	}
 	err := pblast.RunWorker(ctx, p.world.Comm(rank), fs, scratch,
-		pblast.WithPipeMetrics(p.pipe), pblast.WithQuit(quit))
+		pblast.WithPipeMetrics(p.pipe), pblast.WithQuit(quit),
+		pblast.WithWorkerTracer(p.cfg.Tracer()))
 	p.mu.Lock()
 	// A worker that left (or died) frees its rank for future growth;
 	// drop any still-open quit channel if the exit was unsolicited.

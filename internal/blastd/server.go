@@ -54,9 +54,23 @@ type Config struct {
 	CacheSize int
 
 	// Registry receives the service metrics (a fresh one is created
-	// if nil). Tracer, when set, enables /debug/traces.
+	// if nil). Tracer, when set, enables per-query tracing: the server
+	// starts a root span per request, threads it through admission,
+	// cache and the worker pool, and serves the spans on /debug/traces.
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+
+	// SlowQuery, when positive, marks queries whose end-to-end latency
+	// reaches it as slow in the flight recorder and pins their full
+	// span set against tracer-ring eviction, so the trace behind a bad
+	// latency is still whole when someone comes looking.
+	SlowQuery time.Duration
+	// FlightSize bounds the /debug/queries ring (default
+	// DefaultFlightSize).
+	FlightSize int
+	// Logger receives the per-request access-log lines (default: the
+	// process slog default).
+	Logger *slog.Logger
 
 	// MonitorInterval, when positive, starts the in-process monitor:
 	// a tsdb collector sampling Registry every interval, with the
@@ -92,6 +106,7 @@ type Server struct {
 	cache    *resultCache
 	queue    *admitQueue
 	pool     *workerPool
+	flight   *flightRecorder
 	monitor  *tsdb.Collector
 	draining atomic.Bool
 	started  time.Time
@@ -135,12 +150,20 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		reg = telemetry.NewRegistry()
 	}
 
+	// Thread the tracer into the scheduler and its in-process workers:
+	// the master records per-task spans, the workers their search and
+	// I/O spans, all under the request's trace.
+	if cfg.Tracer != nil {
+		cfg.Search = cfg.Search.Apply(pblast.WithTracer(cfg.Tracer))
+	}
+
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
 		catalog: newDBCatalog(cfg.FS, cfg.DBs),
 		cache:   newResultCache(cfg.CacheSize),
 		queue:   newAdmitQueue(cfg.QueueDepth, cfg.MaxPerClient, cfg.MaxConcurrent),
+		flight:  newFlightRecorder(cfg.FlightSize),
 		started: time.Now(),
 	}
 
@@ -266,16 +289,88 @@ type SearchResponse struct {
 	Cached    bool          `json:"cached"`
 	ElapsedMS float64       `json:"elapsed_ms"`
 	NumHits   int           `json:"num_hits"`
+	TraceID   string        `json:"trace_id,omitempty"`
 	Result    *blast.Result `json:"result"`
 }
 
 // Search runs one request through admission, cache and pool. Errors
 // satisfy the package error contract (ErrBadQuery, ErrDBNotFound,
 // ErrOverloaded, ErrQuotaExceeded, ErrDraining) where applicable.
+//
+// With a Tracer configured, the whole request runs under one trace:
+// the HTTP handler's root span when called through Handler, or a root
+// opened here for direct callers. Queue wait, cache lookup, the
+// scheduler's per-task spans and the workers' search and I/O spans all
+// share its trace ID, and every outcome — including rejections — lands
+// in the flight recorder at /debug/queries.
 func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
 	start := time.Now()
 	if s.draining.Load() {
 		return nil, ErrDraining
+	}
+
+	var root *telemetry.ActiveSpan
+	if _, ok := telemetry.SpanFromContext(ctx); !ok && s.cfg.Tracer != nil {
+		ctx, root = s.cfg.Tracer.Start(ctx, "request")
+	}
+	sc, _ := telemetry.SpanFromContext(ctx)
+
+	client := req.Client
+	if client == "" {
+		client = "anonymous"
+	}
+	fe := QuerySummary{
+		TraceID:       traceIDString(sc.TraceID),
+		Client:        client,
+		DB:            req.DB,
+		Priority:      req.Priority,
+		Start:         start,
+		StragglerTask: -1,
+	}
+	var (
+		queueWait   time.Duration
+		runTime     time.Duration
+		out         *pblast.Outcome
+		cacheStatus string
+	)
+	// finish closes the request's trace and files its flight-recorder
+	// entry; every return path goes through it.
+	finish := func(err error) error {
+		total := time.Since(start)
+		fe.Status = http.StatusOK
+		if err != nil {
+			fe.Status = httpStatus(err)
+			fe.Err = err.Error()
+		}
+		fe.Cache = cacheStatus
+		fe.QueueMS = durMS(queueWait)
+		fe.RunMS = durMS(runTime)
+		fe.TotalMS = durMS(total)
+		if out != nil {
+			fe.Tasks = len(out.TaskTimes)
+			fe.CopyMS = durMS(out.CopyTime)
+			fe.SearchMS = durMS(out.SearchTime)
+			fe.Reassigned = out.Reassigned
+			for idx, d := range out.TaskTimes {
+				if ms := durMS(d); ms > fe.StragglerMS || fe.StragglerTask < 0 {
+					fe.StragglerTask, fe.StragglerMS = idx, ms
+				}
+			}
+		}
+		if s.cfg.SlowQuery > 0 && total >= s.cfg.SlowQuery {
+			fe.Slow = true
+			s.cfg.Tracer.PinTrace(sc.TraceID)
+		}
+		for _, sp := range s.cfg.Tracer.TraceSpans(sc.TraceID) {
+			if sp.Name == "read" {
+				fe.Bytes += sp.Bytes
+			}
+		}
+		s.flight.add(fe)
+		if root != nil {
+			root.Finish(err)
+		}
+		return err
 	}
 
 	progName := req.Program
@@ -284,16 +379,16 @@ func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchRespons
 	}
 	prog, err := blast.ParseProgram(progName)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return nil, finish(fmt.Errorf("%w: %v", ErrBadQuery, err))
 	}
 	query, err := parseQuery(req.Query, prog.QueryKind())
 	if err != nil {
-		return nil, err
+		return nil, finish(err)
 	}
 
 	info, err := s.catalog.Lookup(req.DB)
 	if err != nil {
-		return nil, err
+		return nil, finish(err)
 	}
 
 	params := s.cfg.Search.Params
@@ -307,26 +402,40 @@ func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchRespons
 	}
 	params.Greedy = req.Megablast
 	params.Filter = req.Filter
+	fe.Params = paramsSignature(params)
 
-	client := req.Client
-	if client == "" {
-		client = "anonymous"
-	}
+	// Queue span: a sibling of the later cache span (the returned ctx
+	// is discarded), annotated with the priority and the queue depth
+	// seen at enqueue.
+	depthAt := s.queue.Depth()
+	queueStart := time.Now()
+	_, qspan := s.cfg.Tracer.Start(ctx, "queue")
+	qspan.SetAttr("priority", fmt.Sprint(req.Priority))
+	qspan.SetAttr("depth", fmt.Sprint(depthAt))
 	release, err := s.queue.Admit(ctx, client, req.Priority)
+	queueWait = time.Since(queueStart)
+	qspan.Finish(err)
 	if err != nil {
-		return nil, err
+		return nil, finish(err)
 	}
 	defer release()
 
+	// Cache span: on a miss it covers the backend run, and the pool
+	// submission happens under its context so the scheduler's task
+	// spans become its children; on a hit or shared flight it shows
+	// the lookup or the wait.
+	cctx, cspan := s.cfg.Tracer.Start(ctx, "cache")
 	key := makeCacheKey(*query, req.DB, info.Version, params)
-	res, cached, err := s.cache.Do(ctx, key, func() (*blast.Result, error) {
+	res, cacheStatus, err := s.cache.Do(cctx, key, func() (*blast.Result, error) {
+		runStart := time.Now()
+		defer func() { runTime = time.Since(runStart) }()
 		s.mInflight.Add(1)
 		defer s.mInflight.Add(-1)
 		var opsBefore int64
 		if s.mRPCOps != nil {
 			opsBefore = s.cfg.RPCOps()
 		}
-		out, err := s.pool.Submit(ctx, query, params, info.Alias)
+		o, err := s.pool.Submit(cctx, query, params, info.Alias)
 		if s.mRPCOps != nil {
 			if d := s.cfg.RPCOps() - opsBefore; d >= 0 {
 				s.mRPCOps.Observe(float64(d))
@@ -335,20 +444,39 @@ func (s *Server) Search(ctx context.Context, req *SearchRequest) (*SearchRespons
 		if err != nil {
 			return nil, err
 		}
-		return out.Result, nil
+		out = o
+		return o.Result, nil
 	})
+	cspan.SetAttr("status", cacheStatus)
+	cspan.Finish(err)
 	if err != nil {
-		return nil, err
+		return nil, finish(err)
 	}
+	finish(nil)
 	return &SearchResponse{
 		QueryID:   query.ID,
 		DB:        req.DB,
 		DBVersion: info.Version,
-		Cached:    cached,
+		Cached:    cacheStatus != cacheMiss,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		NumHits:   len(res.Hits),
+		TraceID:   traceIDString(sc.TraceID),
 		Result:    res,
 	}, nil
+}
+
+// durMS renders a duration as fractional milliseconds.
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// traceIDString renders a trace ID as fixed-width hex, or "" when
+// tracing is off.
+func traceIDString(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return telemetry.IDString(id)
 }
 
 // parseQuery accepts a FASTA record or a bare sequence.
@@ -432,7 +560,8 @@ func (s *Server) Close() error {
 //	GET  /metrics           Prometheus text metrics
 //	GET  /healthz           200 ok / 503 draining
 //	POST /admin/invalidate  ?db=NAME re-version a database, drop its cache
-//	GET  /debug/traces      recent I/O spans (when a Tracer is configured)
+//	GET  /debug/traces      recent spans; ?trace=<id> one trace, ?limit=N tail
+//	GET  /debug/queries     flight recorder: per-query summaries, newest first
 //	GET  /debug/alerts      alert engine state (when the monitor is on)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -473,60 +602,88 @@ func (s *Server) Handler() http.Handler {
 			Alerts []tsdb.Alert `json:"alerts"`
 		}{Alerts: alerts})
 	})
-	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /debug/traces", telemetry.TracesHandler(s.cfg.Tracer))
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		type spanJSON struct {
-			Name       string `json:"name"`
-			Server     string `json:"server,omitempty"`
-			DurationUS int64  `json:"duration_us"`
-			Bytes      int64  `json:"bytes,omitempty"`
-			Err        string `json:"err,omitempty"`
+		queries := s.flight.Recent()
+		if queries == nil {
+			queries = []QuerySummary{}
 		}
-		spans := s.cfg.Tracer.Recent()
-		out := make([]spanJSON, len(spans))
-		for i, sp := range spans {
-			out[i] = spanJSON{Name: sp.Name, Server: sp.Server,
-				DurationUS: sp.Duration.Microseconds(), Bytes: sp.Bytes, Err: sp.Err}
-		}
-		json.NewEncoder(w).Encode(map[string]any{"spans": out})
+		json.NewEncoder(w).Encode(struct {
+			Queries []QuerySummary `json:"queries"`
+		}{Queries: queries})
 	})
 	return mux
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// Root span for the whole request; its trace ID goes out on the
+	// response header immediately, so even a failed request hands the
+	// caller the handle to its spans.
+	ctx, root := s.cfg.Tracer.Start(r.Context(), "request")
+	tid := root.Context().TraceID
+	if tid != 0 {
+		w.Header().Set("X-Pario-Trace", telemetry.IDString(tid))
+	}
 	var req SearchRequest
 	body := io.LimitReader(r.Body, 16<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.finishRequest(w, http.StatusBadRequest,
-			fmt.Errorf("%w: invalid JSON: %v", ErrBadQuery, err), start)
+		err = fmt.Errorf("%w: invalid JSON: %v", ErrBadQuery, err)
+		root.Finish(err)
+		s.finishRequest(w, http.StatusBadRequest, err, start, tid, clientAddr(r))
 		return
 	}
 	if req.Client == "" {
 		req.Client = r.Header.Get("X-Client")
 	}
 	if req.Client == "" {
-		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-			req.Client = host
-		} else {
-			req.Client = r.RemoteAddr
-		}
+		req.Client = clientAddr(r)
 	}
-	resp, err := s.Search(r.Context(), &req)
+	resp, err := s.Search(ctx, &req)
 	if err != nil {
-		s.finishRequest(w, httpStatus(err), err, start)
+		root.Finish(err)
+		s.finishRequest(w, httpStatus(err), err, start, tid, req.Client)
 		return
 	}
+	root.Finish(nil)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
-	s.mRequests.With(fmt.Sprint(http.StatusOK)).Inc()
-	s.mReqSecs.ObserveDuration(time.Since(start))
+	s.observeRequest(http.StatusOK, nil, start, tid, req.Client)
 }
 
-func (s *Server) finishRequest(w http.ResponseWriter, code int, err error, start time.Time) {
+// clientAddr is the transport-level fallback client identity.
+func clientAddr(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+func (s *Server) finishRequest(w http.ResponseWriter, code int, err error, start time.Time, tid uint64, client string) {
 	writeErrorCode(w, code, err)
+	s.observeRequest(code, err, start, tid, client)
+}
+
+// observeRequest is the single exit point of every HTTP search
+// request: status-code counter, latency histogram (with the trace ID
+// as the bucket's exemplar), and one access-log line — so a shed 429
+// or malformed 400 is just as attributable as a success.
+func (s *Server) observeRequest(code int, err error, start time.Time, tid uint64, client string) {
+	dur := time.Since(start)
 	s.mRequests.With(fmt.Sprint(code)).Inc()
-	s.mReqSecs.ObserveDuration(time.Since(start))
+	s.mReqSecs.ObserveExemplar(dur.Seconds(), tid)
+	logger := s.cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if err != nil {
+		logger.Info("request", "trace", traceIDString(tid), "client", client,
+			"status", code, "dur", dur, "err", err.Error())
+		return
+	}
+	logger.Info("request", "trace", traceIDString(tid), "client", client,
+		"status", code, "dur", dur)
 }
 
 // httpStatus maps the package error contract onto HTTP statuses.

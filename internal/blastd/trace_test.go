@@ -1,0 +1,273 @@
+package blastd
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pario/internal/telemetry"
+)
+
+func newTracedServer(t *testing.T, mutate func(*Config)) (*telemetry.Tracer, *httptest.Server, string) {
+	t.Helper()
+	tr := telemetry.NewTracer(0)
+	srv, _, query := newTestServer(t, func(cfg *Config) {
+		cfg.Tracer = tr
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(SearchRequest{
+		DB:     "nt",
+		Query:  ">" + query.ID + "\n" + string(query.Data),
+		Client: "tracer",
+	})
+	return tr, ts, string(body)
+}
+
+func postSearch(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func spanNames(t *testing.T, baseURL, traceID string) map[string]int {
+	t.Helper()
+	var page struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	getJSON(t, baseURL+"/debug/traces?trace="+traceID, &page)
+	names := map[string]int{}
+	for _, sp := range page.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+func TestServerTraceEndToEnd(t *testing.T) {
+	_, ts, body := newTracedServer(t, nil)
+
+	resp, out := postSearch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	tid := resp.Header.Get("X-Pario-Trace")
+	if len(tid) != 16 {
+		t.Fatalf("X-Pario-Trace = %q, want 16 hex digits", tid)
+	}
+	if _, err := strconv.ParseUint(tid, 16, 64); err != nil {
+		t.Fatalf("X-Pario-Trace not hex: %v", err)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID != tid {
+		t.Fatalf("body trace_id %q != header %q", sr.TraceID, tid)
+	}
+
+	// The cold query's trace decomposes into every layer.
+	names := spanNames(t, ts.URL, tid)
+	for _, want := range []string{"request", "queue", "cache", "task", "search"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span: %v", want, names)
+		}
+	}
+	if names["task"] != 4 || names["search"] != 4 {
+		t.Errorf("task/search spans = %d/%d, want 4/4 (one per fragment)", names["task"], names["search"])
+	}
+
+	// The flight recorder attributes the query.
+	var page struct {
+		Queries []QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &page)
+	if len(page.Queries) != 1 {
+		t.Fatalf("flight recorder has %d entries, want 1", len(page.Queries))
+	}
+	q := page.Queries[0]
+	if q.TraceID != tid || q.Client != "tracer" || q.DB != "nt" {
+		t.Fatalf("flight entry = %+v", q)
+	}
+	if q.Cache != cacheMiss || q.Tasks != 4 || q.Status != http.StatusOK {
+		t.Fatalf("cold query entry = %+v", q)
+	}
+	if q.TotalMS <= 0 || q.StragglerTask < 0 {
+		t.Fatalf("timings not filled: %+v", q)
+	}
+
+	// The request-latency histogram links back via an exemplar.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `trace_id="`+tid+`"`) {
+		t.Error("request histogram has no exemplar for the trace")
+	}
+
+	// A repeat of the same query hits the cache: fresh trace, queue and
+	// cache spans but no tasks.
+	resp2, _ := postSearch(t, ts, body)
+	tid2 := resp2.Header.Get("X-Pario-Trace")
+	if tid2 == "" || tid2 == tid {
+		t.Fatalf("cache hit trace = %q (first %q)", tid2, tid)
+	}
+	names2 := spanNames(t, ts.URL, tid2)
+	if names2["request"] == 0 || names2["queue"] == 0 || names2["cache"] == 0 {
+		t.Errorf("cache-hit trace missing service spans: %v", names2)
+	}
+	if names2["task"] != 0 || names2["search"] != 0 {
+		t.Errorf("cache hit still ran tasks: %v", names2)
+	}
+	var page2 struct {
+		Queries []QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &page2)
+	if page2.Queries[0].Cache != cacheHit || page2.Queries[0].Tasks != 0 {
+		t.Fatalf("cache-hit entry = %+v", page2.Queries[0])
+	}
+}
+
+func TestFlightRecorderKeepsRejections(t *testing.T) {
+	_, ts, _ := newTracedServer(t, nil)
+	resp, _ := postSearch(t, ts, `{"db":"nt"}`) // empty query -> 400
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Pario-Trace") == "" {
+		t.Error("rejected request got no trace ID")
+	}
+	var page struct {
+		Queries []QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &page)
+	if len(page.Queries) != 1 {
+		t.Fatalf("flight recorder has %d entries, want 1", len(page.Queries))
+	}
+	q := page.Queries[0]
+	if q.Status != http.StatusBadRequest || q.Err == "" {
+		t.Fatalf("rejection entry = %+v", q)
+	}
+}
+
+func TestSlowQueryPinsTrace(t *testing.T) {
+	tr, ts, body := newTracedServer(t, func(cfg *Config) {
+		cfg.SlowQuery = time.Nanosecond // everything is slow
+	})
+	resp, _ := postSearch(t, ts, body)
+	tid := resp.Header.Get("X-Pario-Trace")
+	id, err := strconv.ParseUint(tid, 16, 64)
+	if err != nil {
+		t.Fatalf("trace id %q: %v", tid, err)
+	}
+	before := len(tr.TraceSpans(id))
+	if before == 0 {
+		t.Fatal("no spans for the slow query")
+	}
+	// Flood the ring far past its capacity; the pinned set must survive.
+	for i := 0; i < telemetry.DefaultSpanBuffer+64; i++ {
+		tr.Record(telemetry.Span{TraceID: 0x9999, SpanID: uint64(i + 1), Name: "noise"})
+	}
+	after := tr.TraceSpans(id)
+	if len(after) < before {
+		t.Fatalf("pinned trace shrank: %d -> %d spans", before, len(after))
+	}
+	var page struct {
+		Queries []QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &page)
+	if !page.Queries[0].Slow {
+		t.Fatalf("query not marked slow: %+v", page.Queries[0])
+	}
+}
+
+func TestDirectSearchOpensRootSpan(t *testing.T) {
+	tr := telemetry.NewTracer(0)
+	srv, _, query := newTestServer(t, func(cfg *Config) { cfg.Tracer = tr })
+	resp, err := srv.Search(context.Background(), &SearchRequest{
+		DB: "nt", Query: ">" + query.ID + "\n" + string(query.Data), Client: "direct",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("direct Search returned no trace ID")
+	}
+	var sawRoot bool
+	for _, sp := range tr.Recent() {
+		if sp.Name == "request" && telemetry.IDString(sp.TraceID) == resp.TraceID {
+			sawRoot = true
+			if sp.Parent != 0 {
+				t.Errorf("direct root span has parent %x", sp.Parent)
+			}
+		}
+	}
+	if !sawRoot {
+		t.Error("direct Search recorded no root span")
+	}
+}
+
+func TestUntracedServerStillServes(t *testing.T) {
+	// No tracer at all: headers, debug endpoints and the flight
+	// recorder must all degrade gracefully.
+	srv, _, query := newTestServer(t, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b, _ := json.Marshal(SearchRequest{DB: "nt", Query: ">" + query.ID + "\n" + string(query.Data), Client: "plain"})
+	resp, out := postSearch(t, ts, string(b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if h := resp.Header.Get("X-Pario-Trace"); h != "" {
+		t.Fatalf("untraced server sent X-Pario-Trace %q", h)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID != "" {
+		t.Fatalf("untraced response carries trace_id %q", sr.TraceID)
+	}
+	var page struct {
+		Queries []QuerySummary `json:"queries"`
+	}
+	getJSON(t, ts.URL+"/debug/queries", &page)
+	if len(page.Queries) != 1 || page.Queries[0].TraceID != "" {
+		t.Fatalf("untraced flight entries = %+v", page.Queries)
+	}
+}

@@ -361,12 +361,12 @@ func criticalPath(run RunInfo, trees []*TraceTree, snaps []Snapshot) CriticalPat
 			if sec < 0 {
 				sec = 0
 			}
-			switch {
-			case n.Span.Name == "read" || n.Span.Name == "write":
+			switch spanCategory(n.Span.Name) {
+			case "client io":
 				cp.ClientIOSeconds += sec
-			case hasPrefix(n.Span.Name, "rpc:"):
+			case "rpc":
 				cp.RPCSeconds += sec
-			case hasPrefix(n.Span.Name, "serve:"):
+			case "server":
 				cp.ServerSeconds += sec
 			}
 		})
@@ -381,6 +381,26 @@ func criticalPath(run RunInfo, trees []*TraceTree, snaps []Snapshot) CriticalPat
 
 func hasPrefix(s, prefix string) bool {
 	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// spanCategory maps a span name onto the critical-path component it
+// contributes to — the same classification for whole-run reports and
+// for single-query timelines. Service-level span names (request,
+// queue, cache, task, search) are their own categories; everything
+// else falls through to "" and is counted nowhere.
+func spanCategory(name string) string {
+	switch {
+	case name == "read" || name == "write":
+		return "client io"
+	case hasPrefix(name, "rpc:"):
+		return "rpc"
+	case hasPrefix(name, "serve:"):
+		return "server"
+	case name == "request" || name == "queue" || name == "cache" ||
+		name == "task" || name == "search":
+		return name
+	}
+	return ""
 }
 
 func imbalance(servers []ServerStat, workers []WorkerStat) Imbalance {

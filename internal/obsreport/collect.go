@@ -184,9 +184,10 @@ type tracesDoc struct {
 		Name       string    `json:"name"`
 		Server     string    `json:"server"`
 		Start      time.Time `json:"start"`
-		DurationUS int64     `json:"duration_us"`
-		Bytes      int64     `json:"bytes"`
-		Err        string    `json:"err"`
+		DurationUS int64             `json:"duration_us"`
+		Bytes      int64             `json:"bytes"`
+		Err        string            `json:"err"`
+		Attrs      map[string]string `json:"attrs"`
 	} `json:"spans"`
 }
 
@@ -222,6 +223,7 @@ func ParseTraces(body []byte) ([]telemetry.Span, error) {
 			Duration: time.Duration(js.DurationUS) * time.Microsecond,
 			Bytes:    js.Bytes,
 			Err:      js.Err,
+			Attrs:    js.Attrs,
 		})
 	}
 	return out, nil

@@ -1,0 +1,258 @@
+package obsreport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Target is one process to pull trace spans from: its display name and
+// the host:port (or http:// URL) of its debug endpoint.
+type Target struct {
+	Process string
+	Addr    string
+}
+
+// ParseTargets parses the -targets flag form
+// "name=host:port,name=host:port". A bare "host:port" entry gets a
+// positional name ("p0", "p1", ...).
+func ParseTargets(s string) ([]Target, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("obsreport: no targets given")
+	}
+	var out []Target
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			name, addr = fmt.Sprintf("p%d", i), part
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("obsreport: bad target %q", part)
+		}
+		out = append(out, Target{Process: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obsreport: no targets given")
+	}
+	return out, nil
+}
+
+// FetchTraceSpans asks every target for its spans of one trace
+// (GET /debug/traces?trace=<id>) and merges them, each tagged with the
+// process it came from. Per-target failures are returned alongside the
+// spans that did arrive — a dead worker must not hide the rest of the
+// query's timeline.
+func FetchTraceSpans(ctx context.Context, targets []Target, traceID uint64) ([]SpanRecord, []error) {
+	var (
+		spans []SpanRecord
+		errs  []error
+	)
+	for _, t := range targets {
+		base := t.Addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimRight(base, "/")
+		tctx, cancel := context.WithTimeout(ctx, ScrapeTimeout)
+		body, err := httpGet(tctx, fmt.Sprintf("%s/debug/traces?trace=%016x", base, traceID))
+		cancel()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("obsreport: fetch %s: %w", t.Process, err))
+			continue
+		}
+		got, err := ParseTraces(body)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("obsreport: fetch %s: %w", t.Process, err))
+			continue
+		}
+		for _, sp := range got {
+			if sp.TraceID != traceID {
+				continue
+			}
+			spans = append(spans, SpanRecord{Span: sp, Process: t.Process})
+		}
+	}
+	return spans, errs
+}
+
+// AssembleQuery builds the single-trace tree for one query from its
+// collected spans (nil when none of them carry the trace ID).
+func AssembleQuery(traceID uint64, spans []SpanRecord) *TraceTree {
+	var mine []SpanRecord
+	for _, sr := range spans {
+		if sr.TraceID == traceID {
+			mine = append(mine, sr)
+		}
+	}
+	if len(mine) == 0 {
+		return nil
+	}
+	return assembleOne(traceID, mine)
+}
+
+// QueryPhase is one row of a query's per-phase decomposition.
+type QueryPhase struct {
+	Name    string
+	Spans   int
+	Seconds float64
+	Bytes   int64
+}
+
+// queryPhaseOrder fixes the rendering order: service phases in request
+// order, then the storage layers the search decomposes into.
+var queryPhaseOrder = []string{
+	"request", "queue", "cache", "task", "search", "client io", "rpc", "server",
+}
+
+// QueryPhases folds a single query's trace into per-phase sums using
+// the same span classification as the whole-run critical path. Like the
+// critical path, phases overlap (a search span contains its read spans)
+// and parallel tasks sum, so rows do not add up to the request time.
+func QueryPhases(t *TraceTree) []QueryPhase {
+	agg := map[string]*QueryPhase{}
+	t.Walk(func(n *SpanNode, _ int) {
+		if n.Duplicate {
+			return
+		}
+		cat := spanCategory(n.Span.Name)
+		if cat == "" {
+			return
+		}
+		p := agg[cat]
+		if p == nil {
+			p = &QueryPhase{Name: cat}
+			agg[cat] = p
+		}
+		p.Spans++
+		if sec := n.Span.Duration.Seconds(); sec > 0 {
+			p.Seconds += sec
+		}
+		p.Bytes += n.Span.Bytes
+	})
+	var out []QueryPhase
+	for _, name := range queryPhaseOrder {
+		if p, ok := agg[name]; ok {
+			out = append(out, *p)
+			delete(agg, name)
+		}
+	}
+	for _, name := range sortedKeys(agg) {
+		out = append(out, *agg[name])
+	}
+	return out
+}
+
+// ganttWidth is the bar width of the per-span timeline.
+const ganttWidth = 40
+
+// RenderQuery writes one query's cross-process story: the span tree
+// with a time-aligned gantt, then the per-phase decomposition. Bars are
+// positioned off each span's own wall clock, so offsets between
+// processes on different hosts inherit their clock skew — fine on one
+// machine, indicative across a cluster.
+func RenderQuery(w io.Writer, t *TraceTree) {
+	if t == nil || t.Spans == 0 {
+		fmt.Fprintln(w, "no spans collected for this trace")
+		return
+	}
+	title := fmt.Sprintf("query trace %016x", t.TraceID)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%d spans", t.Spans)
+	if t.Orphans > 0 || t.Duplicates > 0 {
+		fmt.Fprintf(w, " (%d orphaned, %d duplicate)", t.Orphans, t.Duplicates)
+	}
+	fmt.Fprintln(w)
+
+	// The time window: earliest start to latest end across every span.
+	var t0, t1 time.Time
+	t.Walk(func(n *SpanNode, _ int) {
+		if n.Span.Start.IsZero() {
+			return
+		}
+		end := n.Span.Start.Add(n.Span.Duration)
+		if t0.IsZero() || n.Span.Start.Before(t0) {
+			t0 = n.Span.Start
+		}
+		if end.After(t1) {
+			t1 = end
+		}
+	})
+	window := t1.Sub(t0).Seconds()
+
+	fmt.Fprintln(w)
+	t.Walk(func(n *SpanNode, depth int) {
+		label := strings.Repeat("  ", depth) + n.Span.Name
+		where := n.Process
+		if n.Span.Server != "" && n.Span.Server != n.Process {
+			where = n.Process + "/" + n.Span.Server
+		}
+		var flags []string
+		if n.Orphan {
+			flags = append(flags, "orphan")
+		}
+		if n.Duplicate {
+			flags = append(flags, "duplicate")
+		}
+		if n.Span.Err != "" {
+			flags = append(flags, n.Span.Err)
+		}
+		for _, k := range sortedKeys(n.Span.Attrs) {
+			flags = append(flags, k+"="+n.Span.Attrs[k])
+		}
+		suffix := ""
+		if len(flags) > 0 {
+			suffix = "  [" + strings.Join(flags, " ") + "]"
+		}
+		fmt.Fprintf(w, "  %-26s %-16s %9s  |%s|%s\n",
+			label, where, seconds(n.Span.Duration.Seconds()),
+			ganttBar(n.Span.Start, n.Span.Duration, t0, window), suffix)
+	})
+
+	fmt.Fprintf(w, "\nPhases (summed component time; overlapping layers)\n")
+	phases := QueryPhases(t)
+	var denom float64
+	for _, p := range phases {
+		if p.Seconds > denom {
+			denom = p.Seconds
+		}
+	}
+	for _, p := range phases {
+		extra := ""
+		if p.Bytes > 0 {
+			extra = fmt.Sprintf("  %d bytes", p.Bytes)
+		}
+		fmt.Fprintf(w, "  %-10s %4d spans %10s  %-30s%s\n",
+			p.Name, p.Spans, seconds(p.Seconds), bar(p.Seconds, denom, 30), extra)
+	}
+}
+
+// ganttBar places a span inside the window as a fixed-width track:
+// dots before the start offset, hashes for the duration.
+func ganttBar(start time.Time, dur time.Duration, t0 time.Time, window float64) string {
+	if start.IsZero() || window <= 0 {
+		return strings.Repeat(" ", ganttWidth)
+	}
+	off := start.Sub(t0).Seconds()
+	if off < 0 {
+		off = 0
+	}
+	lead := int(off / window * ganttWidth)
+	if lead > ganttWidth-1 {
+		lead = ganttWidth - 1
+	}
+	n := int(dur.Seconds() / window * float64(ganttWidth))
+	if n < 1 {
+		n = 1
+	}
+	if lead+n > ganttWidth {
+		n = ganttWidth - lead
+	}
+	track := strings.Repeat(".", lead) + strings.Repeat("#", n)
+	return track + strings.Repeat(" ", ganttWidth-len(track))
+}

@@ -6,6 +6,7 @@ import (
 	"pario/internal/blast"
 	"pario/internal/collio"
 	"pario/internal/readahead"
+	"pario/internal/telemetry"
 )
 
 // Option adjusts one knob of a search Config, in the same
@@ -82,6 +83,19 @@ func WithTaskTimeout(d time.Duration) Option {
 // workers.
 func WithTelemetry(t *Telemetry) Option {
 	return func(c *Config) { c.tel = t }
+}
+
+// WithTracer records master-side "task" spans — one per assignment of
+// every traced task — into t. The tracer stays local to the master
+// process: workers install their own with WithWorkerTracer.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(c *Config) { c.tracer = t }
+}
+
+// Tracer reports the master-side span tracer, if any — consumed by
+// in-process worker runners that want the same sink on both sides.
+func (c Config) Tracer() *telemetry.Tracer {
+	return c.tracer
 }
 
 // WithReadahead wraps every in-process worker's file system in the

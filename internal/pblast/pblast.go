@@ -36,6 +36,7 @@ import (
 	"pario/internal/mpi"
 	"pario/internal/readahead"
 	"pario/internal/seq"
+	"pario/internal/telemetry"
 )
 
 // Mode selects the parallelization strategy (§2.2 of the paper).
@@ -106,6 +107,9 @@ type Config struct {
 	// Local to the runner for the same reason as readahead.
 	collEnable bool
 	collOpts   []collio.Option
+	// tracer records master-side task spans for submissions that carry
+	// a span context. Unexported so it stays out of the job broadcast.
+	tracer *telemetry.Tracer
 }
 
 // SetTelemetry installs the master-side scheduling telemetry sink.
@@ -139,6 +143,16 @@ type taskMsg struct {
 	// statistics (E-values are database-wide, not per-fragment).
 	DBLetters int64
 	DBSeqs    int64
+
+	// TraceID/SpanID propagate the submitting query's trace to the
+	// worker, the same way rpcpool.Request carries the client span to
+	// the data servers: additive gob fields, so an old worker decodes
+	// a new master's task (ignoring them) and a new worker sees zeros
+	// from an old master (disabling tracing) — the search itself is
+	// unaffected either way. SpanID is this task's own span identity;
+	// the worker parents its search span under it.
+	TraceID uint64
+	SpanID  uint64
 }
 
 type resultMsg struct {
@@ -215,9 +229,9 @@ func RunMaster(ctx context.Context, c mpi.Comm, fs chio.FileSystem, query *seq.S
 	var sub *submission
 	if cfg.Mode == QuerySegmentation {
 		pieces := splitQuery(query.Len(), c.Size()-1, cfg.queryOverlap(), cfg.Params)
-		sub, err = st.submitPieces(query, cfg.Params, alias, pieces)
+		sub, err = st.submitPieces(ctx, query, cfg.Params, alias, pieces)
 	} else {
-		sub, err = st.submit(query, cfg.Params, alias)
+		sub, err = st.submit(ctx, query, cfg.Params, alias)
 	}
 	if err != nil {
 		st.Close()
@@ -274,7 +288,7 @@ func RunMasterBatch(ctx context.Context, c mpi.Comm, fs chio.FileSystem, queries
 	nFrags := len(alias.Fragments)
 	subs := make([]*submission, 0, len(queries))
 	for _, q := range queries {
-		sub, err := st.submit(q, cfg.Params, alias)
+		sub, err := st.submit(ctx, q, cfg.Params, alias)
 		if err != nil {
 			st.Close()
 			return nil, err
@@ -384,8 +398,9 @@ func splitQuery(length, n, overlap int, p blast.Params) []piece {
 type WorkerOption func(*workerOpts)
 
 type workerOpts struct {
-	pipe *blast.PipeMetrics
-	quit <-chan struct{}
+	pipe   *blast.PipeMetrics
+	quit   <-chan struct{}
+	tracer *telemetry.Tracer
 }
 
 // WithPipeMetrics publishes the worker's search-pipeline telemetry
@@ -394,6 +409,14 @@ type workerOpts struct {
 // on its /metrics endpoint.
 func WithPipeMetrics(m *blast.PipeMetrics) WorkerOption {
 	return func(o *workerOpts) { o.pipe = m }
+}
+
+// WithWorkerTracer records a "search" span per traced task this worker
+// runs, parented under the master's task span, with the task's file
+// systems rebound to the span context so every fragment read (and its
+// per-server RPCs) lands in the query's trace.
+func WithWorkerTracer(t *telemetry.Tracer) WorkerOption {
+	return func(o *workerOpts) { o.tracer = t }
 }
 
 // WithQuit hands the worker a graceful-departure signal: when quit
@@ -525,11 +548,39 @@ func RunWorker(ctx context.Context, c mpi.Comm, fs chio.FileSystem, scratch chio
 		if t.Kind == taskDone {
 			return nil
 		}
-		rm := runTask(&j, &t, fs, scratch, o.pipe)
+		rm := runTracedTask(ctx, c.Rank(), o.tracer, &j, &t, fs, scratch, o.pipe)
 		if err := mpi.SendGob(c, 0, tagResult, rm); err != nil {
 			return clean(err)
 		}
 	}
+}
+
+// runTracedTask wraps runTask in a worker-side "search" span when the
+// task carries a trace ID: the span parents under the master's task
+// span, and the file systems are rebound to the span context so the
+// fragment reads it issues — down to the data servers' serve:* spans —
+// join the query's trace. Untraced tasks (old master, tracing off)
+// take the plain path.
+func runTracedTask(ctx context.Context, rank int, tr *telemetry.Tracer, j *job, t *taskMsg, fs, scratch chio.FileSystem, pipe *blast.PipeMetrics) *resultMsg {
+	if tr == nil || t.TraceID == 0 {
+		return runTask(j, t, fs, scratch, pipe)
+	}
+	ctx = telemetry.ContextWithSpan(ctx, telemetry.SpanContext{TraceID: t.TraceID, SpanID: t.SpanID})
+	sctx, span := tr.Start(ctx, "search")
+	span.SetServer(fmt.Sprintf("worker%d", rank))
+	span.SetAttr("task", fmt.Sprintf("%d", t.Index))
+	fs = chio.BindContext(fs, sctx)
+	if scratch != nil {
+		scratch = chio.BindContext(scratch, sctx)
+	}
+	rm := runTask(j, t, fs, scratch, pipe)
+	span.AddBytes(rm.ReadBytes)
+	var err error
+	if rm.Err != "" {
+		err = errors.New(rm.Err)
+	}
+	span.Finish(err)
+	return rm
 }
 
 // runTask performs the fragment reads and search for one task.

@@ -48,7 +48,7 @@ func RunInProcess(
 				sc = scratch(r)
 			}
 			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc,
-				WithPipeMetrics(cfg.tel.Pipe()))
+				WithPipeMetrics(cfg.tel.Pipe()), WithWorkerTracer(cfg.tracer))
 		}(r)
 	}
 	out, masterErr := RunMaster(ctx, world.Comm(0), masterFS, query, cfg)
@@ -97,7 +97,7 @@ func RunInProcessBatch(
 				sc = scratch(r)
 			}
 			workerErrs[r] = RunWorker(ctx, world.Comm(r), workerFS(r), sc,
-				WithPipeMetrics(cfg.tel.Pipe()))
+				WithPipeMetrics(cfg.tel.Pipe()), WithWorkerTracer(cfg.tracer))
 		}(r)
 	}
 	out, masterErr := RunMasterBatch(ctx, world.Comm(0), masterFS, queries, cfg)

@@ -11,6 +11,7 @@ import (
 	"pario/internal/blastdb"
 	"pario/internal/mpi"
 	"pario/internal/seq"
+	"pario/internal/telemetry"
 )
 
 // ErrDraining is returned by Submit once Close has begun: the stream
@@ -46,6 +47,9 @@ type submission struct {
 	mode   Mode
 	pieces []piece // query-segmentation piece bounds, nil otherwise
 	tasks  []*taskMsg
+	// trace is the submitter's span context (zero when untraced): the
+	// parent of the per-task spans the loop records.
+	trace telemetry.SpanContext
 
 	// Loop-owned while in flight; read by the awaiter after done.
 	remaining int
@@ -88,7 +92,7 @@ func (s *Stream) Submit(ctx context.Context, query *seq.Sequence, params blast.P
 		ctx = context.Background()
 	}
 	start := time.Now()
-	sub, err := s.submit(query, params, alias)
+	sub, err := s.submit(ctx, query, params, alias)
 	if err != nil {
 		return nil, err
 	}
@@ -100,9 +104,25 @@ func (s *Stream) Submit(ctx context.Context, query *seq.Sequence, params blast.P
 	return out, nil
 }
 
+// stampTrace propagates the submitter's span context (if any) onto the
+// submission and its tasks: every task gets the trace ID plus its own
+// span ID, minted here so the master and the worker agree on the task
+// span's identity across the wire.
+func stampTrace(ctx context.Context, sub *submission) {
+	sc, ok := telemetry.SpanFromContext(ctx)
+	if !ok {
+		return
+	}
+	sub.trace = sc
+	for _, t := range sub.tasks {
+		t.TraceID = sc.TraceID
+		t.SpanID = telemetry.NewID()
+	}
+}
+
 // submit enqueues a database-segmentation submission: one task per
 // fragment, each searching the full query.
-func (s *Stream) submit(query *seq.Sequence, params blast.Params, alias *blastdb.Alias) (*submission, error) {
+func (s *Stream) submit(ctx context.Context, query *seq.Sequence, params blast.Params, alias *blastdb.Alias) (*submission, error) {
 	if len(alias.Fragments) == 0 {
 		return nil, fmt.Errorf("pblast: database %s has no fragments", alias.Title)
 	}
@@ -123,13 +143,14 @@ func (s *Stream) submit(query *seq.Sequence, params blast.Params, alias *blastdb
 			DBSeqs:    alias.Seqs,
 		})
 	}
+	stampTrace(ctx, sub)
 	return sub, s.enqueue(sub)
 }
 
 // submitPieces enqueues a query-segmentation submission: one task per
 // query piece, each searching every fragment. Piece-local coordinates
 // are shifted back into full-query space at merge time.
-func (s *Stream) submitPieces(query *seq.Sequence, params blast.Params, alias *blastdb.Alias, pieces []piece) (*submission, error) {
+func (s *Stream) submitPieces(ctx context.Context, query *seq.Sequence, params blast.Params, alias *blastdb.Alias, pieces []piece) (*submission, error) {
 	if len(alias.Fragments) == 0 {
 		return nil, fmt.Errorf("pblast: database %s has no fragments", alias.Title)
 	}
@@ -157,6 +178,7 @@ func (s *Stream) submitPieces(query *seq.Sequence, params blast.Params, alias *b
 			DBSeqs:    alias.Seqs,
 		})
 	}
+	stampTrace(ctx, sub)
 	return sub, s.enqueue(sub)
 }
 
@@ -323,9 +345,34 @@ func (s *Stream) loop(ctx context.Context) {
 		return closing
 	}
 
+	// recordTask emits one master-side "task" span covering an
+	// assignment of a traced task, from hand-out to result (or to the
+	// reassignment that abandoned it). A reassigned task deliberately
+	// produces one span per assignment, all sharing the task's span ID:
+	// obsreport's assembler flags the extras as duplicates, which is
+	// exactly the rendering a re-run task should get.
+	recordTask := func(ts *taskState, worker int, bytes int64, errStr string) {
+		if ts.msg.TraceID == 0 || ts.at.IsZero() {
+			return
+		}
+		s.cfg.tracer.Record(telemetry.Span{
+			TraceID:  ts.msg.TraceID,
+			SpanID:   ts.msg.SpanID,
+			Parent:   ts.sub.trace.SpanID,
+			Name:     "task",
+			Server:   fmt.Sprintf("worker%d", worker),
+			Start:    ts.at,
+			Duration: time.Since(ts.at),
+			Bytes:    bytes,
+			Err:      errStr,
+			Attrs:    map[string]string{"task": fmt.Sprintf("%d", ts.msg.Index)},
+		})
+	}
+
 	// requeue puts an assigned task back at the head of the line —
 	// its holder departed.
 	requeue := func(ts *taskState) {
+		recordTask(ts, ts.to, 0, "reassigned: worker left")
 		ts.state = statePending
 		ts.rehanded = true
 		ts.sub.out.Reassigned++
@@ -351,6 +398,7 @@ func (s *Stream) loop(ctx context.Context) {
 			for _, ts := range tasks {
 				if ts.state == stateAssigned && ts.to != worker &&
 					time.Since(ts.at) >= s.cfg.TaskTimeout {
+					recordTask(ts, ts.to, 0, "reassigned: overdue")
 					ts.rehanded = true
 					ts.sub.out.Reassigned++
 					s.cfg.tel.observeReassign()
@@ -452,6 +500,7 @@ func (s *Stream) loop(ctx context.Context) {
 			if ts == nil || ts.state == stateDone {
 				break // duplicate from a reassigned task, or failed submission
 			}
+			recordTask(ts, m.From, rm.ReadBytes, rm.Err)
 			if rm.Err != "" {
 				finishSub(ts.sub, fmt.Errorf("pblast: task %d failed: %s", rm.Index, rm.Err))
 				break

@@ -20,9 +20,19 @@ import (
 )
 
 // Sample is one parsed metric sample: a family name, its label set,
-// and the value at collect time.
+// and the value at collect time. Histogram bucket lines may carry an
+// OpenMetrics-style exemplar after the value.
 type Sample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *Exemplar
+}
+
+// Exemplar is the `# {labels} value [timestamp]` annotation a bucket
+// line may carry — in this system, a trace_id label linking the bucket
+// to the query that last landed in it.
+type Exemplar struct {
 	Labels map[string]string
 	Value  float64
 }
@@ -88,6 +98,18 @@ func ParseLine(line string) (Sample, error) {
 		rest = tail
 	}
 
+	// An OpenMetrics exemplar may follow the value: `# {k="v"} val
+	// [ts]`. The label block was already consumed quote-aware above,
+	// so a '#' here starts the exemplar, not a label value byte.
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(rest[hash+1:])
+		if err != nil {
+			return Sample{}, fmt.Errorf("bad exemplar in %q: %w", line, err)
+		}
+		s.Exemplar = ex
+		rest = rest[:hash]
+	}
+
 	// What remains is "value" or "value timestamp".
 	fields := strings.Fields(rest)
 	switch len(fields) {
@@ -109,6 +131,39 @@ func ParseLine(line string) (Sample, error) {
 	}
 	s.Value = val
 	return s, nil
+}
+
+// parseExemplar parses `{k="v",...} value [timestamp]` (the '#'
+// already eaten). The label block is mandatory per the OpenMetrics
+// grammar; the timestamp is recognized and discarded like a sample's.
+func parseExemplar(rest string) (*Exemplar, error) {
+	rest = strings.TrimLeft(rest, " \t")
+	if !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("missing label block")
+	}
+	labels, tail, err := parseLabelBlock(rest[1:])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(tail)
+	switch len(fields) {
+	case 1:
+	case 2:
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad timestamp: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("no value")
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value: %w", err)
+	}
+	ex := &Exemplar{Value: val}
+	if len(labels) > 0 {
+		ex.Labels = labels
+	}
+	return ex, nil
 }
 
 // parseLabelBlock consumes `k="v",...}` (the opening brace already

@@ -118,3 +118,47 @@ func TestParseMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestParseExemplars(t *testing.T) {
+	page := `pario_req_seconds_bucket{le="0.005"} 3 # {trace_id="00000000deadbeef"} 0.003
+pario_req_seconds_bucket{le="+Inf"} 4 # {trace_id="0000000000000077"} 12 1700000000.5
+pario_req_seconds_sum 0.5
+pario_req_seconds_count 4
+plain_total 9
+`
+	samples, err := Parse(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples: %d, want 5", len(samples))
+	}
+	ex := samples[0].Exemplar
+	if ex == nil || ex.Labels["trace_id"] != "00000000deadbeef" || ex.Value != 0.003 {
+		t.Fatalf("bucket exemplar = %+v", ex)
+	}
+	if samples[0].Value != 3 {
+		t.Fatalf("bucket value = %g", samples[0].Value)
+	}
+	ex = samples[1].Exemplar
+	if ex == nil || ex.Labels["trace_id"] != "0000000000000077" || ex.Value != 12 {
+		t.Fatalf("+Inf exemplar with timestamp = %+v", ex)
+	}
+	for _, s := range samples[2:] {
+		if s.Exemplar != nil {
+			t.Fatalf("%s grew an exemplar: %+v", s.Name, s.Exemplar)
+		}
+	}
+}
+
+func TestParseExemplarMalformed(t *testing.T) {
+	for _, line := range []string{
+		`m_bucket{le="1"} 2 # trace_id no braces`,
+		`m_bucket{le="1"} 2 # {trace_id="x"}`,
+		`m_bucket{le="1"} 2 # {trace_id="x"} notanumber`,
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed exemplar", line)
+		}
+	}
+}

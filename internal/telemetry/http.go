@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -53,17 +54,7 @@ func StartDebug(addr string, reg *Registry, tr *Tracer, opts ...DebugOption) (*D
 			reg.WritePrometheus(w)
 		}
 	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		spans := tr.Recent()
-		out := make([]spanJSON, len(spans))
-		for i, s := range spans {
-			out[i] = toSpanJSON(s)
-		}
-		json.NewEncoder(w).Encode(struct {
-			Spans []spanJSON `json:"spans"`
-		}{Spans: out})
-	})
+	mux.HandleFunc("/debug/traces", TracesHandler(tr))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,18 +91,58 @@ func (d *DebugServer) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// TracesHandler serves a tracer's spans as JSON: the whole ring by
+// default, one trace's retained spans (pinned set included) with
+// ?trace=<16-hex id>, and only the most recent N spans with ?limit=N.
+// Shared by StartDebug and blastd's own mux so every process answers
+// the same /debug/traces dialect.
+func TracesHandler(tr *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var spans []Span
+		if tq := r.URL.Query().Get("trace"); tq != "" {
+			id, err := strconv.ParseUint(tq, 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "bad trace id (want 16 hex digits)", http.StatusBadRequest)
+				return
+			}
+			spans = tr.TraceSpans(id)
+		} else {
+			spans = tr.Recent()
+		}
+		if lq := r.URL.Query().Get("limit"); lq != "" {
+			n, err := strconv.Atoi(lq)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			if n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		out := make([]spanJSON, len(spans))
+		for i, s := range spans {
+			out[i] = toSpanJSON(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Spans []spanJSON `json:"spans"`
+		}{Spans: out})
+	}
+}
+
 // spanJSON is the wire shape of one span on /debug/traces. IDs are
 // rendered as fixed-width hex so they grep and join cleanly.
 type spanJSON struct {
-	TraceID    string    `json:"trace_id"`
-	SpanID     string    `json:"span_id"`
-	Parent     string    `json:"parent_id,omitempty"`
-	Name       string    `json:"name"`
-	Server     string    `json:"server,omitempty"`
-	Start      time.Time `json:"start"`
-	DurationUS int64     `json:"duration_us"`
-	Bytes      int64     `json:"bytes,omitempty"`
-	Err        string    `json:"err,omitempty"`
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Server     string            `json:"server,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Bytes      int64             `json:"bytes,omitempty"`
+	Err        string            `json:"err,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
 }
 
 func toSpanJSON(s Span) spanJSON {
@@ -124,6 +155,7 @@ func toSpanJSON(s Span) spanJSON {
 		DurationUS: s.Duration.Microseconds(),
 		Bytes:      s.Bytes,
 		Err:        s.Err,
+		Attrs:      s.Attrs,
 	}
 	if s.Parent != 0 {
 		j.Parent = fmt.Sprintf("%016x", s.Parent)

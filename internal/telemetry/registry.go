@@ -83,6 +83,28 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Uint64 // Float64bits, CAS-added
 	max    atomic.Uint64 // Float64bits
+
+	// Exemplar slots: the trace that last landed in each bucket
+	// (index NumBuckets = +Inf), exposed OpenMetrics-style in the
+	// Prometheus text so a latency bucket links to a concrete trace.
+	// Allocated on first ObserveExemplar; mutex-guarded because
+	// exemplar updates are per-request, not per-RPC.
+	exMu sync.Mutex
+	ex   []exemplarSlot
+}
+
+type exemplarSlot struct {
+	traceID uint64
+	value   float64
+}
+
+// Exemplar links one histogram bucket to the trace that last landed in
+// it: LE is the bucket's upper bound as rendered in the exposition
+// ("+Inf" for the overflow bucket).
+type Exemplar struct {
+	LE      string
+	TraceID uint64
+	Value   float64
 }
 
 // Histogram bucket layout: 30 power-of-two buckets from 1µs to ~537s
@@ -139,6 +161,57 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records v like Observe and, for a non-zero traceID,
+// remembers it as the destination bucket's exemplar, replacing the
+// previous one. The exposition then links that bucket to the trace —
+// "what query last landed at p99" without joining external systems.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // len(h.bounds) = +Inf slot
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplarSlot, NumBuckets+1)
+	}
+	h.ex[i] = exemplarSlot{traceID: traceID, value: v}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the buckets that currently hold an exemplar, in
+// ascending bound order.
+func (h *Histogram) Exemplars() []Exemplar {
+	slots := h.exemplarSlots()
+	if slots == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i, s := range slots {
+		if s.traceID == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		out = append(out, Exemplar{LE: le, TraceID: s.traceID, Value: s.value})
+	}
+	return out
+}
+
+func (h *Histogram) exemplarSlots() []exemplarSlot {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil {
+		return nil
+	}
+	return append([]exemplarSlot(nil), h.ex...)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -211,6 +284,13 @@ func (h *Histogram) expose(w io.Writer, name, labels string) {
 	if inner != "" {
 		sep = ","
 	}
+	ex := h.exemplarSlots()
+	exSuffix := func(i int) string {
+		if ex == nil || ex[i].traceID == 0 {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=\"%016x\"} %g", ex[i].traceID, ex[i].value)
+	}
 	var cum int64
 	for i := range h.counts {
 		n := h.counts[i].Load()
@@ -218,10 +298,10 @@ func (h *Histogram) expose(w io.Writer, name, labels string) {
 		if n == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, inner, sep, formatBound(h.bounds[i]), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", name, inner, sep, formatBound(h.bounds[i]), cum, exSuffix(i))
 	}
 	cum += h.over.Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, inner, sep, cum)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d%s\n", name, inner, sep, cum, exSuffix(NumBuckets))
 	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.Sum())
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
 }

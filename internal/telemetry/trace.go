@@ -23,6 +23,11 @@ type Span struct {
 	Duration time.Duration
 	Bytes    int64  // payload bytes moved by this span
 	Err      string // non-empty when the unit failed
+
+	// Attrs carries low-cardinality key/value annotations (queue
+	// priority, depth at enqueue, cache status, ...). Nil on most
+	// spans; never mutated after Record.
+	Attrs map[string]string
 }
 
 // NewID returns a non-zero random 64-bit trace/span ID.
@@ -67,7 +72,23 @@ type Tracer struct {
 
 	slow    time.Duration
 	slowLog *slog.Logger
+
+	// Pinned traces survive ring eviction: once PinTrace(id) is
+	// called, the id's spans already in the ring are copied aside and
+	// every later Record for it appends there too, until the pin is
+	// evicted FIFO by newer pins. The slow-query flight recorder pins
+	// queries over its threshold so their full span set stays
+	// retrievable long after the ring has churned.
+	pinned   map[uint64][]Span
+	pinOrder []uint64
 }
+
+// Pinned-trace bounds: a debugging aid must not become an unbounded
+// memory sink under a stream of slow queries.
+const (
+	MaxPinnedTraces = 16
+	maxPinnedSpans  = 4096
+)
 
 // DefaultSpanBuffer is the ring capacity when NewTracer is given none.
 const DefaultSpanBuffer = 2048
@@ -106,6 +127,9 @@ func (t *Tracer) Record(s Span) {
 		t.next = 0
 		t.full = true
 	}
+	if ps, ok := t.pinned[s.TraceID]; ok && len(ps) < maxPinnedSpans {
+		t.pinned[s.TraceID] = append(ps, s)
+	}
 	slow, logger := t.slow, t.slowLog
 	t.mu.Unlock()
 	if slow > 0 && s.Duration >= slow {
@@ -126,12 +150,69 @@ func (t *Tracer) Recent() []Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.recentLocked()
+}
+
+// recentLocked copies the ring, oldest first. Caller holds t.mu.
+func (t *Tracer) recentLocked() []Span {
 	if !t.full {
 		return append([]Span(nil), t.buf[:t.next]...)
 	}
 	out := make([]Span, 0, len(t.buf))
 	out = append(out, t.buf[t.next:]...)
 	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// PinTrace protects trace id against ring eviction: its spans already
+// in the ring are captured now and subsequent Records for it append to
+// the captured set (bounded by maxPinnedSpans). At most MaxPinnedTraces
+// traces stay pinned; older pins are dropped FIFO. Pinning an
+// already-pinned id is a no-op, so the capture is never regressed.
+func (t *Tracer) PinTrace(id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.pinned[id]; ok {
+		return
+	}
+	if t.pinned == nil {
+		t.pinned = make(map[uint64][]Span)
+	}
+	var spans []Span
+	for _, s := range t.recentLocked() {
+		if s.TraceID == id {
+			spans = append(spans, s)
+		}
+	}
+	t.pinned[id] = spans
+	t.pinOrder = append(t.pinOrder, id)
+	for len(t.pinOrder) > MaxPinnedTraces {
+		delete(t.pinned, t.pinOrder[0])
+		t.pinOrder = t.pinOrder[1:]
+	}
+}
+
+// TraceSpans returns every retained span of trace id, oldest first:
+// the pinned set when the id is pinned, otherwise whatever of the
+// trace still survives in the ring.
+func (t *Tracer) TraceSpans(id uint64) []Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps, ok := t.pinned[id]; ok {
+		return append([]Span(nil), ps...)
+	}
+	var out []Span
+	for _, s := range t.recentLocked() {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
 	return out
 }
 
@@ -180,6 +261,17 @@ func (a *ActiveSpan) SetServer(server string) {
 	if a != nil {
 		a.s.Server = server
 	}
+}
+
+// SetAttr annotates the span with a key/value attribute.
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	if a.s.Attrs == nil {
+		a.s.Attrs = make(map[string]string)
+	}
+	a.s.Attrs[key] = value
 }
 
 // Finish stamps the duration (and the error, when non-nil) and records

@@ -1,0 +1,199 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end check of per-query distributed tracing:
+# boot a CEFT mini cluster (mgr + 2 primary + 2 mirror data servers,
+# one throttled so searches are slow enough to queue behind), serve it
+# with blastd at -max-concurrent 1, run one query to occupy the slot
+# and a second distinct query that must wait, and require for the
+# second query's trace ID:
+#   - the /search response carries it (X-Pario-Trace header and
+#     trace_id body field, equal),
+#   - blastd's /debug/traces?trace=<id> decomposes it into request,
+#     queue, cache, task and search spans,
+#   - at least one data server's /debug/traces holds a serve:* span
+#     with the same ID (the trace crossed process boundaries),
+#   - /debug/queries reports the query with a non-zero queue wait,
+#   - /metrics links the request-latency histogram to it via a
+#     trace_id exemplar,
+#   - pariostat -query renders the assembled cross-process timeline.
+# Exercised by `make trace-smoke` (part of `make check`).
+set -eu
+
+BASE="${TRACE_SMOKE_PORT:-19600}"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/pvfsmgr" ./cmd/pvfsmgr
+go build -o "$TMP/pvfsd" ./cmd/pvfsd
+go build -o "$TMP/formatdb" ./cmd/formatdb
+go build -o "$TMP/blastd" ./cmd/blastd
+go build -o "$TMP/pariostat" ./cmd/pariostat
+
+MGR="127.0.0.1:$BASE"
+"$TMP/pvfsmgr" -listen "$MGR" -servers 2 -stripe 16KB >"$TMP/mgr.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Four data servers, each with a debug endpoint so their span rings
+# can be scraped. iod0 is throttled so a fresh search takes long
+# enough for a second query to queue behind it.
+i=0
+while [ "$i" -lt 4 ]; do
+    THROTTLE=""
+    [ "$i" -eq 0 ] && THROTTLE="-throttle 2ms"
+    mkdir -p "$TMP/store$i"
+    # shellcheck disable=SC2086
+    "$TMP/pvfsd" -id "$i" -listen "127.0.0.1:$((BASE + 1 + i))" \
+        -debug-addr "127.0.0.1:$((BASE + 11 + i))" \
+        -store "$TMP/store$i" -mgr "$MGR" $THROTTLE >"$TMP/iod$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    i=$((i + 1))
+done
+PRIMARY="127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2))"
+MIRROR="127.0.0.1:$((BASE + 3)),127.0.0.1:$((BASE + 4))"
+sleep 0.5
+
+"$TMP/formatdb" -db nt -fragments 8 -generate 2MB -io ceft \
+    -mgr "$MGR" -primary "$PRIMARY" -mirror "$MIRROR" >"$TMP/formatdb.log" 2>&1
+
+HTTP="127.0.0.1:$((BASE + 20))"
+"$TMP/blastd" -listen "$HTTP" -db nt -io ceft \
+    -mgr "$MGR" -primary "$PRIMARY" -mirror "$MIRROR" \
+    -workers 2 -max-concurrent 1 -chunk 32768 \
+    -slow-query 1ms >"$TMP/blastd.log" 2>&1 &
+PIDS="$PIDS $!"
+
+ok=""
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -sf "http://$HTTP/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "trace-smoke: blastd never came up" >&2
+    cat "$TMP/blastd.log" >&2
+    exit 1
+fi
+
+# Two distinct deterministic queries (different seeds), so both are
+# cache misses that run real backend searches.
+mkquery() {
+    awk -v seed="$1" 'BEGIN {
+        srand(seed); s = "";
+        for (i = 0; i < 400; i++) {
+            r = int(rand() * 4);
+            s = s substr("ACGT", r + 1, 1);
+        }
+        printf "{\"db\":\"nt\",\"query\":\">q%s\\n%s\",\"client\":\"smoke%s\"}", seed, s, seed;
+    }'
+}
+mkquery 1 >"$TMP/qA.json"
+mkquery 2 >"$TMP/qB.json"
+
+# Query A occupies the single execution slot; query B arrives while A
+# is still reading off the throttled disk and must wait in the queue.
+curl -sf -X POST -d @"$TMP/qA.json" "http://$HTTP/search" >"$TMP/respA.json" &
+CURL_A=$!
+PIDS="$PIDS $CURL_A"
+sleep 0.3
+curl -sf -D "$TMP/headersB.txt" -X POST -d @"$TMP/qB.json" \
+    "http://$HTTP/search" >"$TMP/respB.json" || {
+    echo "trace-smoke: query B failed" >&2
+    cat "$TMP/blastd.log" >&2
+    exit 1
+}
+wait "$CURL_A" || {
+    echo "trace-smoke: query A failed" >&2
+    cat "$TMP/blastd.log" >&2
+    exit 1
+}
+
+# The response must carry the trace ID twice, consistently.
+TID=$(tr -d '\r' <"$TMP/headersB.txt" | awk -F': ' 'tolower($1) == "x-pario-trace" {print $2}')
+if ! echo "$TID" | grep -Eq '^[0-9a-f]{16}$'; then
+    echo "trace-smoke: bad or missing X-Pario-Trace header: '$TID'" >&2
+    cat "$TMP/headersB.txt" >&2
+    exit 1
+fi
+if ! grep -q "\"trace_id\":\"$TID\"" "$TMP/respB.json"; then
+    echo "trace-smoke: response body trace_id does not match header $TID" >&2
+    cat "$TMP/respB.json" >&2
+    exit 1
+fi
+
+# blastd's span ring must decompose the query into every service-side
+# span kind.
+curl -sf "http://$HTTP/debug/traces?trace=$TID" >"$TMP/traceB.json"
+for kind in request queue cache task search; do
+    if ! grep -q "\"name\":\"$kind\"" "$TMP/traceB.json"; then
+        echo "trace-smoke: trace $TID has no '$kind' span:" >&2
+        cat "$TMP/traceB.json" >&2
+        exit 1
+    fi
+done
+
+# The same trace ID must appear as a serve:* span on at least one data
+# server: the trace crossed into a second process.
+served=""
+i=0
+while [ "$i" -lt 4 ]; do
+    if curl -sf "http://127.0.0.1:$((BASE + 11 + i))/debug/traces?trace=$TID" \
+        2>/dev/null | grep -q '"name":"serve:'; then
+        served=1
+        break
+    fi
+    i=$((i + 1))
+done
+if [ -z "$served" ]; then
+    echo "trace-smoke: no data server holds a serve:* span for $TID" >&2
+    exit 1
+fi
+
+# The flight recorder must report the query with a real queue wait.
+curl -sf "http://$HTTP/debug/queries" >"$TMP/queries.json"
+if ! grep -q "\"trace_id\":\"$TID\"" "$TMP/queries.json"; then
+    echo "trace-smoke: /debug/queries does not list trace $TID:" >&2
+    cat "$TMP/queries.json" >&2
+    exit 1
+fi
+QUEUE_MS=$(sed -n "s/.*\"trace_id\":\"$TID\"[^}]*\"queue_ms\":\([0-9.]*\).*/\1/p" "$TMP/queries.json")
+if ! awk -v q="$QUEUE_MS" 'BEGIN { exit !(q + 0 > 0) }'; then
+    echo "trace-smoke: query B shows no queue wait (queue_ms='$QUEUE_MS'):" >&2
+    cat "$TMP/queries.json" >&2
+    exit 1
+fi
+
+# The request-latency histogram must link back to the trace through an
+# exemplar.
+curl -sf "http://$HTTP/metrics" >"$TMP/metrics.txt"
+if ! grep "pario_blastd_request_seconds_bucket" "$TMP/metrics.txt" \
+    | grep -q "trace_id=\"$TID\""; then
+    echo "trace-smoke: no request-latency exemplar for $TID:" >&2
+    grep "pario_blastd_request_seconds" "$TMP/metrics.txt" >&2 || true
+    exit 1
+fi
+
+# pariostat must assemble and render the cross-process timeline.
+TARGETS="blastd=$HTTP"
+i=0
+while [ "$i" -lt 4 ]; do
+    TARGETS="$TARGETS,iod$i=127.0.0.1:$((BASE + 11 + i))"
+    i=$((i + 1))
+done
+"$TMP/pariostat" -query "$TID" -targets "$TARGETS" >"$TMP/gantt.txt" 2>"$TMP/gantt.err" || {
+    echo "trace-smoke: pariostat -query failed:" >&2
+    cat "$TMP/gantt.err" >&2
+    exit 1
+}
+for want in "query trace $TID" "queue" "serve:" "Phases"; do
+    if ! grep -q "$want" "$TMP/gantt.txt"; then
+        echo "trace-smoke: pariostat rendering lacks '$want':" >&2
+        cat "$TMP/gantt.txt" >&2
+        exit 1
+    fi
+done
+
+echo "trace-smoke: ok (one trace ID spans HTTP, queue, tasks and serve:* across processes; exemplar and flight recorder agree)"
