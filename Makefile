@@ -9,11 +9,14 @@ test:
 	$(GO) test ./...
 
 # Full hygiene gate: lint everything, run the whole suite with the
-# race detector (the transport layer is heavily concurrent), make
-# sure every benchmark still at least runs, then smoke the live
-# /metrics endpoint.
+# race detector (the transport layer is heavily concurrent), re-run
+# the search-path allocation guard without the race detector (whose
+# shadow memory inflates alloc counts, so the guard skips itself
+# under -race), make sure every benchmark still at least runs, then
+# smoke the live /metrics endpoint.
 check: lint
 	$(GO) test -race ./...
+	$(GO) test -run TestSearchSubjectSteadyStateAllocs ./internal/blast/
 	$(MAKE) bench-smoke
 	$(MAKE) metrics-smoke
 	$(MAKE) report-smoke
@@ -74,7 +77,7 @@ trace-smoke:
 # One iteration of every benchmark: catches bit-rotted benchmark code
 # without paying for real measurement runs.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/blast/ ./internal/align/
 
 race:
 	$(GO) test -race ./internal/pvfs/... ./internal/ceft/... ./internal/rpcpool/...
@@ -83,7 +86,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Re-run the benchmarks recorded in the BENCH_*.json baselines and
-# flag ns/op regressions beyond BENCH_TOLERANCE percent (default 100).
-# Not part of `make check`: real measurement runs are slow and noisy.
+# flag regressions: ns/op beyond BENCH_TOLERANCE percent (default 10;
+# legacy baselines widen their own gate via ns_tolerance_pct), any
+# rpcs/op growth past BENCH_RPC_TOLERANCE percent, and ANY allocs/op
+# increase (exact — allocation counts are deterministic). Not part of
+# `make check`: real measurement runs are slow and noisy.
 bench-compare:
 	./scripts/bench_compare.sh

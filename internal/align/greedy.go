@@ -60,6 +60,10 @@ const greedyUnreached = -(1 << 29)
 // score drops more than xdrop below the best. It returns the best
 // score and the letters of a and b consumed at the best point.
 func GreedyExtendRight(a, b []byte, g GreedyScheme, xdrop int) (best, aLen, bLen int) {
+	return greedyExtendRight(nil, a, b, g, xdrop)
+}
+
+func greedyExtendRight(ws *Workspace, a, b []byte, g GreedyScheme, xdrop int) (best, aLen, bLen int) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, 0, 0
@@ -69,8 +73,7 @@ func GreedyExtendRight(a, b []byte, g GreedyScheme, xdrop int) (best, aLen, bLen
 	// holds e-1.
 	size := n + m + 3
 	offset := m + 1
-	prev := make([]int, size)
-	cur := make([]int, size)
+	prev, cur := ws.greedyRows(size)
 	for i := range prev {
 		prev[i] = greedyUnreached
 		cur[i] = greedyUnreached
@@ -168,14 +171,21 @@ func GreedyExtendRight(a, b []byte, g GreedyScheme, xdrop int) (best, aLen, bLen
 // algorithm. The anchor pair itself must match for the scheme's
 // accounting; if it does not, the anchor contributes a mismatch.
 func GreedyExtend(a, b []byte, ai, bi int, g GreedyScheme, xdrop int) (score, aFrom, aTo, bFrom, bTo int) {
+	return GreedyExtendWS(nil, a, b, ai, bi, g, xdrop)
+}
+
+// GreedyExtendWS is GreedyExtend with caller-pooled scratch (diagonal
+// fronts and reversal buffers from ws). A nil ws behaves exactly like
+// GreedyExtend.
+func GreedyExtendWS(ws *Workspace, a, b []byte, ai, bi int, g GreedyScheme, xdrop int) (score, aFrom, aTo, bFrom, bTo int) {
 	var anchor int
 	if a[ai] == b[bi] {
 		anchor = g.Match
 	} else {
 		anchor = g.Mismatch()
 	}
-	rBest, rA, rB := GreedyExtendRight(a[ai+1:], b[bi+1:], g, xdrop)
-	lBest, lA, lB := GreedyExtendRight(reverseBytes(a[:ai]), reverseBytes(b[:bi]), g, xdrop)
+	rBest, rA, rB := greedyExtendRight(ws, a[ai+1:], b[bi+1:], g, xdrop)
+	lBest, lA, lB := greedyExtendRight(ws, ws.reversed(a[:ai], 0), ws.reversed(b[:bi], 1), g, xdrop)
 	score = anchor + rBest + lBest
 	return score, ai - lA, ai + 1 + rA, bi - lB, bi + 1 + rB
 }

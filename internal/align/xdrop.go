@@ -48,7 +48,7 @@ func ExtendUngapped(a, b []byte, ai, bi, w int, s *Scheme, xdrop int) (score, aF
 // from an implicit anchor just before a[0]/b[0]. It returns the best
 // score achieved (>= 0; 0 means "extend nothing") and the number of
 // letters of a and b consumed by the best-scoring cell.
-func extendGappedOneSided(a, b []byte, s *Scheme, xdrop int) (best, aLen, bLen int) {
+func extendGappedOneSided(ws *Workspace, a, b []byte, s *Scheme, xdrop int) (best, aLen, bLen int) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, 0, 0
@@ -60,8 +60,7 @@ func extendGappedOneSided(a, b []byte, s *Scheme, xdrop int) (best, aLen, bLen i
 	// left to right, keeping the previous diagonal in prevDiag).
 	// E[j] is the best score ending in a gap in a (consuming b) at
 	// column j of the current row.
-	H := make([]int, m+1)
-	E := make([]int, m+1)
+	H, E := ws.dpRows(m + 1)
 	for j := range H {
 		H[j] = negInf
 		E[j] = negInf
@@ -182,9 +181,17 @@ func extendGappedOneSided(a, b []byte, s *Scheme, xdrop int) (best, aLen, bLen i
 // prefixes and rightward over the suffixes. It returns the total best
 // score and the extents [aFrom,aTo) x [bFrom,bTo).
 func ExtendGapped(a, b []byte, ai, bi int, s *Scheme, xdrop int) (score, aFrom, aTo, bFrom, bTo int) {
+	return ExtendGappedWS(nil, a, b, ai, bi, s, xdrop)
+}
+
+// ExtendGappedWS is ExtendGapped with caller-pooled scratch: the DP
+// rows and the two prefix-reversal buffers come from ws, so repeated
+// extensions allocate nothing once the workspace has warmed up. A nil
+// ws behaves exactly like ExtendGapped.
+func ExtendGappedWS(ws *Workspace, a, b []byte, ai, bi int, s *Scheme, xdrop int) (score, aFrom, aTo, bFrom, bTo int) {
 	anchor := s.Score(a[ai], b[bi])
-	rBest, rA, rB := extendGappedOneSided(a[ai+1:], b[bi+1:], s, xdrop)
-	lBest, lA, lB := extendGappedOneSided(reverseBytes(a[:ai]), reverseBytes(b[:bi]), s, xdrop)
+	rBest, rA, rB := extendGappedOneSided(ws, a[ai+1:], b[bi+1:], s, xdrop)
+	lBest, lA, lB := extendGappedOneSided(ws, ws.reversed(a[:ai], 0), ws.reversed(b[:bi], 1), s, xdrop)
 	score = anchor + rBest + lBest
 	return score, ai - lA, ai + 1 + rA, bi - lB, bi + 1 + rB
 }

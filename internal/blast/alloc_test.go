@@ -1,0 +1,68 @@
+package blast
+
+import (
+	"testing"
+
+	"pario/internal/seq"
+	"pario/internal/util"
+)
+
+// allocWorkload builds the BenchmarkSearchSubject workload at a size
+// small enough for AllocsPerRun: one warmed searcher plus a subject
+// carrying a planted match so seeding, extension and culling all run.
+func allocWorkload(t *testing.T, packed bool) (*searcher, *seq.Sequence) {
+	t.Helper()
+	rng := util.NewRNG(100)
+	query := randomDNA(rng, "q", 568)
+	subject := randomDNA(rng, "s", 1<<16)
+	plant(subject, query.Data[100:400], 5000)
+	if packed {
+		subject = packedCopies(t, []*seq.Sequence{subject})[0]
+	}
+	eng, err := newEngine(query, Params{Program: BlastN}.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := newSearcher(eng)
+	// Warm the pools: views, codes, seed arena, diagonal cells, cull
+	// buffers and DP rows all reach steady-state capacity here.
+	for i := 0; i < 3; i++ {
+		if hsps := sr.searchSubject(subject); len(hsps) == 0 {
+			t.Fatal("planted match not found; workload is broken")
+		}
+	}
+	return sr, subject
+}
+
+// TestSearchSubjectSteadyStateAllocs is the allocation-regression
+// guard for the batched search path: once pools are warm, a full
+// subject search may allocate at most twice per call (the copy-out of
+// surviving HSPs plus slack for one pool growth). The pre-batching
+// searcher ran ~31 allocs/op; a regression here means a pooled buffer
+// went back to per-call make or a closure started escaping.
+func TestSearchSubjectSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	for _, tc := range []struct {
+		name   string
+		packed bool
+	}{
+		{"letters", false},
+		{"packed", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sr, subject := allocWorkload(t, tc.packed)
+			var got []rawHSP
+			allocs := testing.AllocsPerRun(20, func() {
+				got = sr.searchSubject(subject)
+			})
+			if len(got) == 0 {
+				t.Fatal("planted match not found during measurement")
+			}
+			if allocs > 2 {
+				t.Errorf("searchSubject steady state = %.1f allocs/op, budget is 2", allocs)
+			}
+		})
+	}
+}

@@ -14,6 +14,14 @@ type seedSink interface {
 	handleSeed(qpos, spos int)
 }
 
+// packedScanner is implemented by lookup tables that can stream a
+// 2-bit packed subject directly, without the caller unpacking it to
+// one-byte codes first. The seed sequence produced is identical to
+// scan over the unpacked codes.
+type packedScanner interface {
+	scanPacked(packed []byte, n int, sink seedSink)
+}
+
 // nucDirectBits bounds the direct-indexed table: words of up to this
 // many packed bits (2 per base) index a flat 2^bits bucket array;
 // wider words — classic blastn 11-mers, megablast 28-mers — go
@@ -239,6 +247,67 @@ func (lt *nucLookup) scanHash(subject []byte, sink seedSink) {
 	}
 	for i := w - 1; i < len(subject); i++ {
 		word = (word<<2 | uint64(subject[i])) & mask
+		s := nucHash(word, shift)
+		for {
+			k := keys[s]
+			if k == nucEmptyKey {
+				break
+			}
+			if k == word {
+				spos := i - w + 1
+				group := lt.entries[lt.offs[s] : lt.offs[s]+lt.cnts[s]]
+				for _, qpos := range group {
+					sink.handleSeed(int(qpos), spos)
+				}
+				break
+			}
+			s = (s + 1) & m
+		}
+	}
+}
+
+// scanPacked implements packedScanner: it rolls the same word stream
+// as scan but pulls each base straight out of the 2-bit packed subject
+// (base i lives at bits 2*(i%4) of byte i/4), so the search never
+// materializes the subject's one-byte codes.
+func (lt *nucLookup) scanPacked(packed []byte, n int, sink seedSink) {
+	if n < lt.w || len(lt.entries) == 0 {
+		return
+	}
+	if lt.starts != nil {
+		lt.scanPackedDirect(packed, n, sink)
+	} else {
+		lt.scanPackedHash(packed, n, sink)
+	}
+}
+
+func (lt *nucLookup) scanPackedDirect(packed []byte, n int, sink seedSink) {
+	w, mask, starts, entries := lt.w, lt.mask, lt.starts, lt.entries
+	var word uint64
+	for i := 0; i < w-1; i++ {
+		word = word<<2 | uint64((packed[i>>2]>>(uint(i&3)*2))&3)
+	}
+	for i := w - 1; i < n; i++ {
+		word = (word<<2 | uint64((packed[i>>2]>>(uint(i&3)*2))&3)) & mask
+		st, en := starts[word], starts[word+1]
+		if st < en {
+			spos := i - w + 1
+			for _, qpos := range entries[st:en] {
+				sink.handleSeed(int(qpos), spos)
+			}
+		}
+	}
+}
+
+func (lt *nucLookup) scanPackedHash(packed []byte, n int, sink seedSink) {
+	w, mask, keys, shift := lt.w, lt.mask, lt.keys, lt.shift
+	m := uint64(len(keys) - 1)
+	var word uint64
+	for i := 0; i < w-1; i++ {
+		word = word<<2 | uint64((packed[i>>2]>>(uint(i&3)*2))&3)
+	}
+	for i := w - 1; i < n; i++ {
+		word = (word<<2 | uint64((packed[i>>2]>>(uint(i&3)*2))&3)) & mask
 		s := nucHash(word, shift)
 		for {
 			k := keys[s]

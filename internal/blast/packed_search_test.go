@@ -1,0 +1,83 @@
+package blast
+
+import (
+	"reflect"
+	"testing"
+
+	"pario/internal/seq"
+	"pario/internal/util"
+)
+
+// packedCopies rebuilds subjects as packed-payload sequences, the form
+// a zero-copy blastdb scan hands the pipeline.
+func packedCopies(t *testing.T, subjects []*seq.Sequence) []*seq.Sequence {
+	t.Helper()
+	out := make([]*seq.Sequence, len(subjects))
+	for i, s := range subjects {
+		packed, err := seq.Pack2Bit(s.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = seq.NewPacked2Bit(s.ID, s.Desc, packed, len(s.Data))
+	}
+	return out
+}
+
+// TestPackedSubjectsMatchLetterSubjects runs the same blastn search
+// over letter subjects and over their 2-bit packed twins and demands
+// bit-identical hits: the packed kernel (scanPacked seeding +
+// PackedExtend) must be indistinguishable from the byte path except in
+// the work counters that say it actually ran.
+func TestPackedSubjectsMatchLetterSubjects(t *testing.T) {
+	rng := util.NewRNG(701)
+	query := randomDNA(rng, "query", 480)
+	subjects := make([]*seq.Sequence, 10)
+	for i := range subjects {
+		subjects[i] = randomDNA(rng, "subj"+string(rune('0'+i)), 3000)
+	}
+	// Plant forward copies, a mutated copy, and a reverse-complement
+	// copy so both strands and the gapped stage all fire.
+	plant(subjects[2], query.Data[100:340], 700)
+	mutated := append([]byte(nil), query.Data[50:350]...)
+	for i := 0; i < 9; i++ {
+		mutated[rng.Intn(len(mutated))] = seq.NucLetter[rng.Intn(4)]
+	}
+	plant(subjects[5], mutated, 1500)
+	rc := query.Subsequence(200, 440).ReverseComplement()
+	plant(subjects[8], rc.Data, 300)
+
+	for _, threads := range []int{1, 4} {
+		p := Params{Program: BlastN, Threads: threads}
+		letters, err := Search(query, &SliceSource{Seqs: subjects}, DBInfo{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := Search(query, &SliceSource{Seqs: packedCopies(t, subjects)}, DBInfo{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(letters.Hits) == 0 {
+			t.Fatal("letter-path search found nothing; test workload is broken")
+		}
+		if !reflect.DeepEqual(letters.Hits, packed.Hits) {
+			t.Fatalf("threads=%d: packed-subject hits differ from letter-subject hits", threads)
+		}
+		if letters.Stats.PackedExts != 0 {
+			t.Errorf("threads=%d: letter path reported %d packed extensions, want 0", threads, letters.Stats.PackedExts)
+		}
+		if packed.Stats.PackedExts == 0 {
+			t.Errorf("threads=%d: packed path reported no packed extensions; kernel did not engage", threads)
+		}
+		if packed.Stats.ScannedBases != letters.Stats.ScannedBases {
+			t.Errorf("threads=%d: scanned bases differ: packed=%d letters=%d",
+				threads, packed.Stats.ScannedBases, letters.Stats.ScannedBases)
+		}
+		// Identical seeding and extension means identical downstream work.
+		if packed.Stats.SeedHits != letters.Stats.SeedHits ||
+			packed.Stats.UngappedExts != letters.Stats.UngappedExts ||
+			packed.Stats.GappedExts != letters.Stats.GappedExts {
+			t.Errorf("threads=%d: work counters diverge: packed=%+v letters=%+v",
+				threads, packed.Stats, letters.Stats)
+		}
+	}
+}

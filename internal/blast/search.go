@@ -69,6 +69,13 @@ type SearchStats struct {
 	// MaskedLetters counts query letters hidden from seeding by the
 	// low-complexity filter, summed over query views.
 	MaskedLetters int64
+	// ScannedBases counts subject letters streamed through the seeding
+	// kernel (each query view x subject view scan counts the subject
+	// once), the numerator of the search-side bases/sec rate.
+	ScannedBases int64
+	// PackedExts counts ungapped extensions served by the 2-bit packed
+	// kernel instead of the byte kernel.
+	PackedExts int64
 }
 
 // Result is the outcome of searching one query against a database.
@@ -196,6 +203,8 @@ func (s *SearchStats) addCounts(o SearchStats) {
 	s.SeedHits += o.SeedHits
 	s.UngappedExts += o.UngappedExts
 	s.GappedExts += o.GappedExts
+	s.ScannedBases += o.ScannedBases
+	s.PackedExts += o.PackedExts
 }
 
 type rawHit struct {
@@ -228,12 +237,20 @@ type engine struct {
 	// megablast mode
 	greedy      align.GreedyScheme
 	greedyScale int // divide greedy scores by this to match the scheme's units
+
+	// Packed-kernel mode (blastn under a uniform match/mismatch scheme,
+	// non-greedy): subjects that arrive 2-bit packed are seeded and
+	// ungapped-extended without ever unpacking, 32 bases per word op.
+	packedOK    bool
+	nucMatch    int
+	nucMismatch int
 }
 
 // queryView is one comparison-space rendering of the query.
 type queryView struct {
 	frame  seq.Frame
 	codes  []byte
+	packed []byte // 2-bit packed codes, built only in packed-kernel mode
 	lookup interface {
 		scan(subject []byte, sink seedSink)
 	}
@@ -266,6 +283,10 @@ func newEngine(query *seq.Sequence, p Params) (*engine, error) {
 		mismatch := p.Scheme.Table[0][1]
 		eng.greedy = align.NewGreedyScheme(match, mismatch)
 		eng.greedyScale = eng.greedy.Match / match
+	} else if p.Program == BlastN {
+		if m, mm, ok := align.UniformNucScheme(p.Scheme); ok {
+			eng.packedOK, eng.nucMatch, eng.nucMismatch = true, m, mm
+		}
 	}
 
 	addNucView := func(s *seq.Sequence, frame seq.Frame) {
@@ -276,9 +297,14 @@ func newEngine(query *seq.Sequence, p Params) (*engine, error) {
 			masked = maskFlags(len(codes), ivs)
 			eng.stats.MaskedLetters += int64(TotalMasked(ivs))
 		}
+		var packed []byte
+		if eng.packedOK {
+			packed = seq.PackCodes(codes)
+		}
 		eng.views = append(eng.views, queryView{
 			frame:   frame,
 			codes:   codes,
+			packed:  packed,
 			lookup:  buildNucLookup(codes, p.WordSize, masked),
 			origLen: query.Len(),
 		})
@@ -315,24 +341,46 @@ func newEngine(query *seq.Sequence, p Params) (*engine, error) {
 	return eng, nil
 }
 
-// subjectView renders a subject into comparison space.
+// subjectView renders a subject into comparison space. In
+// packed-kernel mode a blastn subject that arrived 2-bit packed
+// carries only its packed payload; codes stay nil until a gapped
+// extension demands letters.
 type subjectView struct {
 	frame   seq.Frame
-	codes   []byte
+	codes   []byte // dense codes; nil for a packed view until materialized
+	packed  []byte // 2-bit packed codes (packed-kernel mode only)
+	n       int    // comparison-space length in letters
 	origLen int
 }
 
-func (eng *engine) subjectViews(subj *seq.Sequence) []subjectView {
+// subjectViews renders subj into the searcher's pooled view buffer.
+// The buffers it fills (svBuf, and codesBuf behind the codes of a
+// non-translated view) are reused on the next call, so callers must
+// finish with a subject's views before requesting the next subject's.
+func (sr *searcher) subjectViews(subj *seq.Sequence) []subjectView {
+	eng := sr.eng
 	switch eng.p.Program {
 	case BlastN, BlastP, BlastX:
-		return []subjectView{{frame: frameFor(eng.p.Program, subj), codes: subj.Codes(), origLen: subj.Len()}}
-	default: // TBlastN, TBlastX: translate the subject
-		out := make([]subjectView, 0, 6)
-		for _, f := range seq.Frames {
-			tr := seq.Translate(subj, f)
-			out = append(out, subjectView{frame: f, codes: tr.Codes(), origLen: subj.Len()})
+		sv := subjectView{frame: frameFor(eng.p.Program, subj), n: subj.Len(), origLen: subj.Len()}
+		if eng.packedOK {
+			if packed, n := subj.Packed2Bit(); packed != nil {
+				sv.packed, sv.n = packed, n
+			}
 		}
-		return out
+		if sv.packed == nil {
+			sr.codesBuf = subj.AppendCodes(sr.codesBuf[:0])
+			sv.codes = sr.codesBuf
+			sv.n = len(sv.codes)
+		}
+		sr.svBuf = append(sr.svBuf[:0], sv)
+		return sr.svBuf
+	default: // TBlastN, TBlastX: translate the subject
+		sr.svBuf = sr.svBuf[:0]
+		for _, f := range seq.Frames {
+			codes := seq.Translate(subj, f).Codes()
+			sr.svBuf = append(sr.svBuf, subjectView{frame: f, codes: codes, n: len(codes), origLen: subj.Len()})
+		}
+		return sr.svBuf
 	}
 }
 
@@ -354,11 +402,23 @@ type diagCell struct {
 	lastSeed   int32 // subject offset of the previous unextended seed + 1 (0 = none)
 }
 
+// seedPos is one batched seed match awaiting extension.
+type seedPos struct {
+	q, s int32
+}
+
+// seedBatch is the seed arena capacity: large enough that a typical
+// pair flushes once, small enough to stay cache-resident (4 KB).
+const seedBatch = 512
+
 // searcher holds the per-shard mutable state of a search: private
-// work counters, the pooled diagonal array, and the scratch HSP
-// buffer. The engine it points at is immutable after construction, so
-// any number of searchers may run concurrently over it; each pipeline
-// shard owns one, and their stats are folded together at finalize.
+// work counters, the pooled diagonal array, the batched seed arena,
+// the extension workspace, and the scratch HSP buffers. The engine it
+// points at is immutable after construction, so any number of
+// searchers may run concurrently over it; each pipeline shard owns
+// one, and their stats are folded together at finalize. All scratch is
+// reused subject to subject, so steady-state searching allocates only
+// the per-subject result copy.
 type searcher struct {
 	eng   *engine
 	stats SearchStats // per-subject work counters only
@@ -369,26 +429,52 @@ type searcher struct {
 	// Current pair context, so handleSeed is a method instead of a
 	// fresh closure per subject view.
 	q, s           []byte
+	qp, sp         []byte // packed forms (packed-kernel mode)
+	sLen           int    // subject length in letters
+	packed         bool   // this pair runs the packed ungapped kernel
+	sv             *subjectView
 	qFrame, sFrame seq.Frame
 	offset         int // diagonal index = spos - qpos + len(q)
 	twoHit         bool
-	pairHSPs       []rawHSP // reused across pairs; survivors are copied out
+
+	seeds    []seedPos // batched seeds, extended in flushSeeds
+	pairHSPs []rawHSP  // reused across pairs
+	subjHSPs []rawHSP  // survivors accumulated across a subject's pairs
+	svBuf    []subjectView
+	codesBuf []byte // pooled subject codes (AppendCodes / lazy unpack)
+	cullKept []rawHSP
+	cullIdx  []int32
+	sorter   rawHSPSorter
+	ws       align.Workspace
 }
 
 func newSearcher(eng *engine) *searcher {
-	return &searcher{eng: eng, twoHit: eng.p.TwoHitWindow > 0}
+	return &searcher{
+		eng:    eng,
+		twoHit: eng.p.TwoHitWindow > 0,
+		seeds:  make([]seedPos, 0, seedBatch),
+	}
 }
 
 // searchSubject runs the seeded search of every query view against
-// every subject view and returns comparison-space HSPs.
+// every subject view and returns comparison-space HSPs. The returned
+// slice is freshly allocated (searcher scratch is reused on the next
+// subject); it is the single steady-state allocation of a search.
 func (sr *searcher) searchSubject(subj *seq.Sequence) []rawHSP {
-	var out []rawHSP
-	for _, sv := range sr.eng.subjectViews(subj) {
+	sr.subjHSPs = sr.subjHSPs[:0]
+	svs := sr.subjectViews(subj)
+	for si := range svs {
+		sv := &svs[si]
 		for vi := range sr.eng.views {
 			qv := &sr.eng.views[vi]
-			out = append(out, sr.searchPair(qv, &sv)...)
+			sr.subjHSPs = append(sr.subjHSPs, sr.searchPair(qv, sv)...)
 		}
 	}
+	if len(sr.subjHSPs) == 0 {
+		return nil
+	}
+	out := make([]rawHSP, len(sr.subjHSPs))
+	copy(out, sr.subjHSPs)
 	return out
 }
 
@@ -398,9 +484,13 @@ func (sr *searcher) searchSubject(subj *seq.Sequence) []rawHSP {
 // scratch.
 func (sr *searcher) beginPair(qv *queryView, sv *subjectView) {
 	sr.q, sr.s = qv.codes, sv.codes
+	sr.qp, sr.sp = qv.packed, sv.packed
+	sr.sLen = sv.n
+	sr.sv = sv
+	sr.packed = qv.packed != nil && sv.packed != nil
 	sr.qFrame, sr.sFrame = qv.frame, sv.frame
 	sr.offset = len(sr.q)
-	if n := len(sr.q) + len(sr.s); n > len(sr.cells) {
+	if n := len(sr.q) + sr.sLen; n > len(sr.cells) {
 		sr.cells = make([]diagCell, n) // fresh cells carry epoch 0: stale
 	}
 	sr.epoch++
@@ -410,30 +500,69 @@ func (sr *searcher) beginPair(qv *queryView, sv *subjectView) {
 		}
 		sr.epoch = 1
 	}
+	sr.seeds = sr.seeds[:0]
 	sr.pairHSPs = sr.pairHSPs[:0]
 }
 
+// subjectBytes returns the current subject view's dense codes,
+// materializing them from the packed payload on first demand — the
+// gapped stage and the traceback need letters; packed seeding and
+// ungapped extension do not. The materialized codes are cached on the
+// view so a later pair over the same subject reuses them.
+func (sr *searcher) subjectBytes() []byte {
+	if sr.s == nil {
+		sr.codesBuf = seq.AppendUnpackedCodes(sr.codesBuf[:0], sr.sp, sr.sLen)
+		sr.s = sr.codesBuf
+		sr.sv.codes = sr.s
+	}
+	return sr.s
+}
+
 func (sr *searcher) searchPair(qv *queryView, sv *subjectView) []rawHSP {
-	if len(qv.codes) < sr.eng.p.WordSize || len(sv.codes) < sr.eng.p.WordSize {
+	if len(qv.codes) < sr.eng.p.WordSize || sv.n < sr.eng.p.WordSize {
 		return nil
 	}
 	sr.beginPair(qv, sv)
-	qv.lookup.scan(sr.s, sr)
+	if sr.packed {
+		qv.lookup.(packedScanner).scanPacked(sr.sp, sr.sLen, sr)
+	} else {
+		qv.lookup.scan(sr.s, sr)
+	}
+	sr.flushSeeds()
+	sr.stats.ScannedBases += int64(sr.sLen)
 	if len(sr.pairHSPs) == 0 {
 		return nil
 	}
-	out := make([]rawHSP, len(sr.pairHSPs))
-	copy(out, sr.pairHSPs)
-	return cullHSPs(out)
+	return sr.cullPair()
 }
 
-// handleSeed investigates one seed match. It is the seedSink the
-// lookup tables drive; keeping it a method with its state in searcher
-// fields avoids allocating a capture-heavy closure per subject view.
+// handleSeed receives one seed match from the lookup scan. Seeds are
+// batched into the arena and extended in flushSeeds, so the scan's
+// tight word loop and the extension kernels each run over dense
+// same-kind work instead of interleaving; order is preserved, so the
+// diagonal bookkeeping (and thus the output) is bit-identical to
+// immediate dispatch.
 func (sr *searcher) handleSeed(qpos, spos int) {
+	if len(sr.seeds) == seedBatch {
+		sr.flushSeeds()
+	}
+	sr.seeds = append(sr.seeds, seedPos{q: int32(qpos), s: int32(spos)})
+}
+
+// flushSeeds drains the seed arena through processSeed in arrival
+// order.
+func (sr *searcher) flushSeeds() {
+	for _, sd := range sr.seeds {
+		sr.processSeed(int(sd.q), int(sd.s))
+	}
+	sr.seeds = sr.seeds[:0]
+}
+
+// processSeed investigates one seed match: diagonal and two-hit
+// gating, then ungapped (packed or byte kernel) and gapped extension.
+func (sr *searcher) processSeed(qpos, spos int) {
 	sr.stats.SeedHits++
 	eng := sr.eng
-	q, s := sr.q, sr.s
 	c := &sr.cells[spos-qpos+sr.offset]
 	if c.epoch != sr.epoch {
 		*c = diagCell{epoch: sr.epoch}
@@ -458,8 +587,9 @@ func (sr *searcher) handleSeed(qpos, spos int) {
 		// seed midpoint (seeds are long exact matches, so the
 		// midpoint pair is guaranteed aligned).
 		sr.stats.GappedExts++
+		q, s := sr.q, sr.s
 		mid := eng.p.WordSize / 2
-		raw, a0, a1, b0, b1 := align.GreedyExtend(q, s, qpos+mid, spos+mid,
+		raw, a0, a1, b0, b1 := align.GreedyExtendWS(&sr.ws, q, s, qpos+mid, spos+mid,
 			eng.greedy, eng.p.XDropGapped*eng.greedyScale)
 		gscore, qFrom, qTo, sFrom, sTo = raw/eng.greedyScale, a0, a1, b0, b1
 		c.lastExtEnd = int32(sTo)
@@ -468,21 +598,30 @@ func (sr *searcher) handleSeed(qpos, spos int) {
 		}
 	} else {
 		sr.stats.UngappedExts++
-		score, _, aTo, _, bTo := align.ExtendUngapped(q, s, qpos, spos, eng.p.WordSize, eng.p.Scheme, eng.p.XDropUngapped)
+		var score, aTo, bTo int
+		if sr.packed {
+			sr.stats.PackedExts++
+			score, _, aTo, _, bTo = align.PackedExtend(sr.qp, len(sr.q), sr.sp, sr.sLen,
+				qpos, spos, eng.p.WordSize, eng.nucMatch, eng.nucMismatch, eng.p.XDropUngapped)
+		} else {
+			score, _, aTo, _, bTo = align.ExtendUngapped(sr.q, sr.s, qpos, spos, eng.p.WordSize, eng.p.Scheme, eng.p.XDropUngapped)
+		}
 		c.lastExtEnd = int32(bTo)
 		if score < eng.gapTriggerRaw {
 			return
 		}
 		sr.stats.GappedExts++
 		// Anchor the gapped extension at the middle of the ungapped
-		// HSP's diagonal run.
+		// HSP's diagonal run. The gapped DP needs letters, so a packed
+		// subject materializes its codes here, once, on first trigger.
+		q, s := sr.q, sr.subjectBytes()
 		mid := (aTo - qpos) / 2
 		ai := qpos + mid
 		bi := spos + mid
 		if ai >= len(q) || bi >= len(s) {
 			ai, bi = qpos, spos
 		}
-		gscore, qFrom, qTo, sFrom, sTo = align.ExtendGapped(q, s, ai, bi, eng.p.Scheme, eng.p.XDropGapped)
+		gscore, qFrom, qTo, sFrom, sTo = align.ExtendGappedWS(&sr.ws, q, s, ai, bi, eng.p.Scheme, eng.p.XDropGapped)
 		if gscore < eng.gapTriggerRaw {
 			return
 		}
@@ -493,6 +632,37 @@ func (sr *searcher) handleSeed(qpos, spos int) {
 		qFrom: qFrom, qTo: qTo, sFrom: sFrom, sTo: sTo,
 		qFrame: sr.qFrame, sFrame: sr.sFrame,
 	})
+}
+
+// rawHSPSorter sorts a rawHSP slice score-descending through a pooled
+// sort.Interface (sort.Slice allocates its closure; sort.Sort on a
+// pointer-to-field does not).
+type rawHSPSorter struct {
+	hsps []rawHSP
+}
+
+func (s *rawHSPSorter) Len() int           { return len(s.hsps) }
+func (s *rawHSPSorter) Less(i, j int) bool { return s.hsps[i].score > s.hsps[j].score }
+func (s *rawHSPSorter) Swap(i, j int)      { s.hsps[i], s.hsps[j] = s.hsps[j], s.hsps[i] }
+
+// cullPair is cullHSPs over the searcher's pooled buffers: same
+// algorithm, no per-pair allocation. The returned slice aliases
+// searcher scratch and is consumed (appended to subjHSPs) before the
+// next pair reuses it.
+func (sr *searcher) cullPair() []rawHSP {
+	hsps := sr.pairHSPs
+	if len(hsps) <= 1 {
+		return hsps
+	}
+	sr.sorter.hsps = hsps
+	sort.Sort(&sr.sorter)
+	if cap(sr.cullKept) < len(hsps) {
+		sr.cullKept = make([]rawHSP, 0, cap(hsps))
+		sr.cullIdx = make([]int32, 0, cap(hsps))
+	}
+	kept, idx := cullInto(hsps, sr.cullKept[:0], sr.cullIdx[:0])
+	sr.cullKept, sr.cullIdx = kept, idx
+	return kept
 }
 
 // cullHSPs removes HSPs contained inside a higher-scoring HSP in both
@@ -507,8 +677,15 @@ func cullHSPs(hsps []rawHSP) []rawHSP {
 		return hsps
 	}
 	sort.Slice(hsps, func(i, j int) bool { return hsps[i].score > hsps[j].score })
-	kept := make([]rawHSP, 0, len(hsps))
-	byQFrom := make([]int32, 0, len(hsps)) // kept indices ordered by qFrom
+	kept, _ := cullInto(hsps, make([]rawHSP, 0, len(hsps)), make([]int32, 0, len(hsps)))
+	return kept
+}
+
+// cullInto runs the containment scan over score-sorted hsps, appending
+// survivors to kept and maintaining byQFrom (kept indices ordered by
+// qFrom) in the caller's buffers; both are returned with their final
+// contents so pooled callers can retain the grown backing arrays.
+func cullInto(hsps, kept []rawHSP, byQFrom []int32) ([]rawHSP, []int32) {
 	for i := range hsps {
 		h := &hsps[i]
 		// Only kept HSPs with k.qFrom <= h.qFrom can contain h.
@@ -534,7 +711,7 @@ func cullHSPs(hsps []rawHSP) []rawHSP {
 		copy(byQFrom[ub+1:], byQFrom[ub:])
 		byQFrom[ub] = ki
 	}
-	return kept
+	return kept, byQFrom
 }
 
 // finalize computes statistics, tracebacks and report ordering.

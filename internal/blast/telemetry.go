@@ -18,6 +18,8 @@ type PipeMetrics struct {
 	decodeStall   *telemetry.Gauge
 	mergeDepth    *telemetry.Gauge
 	mergeDepthMax *telemetry.Gauge
+	scannedBases  *telemetry.Gauge
+	packedExts    *telemetry.Gauge
 }
 
 // NewPipeMetrics registers the pipeline metric families on reg.
@@ -36,7 +38,20 @@ func NewPipeMetrics(reg *telemetry.Registry) *PipeMetrics {
 			"Out-of-order searched subjects currently buffered by the ordered merge."),
 		mergeDepthMax: reg.Gauge("pario_blast_merge_queue_depth_max",
 			"High-water mark of the ordered merge's reorder buffer."),
+		scannedBases: reg.Gauge("pario_blast_scanned_bases_total",
+			"Subject letters streamed through the seeding kernel; over shard busy seconds this is the search-side bases/sec rate."),
+		packedExts: reg.Gauge("pario_blast_packed_exts_total",
+			"Ungapped extensions served by the 2-bit packed kernel instead of the byte kernel."),
 	}
+}
+
+// observeKernel folds one searched subject's kernel counters in.
+func (m *PipeMetrics) observeKernel(bases, packedExts int64) {
+	if m == nil {
+		return
+	}
+	m.scannedBases.Add(float64(bases))
+	m.packedExts.Add(float64(packedExts))
 }
 
 // observeShard folds one drained shard's busy/idle time in.

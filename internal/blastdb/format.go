@@ -253,13 +253,27 @@ func (fr *Fragment) payloadLen(i int) int64 {
 	return int64(fr.index[i].Letters)
 }
 
-// Sequence reads and decodes sequence i.
+// Sequence reads and decodes sequence i. On a backend that serves
+// zero-copy views (the readahead layer), a nucleotide payload is
+// borrowed straight from the block cache and carried packed — no
+// per-sequence copy, no unpacking — with the letters materialized only
+// if a consumer asks for them.
 func (fr *Fragment) Sequence(i int) (*seq.Sequence, error) {
 	if i < 0 || i >= len(fr.index) {
 		return nil, fmt.Errorf("blastdb: sequence index %d out of range [0,%d)", i, len(fr.index))
 	}
 	rec := fr.index[i]
-	payload := make([]byte, fr.payloadLen(i))
+	plen := fr.payloadLen(i)
+	if fr.h.Kind == seq.Nucleotide {
+		if vr, ok := fr.f.(chio.ViewReaderAt); ok {
+			payload, err := fr.readPayloadView(vr, int64(rec.DataOff), plen)
+			if err != nil {
+				return nil, err
+			}
+			return fr.decodePacked(i, payload), nil
+		}
+	}
+	payload := make([]byte, plen)
 	if len(payload) > 0 {
 		if n, err := fr.f.ReadAt(payload, int64(fr.h.DataOff+rec.DataOff)); err != nil && err != io.EOF || n < len(payload) {
 			return nil, fmt.Errorf("blastdb: short data read: %w", err)
@@ -268,23 +282,61 @@ func (fr *Fragment) Sequence(i int) (*seq.Sequence, error) {
 	return fr.decode(i, payload), nil
 }
 
-func (fr *Fragment) decode(i int, payload []byte) *seq.Sequence {
+// readPayloadView reads plen payload bytes at data-region offset start
+// through the zero-copy view path. A view that a concurrent write made
+// stale is retried once and then replaced with an owned copy, so the
+// returned bytes are always a consistent read of the payload.
+func (fr *Fragment) readPayloadView(vr chio.ViewReaderAt, start, plen int64) ([]byte, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		v, err := vr.ReadView(int64(fr.h.DataOff)+start, plen)
+		if err != nil && err != io.EOF || int64(len(v.Data)) < plen {
+			return nil, fmt.Errorf("blastdb: short data read: %w", err)
+		}
+		if !v.Stale() {
+			return v.Data, nil
+		}
+	}
+	buf := make([]byte, plen)
+	if plen > 0 {
+		if n, err := fr.f.ReadAt(buf, int64(fr.h.DataOff)+start); err != nil && err != io.EOF || int64(n) < plen {
+			return nil, fmt.Errorf("blastdb: short data read: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// defline returns sequence i's parsed identifier and description.
+func (fr *Fragment) defline(i int) (id, desc string) {
 	rec := fr.index[i]
 	defline := string(fr.deflines[rec.DeflineOff : rec.DeflineOff+uint64(rec.DeflineLen)])
-	id, desc := defline, ""
+	id = defline
 	for k := 0; k < len(defline); k++ {
 		if defline[k] == ' ' {
 			id, desc = defline[:k], defline[k+1:]
 			break
 		}
 	}
+	return id, desc
+}
+
+func (fr *Fragment) decode(i int, payload []byte) *seq.Sequence {
+	id, desc := fr.defline(i)
 	var data []byte
 	if fr.h.Kind == seq.Nucleotide {
-		data = seq.Unpack2Bit(payload, int(rec.Letters))
+		data = seq.Unpack2Bit(payload, int(fr.index[i].Letters))
 	} else {
 		data = append([]byte(nil), payload...)
 	}
 	return &seq.Sequence{ID: id, Desc: desc, Kind: fr.h.Kind, Data: data}
+}
+
+// decodePacked builds sequence i directly over its (possibly borrowed)
+// 2-bit payload without unpacking. The payload must stay immutable for
+// the sequence's lifetime; cache blocks satisfy this because
+// invalidation drops references rather than rewriting bytes.
+func (fr *Fragment) decodePacked(i int, payload []byte) *seq.Sequence {
+	id, desc := fr.defline(i)
+	return seq.NewPacked2Bit(id, desc, payload, int(fr.index[i].Letters))
 }
 
 // Close releases the underlying file.
@@ -299,7 +351,20 @@ func (fr *Fragment) Source(bufBytes int) *FragmentSource {
 	if bufBytes <= 0 {
 		bufBytes = 16 << 20
 	}
-	return &FragmentSource{fr: fr, bufBytes: bufBytes, bufStart: -1}
+	src := &FragmentSource{fr: fr, bufBytes: bufBytes, bufStart: -1}
+	// Zero-copy scan path: when the backend hands out views of its
+	// cache blocks (the readahead layer does), nucleotide payloads are
+	// borrowed per sequence instead of bulk-copied into a chunk buffer.
+	// The readahead layer's own sequential detection and prefetch keep
+	// the backend I/O pattern large and sequential; on any other
+	// backend the chunked reads below remain the pattern, so plain
+	// (non-cached) filesystems never degrade to per-sequence reads.
+	if fr.h.Kind == seq.Nucleotide {
+		if vr, ok := fr.f.(chio.ViewReaderAt); ok {
+			src.vr = vr
+		}
+	}
+	return src
 }
 
 // FragmentSource streams a fragment's sequences with chunked reads.
@@ -308,7 +373,8 @@ type FragmentSource struct {
 	i        int
 	bufBytes int
 	buf      []byte
-	bufStart int64 // data-region offset of buf[0]; -1 = empty
+	bufStart int64             // data-region offset of buf[0]; -1 = empty
+	vr       chio.ViewReaderAt // non-nil: borrow payloads zero-copy
 }
 
 // Next returns the next sequence or io.EOF.
@@ -322,6 +388,14 @@ func (src *FragmentSource) Next() (*seq.Sequence, error) {
 	plen := fr.payloadLen(i)
 	start := int64(rec.DataOff)
 	end := start + plen
+	if src.vr != nil {
+		payload, err := fr.readPayloadView(src.vr, start, plen)
+		if err != nil {
+			return nil, err
+		}
+		src.i++
+		return fr.decodePacked(i, payload), nil
+	}
 	if src.bufStart < 0 || start < src.bufStart || end > src.bufStart+int64(len(src.buf)) {
 		// Refill: one large read beginning at this sequence.
 		dataLen := int64(fr.h.DeflineOff - fr.h.DataOff)

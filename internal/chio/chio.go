@@ -101,6 +101,64 @@ type RangeHinter interface {
 	HintRanges(segs []Seg)
 }
 
+// View is a window onto file bytes returned by a ViewReaderAt. When
+// Borrowed, Data aliases the reader's internal cache and must be
+// treated as immutable; the bytes stay valid for the holder's lifetime
+// (cache eviction only drops references, it never rewrites published
+// blocks), but a concurrent write to the underlying range may make
+// them STALE — superseded, not mutated. Stale lets a holder that
+// cares about freshness detect this and re-read. A non-borrowed view
+// owns Data outright.
+type View struct {
+	Data     []byte
+	Borrowed bool
+	stale    func() bool
+}
+
+// NewBorrowedView builds a borrowed view whose staleness is decided by
+// stale (nil means never stale).
+func NewBorrowedView(data []byte, stale func() bool) View {
+	return View{Data: data, Borrowed: true, stale: stale}
+}
+
+// OwnedView wraps a caller-owned buffer in a never-stale view.
+func OwnedView(data []byte) View {
+	return View{Data: data}
+}
+
+// Stale reports whether the viewed range has been superseded by a
+// write since the view was taken. The view's bytes are still the ones
+// read — staleness is about freshness, not validity.
+func (v View) Stale() bool {
+	return v.stale != nil && v.stale()
+}
+
+// ViewReaderAt is implemented by Files that can hand out zero-copy
+// windows onto cached data. The readahead layer serves single-block
+// cache hits this way, letting the database decoder keep 2-bit packed
+// sequence payloads without a per-sequence copy.
+type ViewReaderAt interface {
+	// ReadView returns a view of n bytes at off. Like ReadAt, a range
+	// extending past EOF comes back short with io.EOF. The view may be
+	// borrowed or owned at the implementation's discretion.
+	ReadView(off, n int64) (View, error)
+}
+
+// ReadViewAt serves a view through f's native zero-copy path when it
+// has one, and otherwise falls back to ReadAt into a fresh buffer
+// (returning an owned view, short with io.EOF past the end).
+func ReadViewAt(f File, off, n int64) (View, error) {
+	if v, ok := f.(ViewReaderAt); ok {
+		return v.ReadView(off, n)
+	}
+	buf := make([]byte, n)
+	m, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return View{}, err
+	}
+	return OwnedView(buf[:m]), err
+}
+
 // ReadvAt serves segs through f's native vectored path when it has
 // one, and otherwise falls back to one ReadAt per segment with the
 // same semantics (zero-filled tails, EOF as a short count).

@@ -19,6 +19,8 @@ type CacheStats struct {
 	prefetchIssued  atomic.Int64
 	prefetchWasted  atomic.Int64
 	prefetchAborted atomic.Int64
+	borrowHits      atomic.Int64
+	borrowCopies    atomic.Int64
 }
 
 // Hit records a block read served from the cache (including blocks a
@@ -39,6 +41,15 @@ func (c *CacheStats) PrefetchWasted() { c.prefetchWasted.Add(1) }
 // discarded before publication — the fetch failed, or the cached file
 // generation changed underneath it.
 func (c *CacheStats) PrefetchAborted() { c.prefetchAborted.Add(1) }
+
+// BorrowHit records a ReadView served as a zero-copy borrowed slice of
+// a cache block.
+func (c *CacheStats) BorrowHit() { c.borrowHits.Add(1) }
+
+// BorrowCopy records a ReadView that had to fall back to an owned copy
+// (range straddled cache blocks, or a racing write superseded the
+// borrowed bytes and the caller re-read).
+func (c *CacheStats) BorrowCopy() { c.borrowCopies.Add(1) }
 
 // Register exposes the counters on reg as scrape-time functions, so a
 // zero-value CacheStats (the readahead layer's default) shows up on
@@ -65,6 +76,15 @@ func (c *CacheStats) Register(reg *telemetry.Registry) {
 	reg.GaugeFunc("pario_readahead_hit_ratio",
 		"Cache hits over hits+misses, 0 with no traffic.",
 		func() float64 { return c.Snapshot().HitRate() })
+	reg.CounterFunc("pario_readahead_borrow_hits_total",
+		"ReadViews served zero-copy as borrowed cache-block slices.",
+		func() float64 { return float64(c.borrowHits.Load()) })
+	reg.CounterFunc("pario_readahead_borrow_copies_total",
+		"ReadViews that fell back to an owned copy.",
+		func() float64 { return float64(c.borrowCopies.Load()) })
+	reg.GaugeFunc("pario_readahead_zero_copy_ratio",
+		"Borrowed ReadViews over all ReadViews, 0 with no view traffic.",
+		func() float64 { return c.Snapshot().ZeroCopyRate() })
 }
 
 // CacheSnapshot is a point-in-time copy of the counters.
@@ -74,6 +94,8 @@ type CacheSnapshot struct {
 	PrefetchIssued  int64
 	PrefetchWasted  int64
 	PrefetchAborted int64
+	BorrowHits      int64
+	BorrowCopies    int64
 }
 
 // Snapshot returns the current counter values.
@@ -84,6 +106,8 @@ func (c *CacheStats) Snapshot() CacheSnapshot {
 		PrefetchIssued:  c.prefetchIssued.Load(),
 		PrefetchWasted:  c.prefetchWasted.Load(),
 		PrefetchAborted: c.prefetchAborted.Load(),
+		BorrowHits:      c.borrowHits.Load(),
+		BorrowCopies:    c.borrowCopies.Load(),
 	}
 }
 
@@ -96,8 +120,23 @@ func (s CacheSnapshot) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// ZeroCopyRate returns borrowed views over all views, or 0 with no
+// view traffic.
+func (s CacheSnapshot) ZeroCopyRate() float64 {
+	total := s.BorrowHits + s.BorrowCopies
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BorrowHits) / float64(total)
+}
+
 // Format renders the counters as one line.
 func (s CacheSnapshot) Format() string {
-	return fmt.Sprintf("readahead: hits=%d misses=%d (%.1f%% hit rate) prefetch issued=%d wasted=%d aborted=%d",
+	line := fmt.Sprintf("readahead: hits=%d misses=%d (%.1f%% hit rate) prefetch issued=%d wasted=%d aborted=%d",
 		s.Hits, s.Misses, 100*s.HitRate(), s.PrefetchIssued, s.PrefetchWasted, s.PrefetchAborted)
+	if s.BorrowHits+s.BorrowCopies > 0 {
+		line += fmt.Sprintf(" views borrowed=%d copied=%d (%.1f%% zero-copy)",
+			s.BorrowHits, s.BorrowCopies, 100*s.ZeroCopyRate())
+	}
+	return line
 }

@@ -195,7 +195,15 @@ func (f *FS) Open(name string) (chio.File, error) {
 		return nil, err
 	}
 	f.Trace.add(Event{Op: OpOpen, File: name, Worker: f.Worker})
-	return &file{File: inner, fs: f}, nil
+	fl := &file{File: inner, fs: f}
+	// Forward the zero-copy view capability only when the wrapped file
+	// actually has it. Advertising ReadView unconditionally would make
+	// chio.ReadViewAt callers switch from their bulk ReadAt pattern to
+	// per-range reads against backends that gain nothing from it.
+	if _, ok := inner.(chio.ViewReaderAt); ok {
+		return &viewFile{file: fl}, nil
+	}
+	return fl, nil
 }
 
 // Stat implements chio.FileSystem.
@@ -295,4 +303,19 @@ func (fl *file) Seek(offset int64, whence int) (int64, error) {
 		fl.mu.Unlock()
 	}
 	return pos, err
+}
+
+// viewFile is a traced file over a backend that serves zero-copy
+// views; it adds the chio.ViewReaderAt forwarding that plain traced
+// files deliberately omit.
+type viewFile struct {
+	*file
+}
+
+func (fl *viewFile) ReadView(off, n int64) (chio.View, error) {
+	v, err := fl.File.(chio.ViewReaderAt).ReadView(off, n)
+	if len(v.Data) > 0 {
+		fl.fs.Trace.add(Event{Op: OpRead, File: fl.File.Name(), Size: int64(len(v.Data)), Offset: off, Worker: fl.fs.Worker})
+	}
+	return v, err
 }

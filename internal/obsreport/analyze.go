@@ -147,6 +147,7 @@ func (b *Builder) Build() *Report {
 	rep.Servers = serverStats(b.snaps)
 	rep.CriticalPath = criticalPath(b.run, trees, b.snaps)
 	rep.CollectiveIO = collIOStats(b.snaps)
+	rep.SearchKernel = searchKernelStats(b.snaps)
 	rep.Imbalance = imbalance(rep.Servers, rep.Workers)
 	finishHotSpot(&rep.HotSpot)
 	return rep
@@ -342,6 +343,35 @@ func collIOStats(snaps []Snapshot) CollIOStats {
 	}
 	if n := sum("pario_collio_round_seconds_count"); n > 0 {
 		st.MeanRoundSeconds = sum("pario_collio_round_seconds_sum") / n
+	}
+	return st
+}
+
+// searchKernelStats reduces the workers' pario_blast_* families and
+// the readahead borrow counters to the report's search-kernel section.
+func searchKernelStats(snaps []Snapshot) SearchKernelStats {
+	var st SearchKernelStats
+	sum := func(name string) float64 {
+		var total float64
+		for i := range snaps {
+			total += snaps[i].Sum(name, nil)
+		}
+		return total
+	}
+	st.ScannedBases = int64(sum("pario_blast_scanned_bases_total"))
+	if st.ScannedBases == 0 {
+		return st
+	}
+	st.Enabled = true
+	st.PackedExts = int64(sum("pario_blast_packed_exts_total"))
+	st.ShardBusySeconds = sum("pario_blast_shard_busy_seconds_total")
+	if st.ShardBusySeconds > 0 {
+		st.BasesPerSecond = float64(st.ScannedBases) / st.ShardBusySeconds
+	}
+	st.BorrowHits = int64(sum("pario_readahead_borrow_hits_total"))
+	st.BorrowCopies = int64(sum("pario_readahead_borrow_copies_total"))
+	if views := st.BorrowHits + st.BorrowCopies; views > 0 {
+		st.ZeroCopyRatio = float64(st.BorrowHits) / float64(views)
 	}
 	return st
 }

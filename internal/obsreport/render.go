@@ -169,6 +169,20 @@ func (r *Report) RenderText(w io.Writer) {
 		fmt.Fprintf(w, "  mean round             %s\n", seconds(ci.MeanRoundSeconds))
 	}
 
+	if r.SearchKernel.Enabled {
+		sk := r.SearchKernel
+		fmt.Fprintf(w, "\nSearch kernel\n-------------\n")
+		fmt.Fprintf(w, "  bases scanned          %d\n", sk.ScannedBases)
+		fmt.Fprintf(w, "  packed extensions      %d\n", sk.PackedExts)
+		if sk.BasesPerSecond > 0 {
+			fmt.Fprintf(w, "  bases/sec (shard busy) %.0f\n", sk.BasesPerSecond)
+		}
+		if sk.BorrowHits+sk.BorrowCopies > 0 {
+			fmt.Fprintf(w, "  readahead views        %d borrowed / %d copied (%.1f%% zero-copy)\n",
+				sk.BorrowHits, sk.BorrowCopies, 100*sk.ZeroCopyRatio)
+		}
+	}
+
 	t := r.Traces
 	if t.Spans > 0 {
 		fmt.Fprintf(w, "\nTraces\n------\n")

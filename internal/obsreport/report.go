@@ -35,16 +35,17 @@ type Report struct {
 	Label       string    `json:"label,omitempty"`
 	GeneratedAt time.Time `json:"generated_at"`
 
-	Run          RunInfo       `json:"run"`
-	Processes    []ProcessInfo `json:"processes"`
-	CriticalPath CriticalPath  `json:"critical_path"`
-	Timeline     []TaskEvent   `json:"timeline"`
-	Workers      []WorkerStat  `json:"workers"`
-	Servers      []ServerStat  `json:"servers"`
-	Imbalance    Imbalance     `json:"imbalance"`
-	HotSpot      HotSpotAudit  `json:"hot_spot"`
-	CollectiveIO CollIOStats   `json:"collective_io"`
-	Traces       TraceStats    `json:"traces"`
+	Run          RunInfo           `json:"run"`
+	Processes    []ProcessInfo     `json:"processes"`
+	CriticalPath CriticalPath      `json:"critical_path"`
+	Timeline     []TaskEvent       `json:"timeline"`
+	Workers      []WorkerStat      `json:"workers"`
+	Servers      []ServerStat      `json:"servers"`
+	Imbalance    Imbalance         `json:"imbalance"`
+	HotSpot      HotSpotAudit      `json:"hot_spot"`
+	CollectiveIO CollIOStats       `json:"collective_io"`
+	SearchKernel SearchKernelStats `json:"search_kernel"`
+	Traces       TraceStats        `json:"traces"`
 }
 
 // CollIOStats summarizes the collective two-phase read layer from the
@@ -67,6 +68,33 @@ type CollIOStats struct {
 	// MeanRoundSeconds is the average round duration (registration
 	// through scatter).
 	MeanRoundSeconds float64 `json:"mean_round_seconds,omitempty"`
+}
+
+// SearchKernelStats summarizes the compute-side search kernel from
+// the workers' pario_blast_* metrics plus the readahead borrow
+// counters: how many subject bases streamed through seeding, how many
+// ungapped extensions ran on the 2-bit packed kernel, and what share
+// of readahead views were handed out zero-copy. Empty (Enabled false)
+// when the run recorded no kernel activity.
+type SearchKernelStats struct {
+	Enabled bool `json:"enabled"`
+	// ScannedBases counts subject letters streamed through the seeding
+	// kernel across all shards and processes.
+	ScannedBases int64 `json:"scanned_bases,omitempty"`
+	// PackedExts counts ungapped extensions served by the 2-bit packed
+	// kernel instead of the byte kernel.
+	PackedExts int64 `json:"packed_exts,omitempty"`
+	// ShardBusySeconds sums shard compute time; ScannedBases over it is
+	// the search-side bases/sec rate.
+	ShardBusySeconds float64 `json:"shard_busy_seconds,omitempty"`
+	// BasesPerSecond is that rate, precomputed (0 when busy time is 0).
+	BasesPerSecond float64 `json:"bases_per_second,omitempty"`
+	// BorrowHits/BorrowCopies count readahead views served as borrowed
+	// cache-block slices vs materialized copies.
+	BorrowHits   int64 `json:"borrow_hits,omitempty"`
+	BorrowCopies int64 `json:"borrow_copies,omitempty"`
+	// ZeroCopyRatio is BorrowHits over all views (0 when none).
+	ZeroCopyRatio float64 `json:"zero_copy_ratio,omitempty"`
 }
 
 // RunInfo describes the run itself.

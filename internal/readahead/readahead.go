@@ -389,6 +389,15 @@ func (fs *FS) fetchBlock(inner chio.File, name string, idx int64, prefetched boo
 	return b, nil
 }
 
+// generation returns the current invalidation generation for name.
+// Borrowed views capture it at read time and compare later to detect
+// writes that superseded their bytes.
+func (c *blockCache) generation(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen[name]
+}
+
 // uncached returns the block indices in [from, to] (inclusive) of
 // name that are neither cached nor already being fetched — the blocks
 // a demand read or prefetch would actually go to the backend for.
@@ -475,34 +484,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	bs := f.fs.blockSize
-	firstBlock, lastBlock := blockSpan(off, int64(len(p)), bs)
-
-	// Sequential-scan detection: the read starts in the block the
-	// previous read ended in or the one after it. Fire the prefetch
-	// before serving the read so the next blocks' fetches overlap this
-	// one's.
-	f.mu.Lock()
-	seq := firstBlock == f.next || firstBlock == f.next-1
-	f.next = lastBlock + 1
-	f.mu.Unlock()
-	var planned []int64
-	if seq && f.fs.window > 0 {
-		planned = f.fs.cache.uncached(f.name, lastBlock+1, lastBlock+int64(f.fs.window))
-	}
-	// Announce the round's expected block fetches — this read's misses
-	// plus the planned window — to a collective layer below, so it can
-	// close its merge round as soon as those ranges register instead of
-	// waiting out its batching timer.
-	if h, ok := f.inner.(chio.RangeHinter); ok {
-		want := f.fs.cache.uncached(f.name, firstBlock, lastBlock)
-		want = append(want, planned...)
-		if len(want) > 0 {
-			h.HintRanges(blockSegs(want, bs))
-		}
-	}
-	if len(planned) > 0 {
-		f.fs.prefetch(f.inner, f.name, planned)
-	}
+	f.planRead(off, int64(len(p)))
 
 	n := 0
 	for n < len(p) {
@@ -525,6 +507,89 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// planRead runs the shared pre-read bookkeeping for ReadAt and
+// ReadView. Sequential-scan detection: the read starts in the block
+// the previous read ended in or the one after it; if so, fire the
+// prefetch before serving the read so the next blocks' fetches
+// overlap this one's. It also announces the round's expected block
+// fetches — this read's misses plus the planned window — to a
+// collective layer below, so it can close its merge round as soon as
+// those ranges register instead of waiting out its batching timer.
+func (f *file) planRead(off, length int64) {
+	bs := f.fs.blockSize
+	firstBlock, lastBlock := blockSpan(off, length, bs)
+	f.mu.Lock()
+	seq := firstBlock == f.next || firstBlock == f.next-1
+	f.next = lastBlock + 1
+	f.mu.Unlock()
+	var planned []int64
+	if seq && f.fs.window > 0 {
+		planned = f.fs.cache.uncached(f.name, lastBlock+1, lastBlock+int64(f.fs.window))
+	}
+	if h, ok := f.inner.(chio.RangeHinter); ok {
+		want := f.fs.cache.uncached(f.name, firstBlock, lastBlock)
+		want = append(want, planned...)
+		if len(want) > 0 {
+			h.HintRanges(blockSegs(want, bs))
+		}
+	}
+	if len(planned) > 0 {
+		f.fs.prefetch(f.inner, f.name, planned)
+	}
+}
+
+// ReadView implements chio.ViewReaderAt. A range contained in a single
+// cache block is served as a borrowed slice of the block's bytes with
+// no copy: published blocks are immutable (invalidation drops cache
+// references, never rewrites data), so the slice stays valid for as
+// long as the caller holds it, and the generation captured here lets
+// View.Stale report when a write has since superseded the range. A
+// range straddling blocks falls back to an owned copy through ReadAt.
+// Both paths run the same sequential-detection and prefetch logic, so
+// a scan through ReadView prefetches exactly like one through ReadAt.
+func (f *file) ReadView(off, n int64) (chio.View, error) {
+	if off < 0 {
+		return chio.View{}, fmt.Errorf("readahead: negative read offset")
+	}
+	if n == 0 {
+		return chio.OwnedView(nil), nil
+	}
+	bs := f.fs.blockSize
+	firstBlock, lastBlock := blockSpan(off, n, bs)
+	if firstBlock != lastBlock {
+		f.fs.stats.BorrowCopy()
+		buf := make([]byte, n)
+		m, err := f.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return chio.View{}, err
+		}
+		return chio.OwnedView(buf[:m]), err
+	}
+	// Capture the generation before the block lookup: a write racing
+	// this read can only make the view look stale, never fresh.
+	gen := f.fs.cache.generation(f.name)
+	f.planRead(off, n)
+	b, err := f.fs.getBlock(f.inner, f.name, firstBlock)
+	if err != nil {
+		return chio.View{}, err
+	}
+	blockOff := off - firstBlock*bs
+	if blockOff >= int64(len(b.data)) {
+		return chio.View{}, io.EOF
+	}
+	data := b.data[blockOff:]
+	if int64(len(data)) >= n {
+		data = data[:n]
+	} else {
+		err = io.EOF // short (EOF) block: serve what exists
+	}
+	f.fs.stats.BorrowHit()
+	cache, name := f.fs.cache, f.name
+	return chio.NewBorrowedView(data, func() bool {
+		return cache.generation(name) != gen
+	}), err
 }
 
 // WriteAt implements io.WriterAt: the write goes straight through, and

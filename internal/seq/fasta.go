@@ -140,7 +140,7 @@ func WriteFasta(w io.Writer, width int, seqs ...*Sequence) error {
 		if _, err := fmt.Fprintf(bw, ">%s\n", s.Defline()); err != nil {
 			return err
 		}
-		data := s.Data
+		data := s.Letters()
 		if width <= 0 {
 			width = len(data)
 		}

@@ -6,11 +6,49 @@ import (
 
 // Sequence is a named biological sequence. Data holds one letter per
 // byte in the standard IUPAC alphabet for the sequence's Kind.
+//
+// A nucleotide sequence may instead be carried in 2-bit packed form
+// (four bases per byte, as stored in the blastdb fragment format): a
+// sequence built with NewPacked2Bit has Data == nil until a caller
+// needs letters, at which point Letters materializes them. The packed
+// bytes are treated as read-only — they may be borrowed directly from
+// an I/O cache block and shared with other holders.
 type Sequence struct {
 	ID   string // accession / identifier (first word of the defline)
 	Desc string // rest of the defline
 	Kind Kind
 	Data []byte
+
+	packed  []byte // 2-bit packed codes; nil unless built by NewPacked2Bit
+	letters int    // letter count of the packed form
+}
+
+// NewPacked2Bit builds a nucleotide sequence directly over a 2-bit
+// packed payload (the blastdb on-disk representation) without
+// unpacking it. packed must hold at least ceil(letters/4) bytes and is
+// retained, not copied; the caller must treat it as immutable.
+func NewPacked2Bit(id, desc string, packed []byte, letters int) *Sequence {
+	return &Sequence{ID: id, Desc: desc, Kind: Nucleotide, packed: packed, letters: letters}
+}
+
+// Packed2Bit returns the sequence's 2-bit packed payload and letter
+// count, or (nil, 0) when the sequence does not carry one.
+func (s *Sequence) Packed2Bit() ([]byte, int) {
+	if s.packed == nil {
+		return nil, 0
+	}
+	return s.packed, s.letters
+}
+
+// Letters returns the sequence's letter data, materializing (and
+// caching) it from the packed form on first use. Not safe for
+// concurrent callers on a packed sequence; the search pipeline hands
+// each subject to one goroutine at a time.
+func (s *Sequence) Letters() []byte {
+	if s.Data == nil && s.packed != nil {
+		s.Data = Unpack2Bit(s.packed, s.letters)
+	}
+	return s.Data
 }
 
 // Defline reconstructs the FASTA description line (without '>').
@@ -22,19 +60,25 @@ func (s *Sequence) Defline() string {
 }
 
 // Len returns the sequence length in letters.
-func (s *Sequence) Len() int { return len(s.Data) }
+func (s *Sequence) Len() int {
+	if s.Data == nil && s.packed != nil {
+		return s.letters
+	}
+	return len(s.Data)
+}
 
 // Subsequence returns a copy of positions [from, to) with a derived ID.
 // It panics if the range is out of bounds.
 func (s *Sequence) Subsequence(from, to int) *Sequence {
-	if from < 0 || to > len(s.Data) || from > to {
-		panic(fmt.Sprintf("seq: subsequence [%d,%d) of length-%d sequence", from, to, len(s.Data)))
+	data := s.Letters()
+	if from < 0 || to > len(data) || from > to {
+		panic(fmt.Sprintf("seq: subsequence [%d,%d) of length-%d sequence", from, to, len(data)))
 	}
 	return &Sequence{
 		ID:   fmt.Sprintf("%s:%d-%d", s.ID, from+1, to),
 		Desc: s.Desc,
 		Kind: s.Kind,
-		Data: append([]byte(nil), s.Data[from:to]...),
+		Data: append([]byte(nil), data[from:to]...),
 	}
 }
 
@@ -44,9 +88,10 @@ func (s *Sequence) ReverseComplement() *Sequence {
 	if s.Kind != Nucleotide {
 		panic("seq: reverse complement of a protein sequence")
 	}
-	rc := make([]byte, len(s.Data))
-	for i, b := range s.Data {
-		rc[len(s.Data)-1-i] = ComplementLetter(b)
+	data := s.Letters()
+	rc := make([]byte, len(data))
+	for i, b := range data {
+		rc[len(data)-1-i] = ComplementLetter(b)
 	}
 	return &Sequence{ID: s.ID, Desc: s.Desc, Kind: Nucleotide, Data: rc}
 }
@@ -54,6 +99,9 @@ func (s *Sequence) ReverseComplement() *Sequence {
 // Validate checks every letter against the sequence's alphabet and
 // returns a descriptive error for the first invalid position.
 func (s *Sequence) Validate() error {
+	if s.Data == nil && s.packed != nil {
+		return nil // packed codes are 2-bit values by construction
+	}
 	switch s.Kind {
 	case Nucleotide:
 		for i, b := range s.Data {
@@ -100,20 +148,65 @@ func Unpack2Bit(packed []byte, n int) []byte {
 
 // Codes converts letters to dense alphabet codes: 2-bit base codes for
 // nucleotide sequences, AAIndex values for proteins. Invalid letters
-// map to 0. The BLAST engine scans these dense codes.
+// map to 0. The BLAST engine scans these dense codes. A packed
+// sequence decodes straight from its 2-bit payload, skipping the
+// letter intermediate.
 func (s *Sequence) Codes() []byte {
-	out := make([]byte, len(s.Data))
+	return s.AppendCodes(make([]byte, 0, s.Len()))
+}
+
+// AppendCodes appends the sequence's dense codes to dst and returns
+// the extended slice — the allocation-free form of Codes for callers
+// that pool the destination buffer across sequences.
+func (s *Sequence) AppendCodes(dst []byte) []byte {
 	if s.Kind == Nucleotide {
-		for i, b := range s.Data {
+		if s.Data == nil && s.packed != nil {
+			return AppendUnpackedCodes(dst, s.packed, s.letters)
+		}
+		for _, b := range s.Data {
 			c, _ := NucCode(b)
-			out[i] = c
+			dst = append(dst, c)
 		}
-		return out
+		return dst
 	}
-	for i, b := range s.Data {
+	for _, b := range s.Data {
 		if idx := AAIndex(b); idx >= 0 {
-			out[i] = byte(idx)
+			dst = append(dst, byte(idx))
+		} else {
+			dst = append(dst, 0)
 		}
 	}
-	return out
+	return dst
+}
+
+// PackCodes packs dense 2-bit base codes (values 0-3, as produced by
+// Codes on a nucleotide sequence) four per byte, first code in the two
+// lowest bits — the same layout as Pack2Bit, but starting from codes
+// instead of letters.
+func PackCodes(codes []byte) []byte {
+	packed := make([]byte, (len(codes)+3)/4)
+	for i, c := range codes {
+		packed[i/4] |= (c & 3) << (uint(i%4) * 2)
+	}
+	return packed
+}
+
+// AppendUnpackedCodes appends n dense 2-bit codes from packed to dst
+// and returns the extended slice.
+func AppendUnpackedCodes(dst, packed []byte, n int) []byte {
+	if len(dst)+n > cap(dst) {
+		grown := make([]byte, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	i := 0
+	// Whole input bytes first: four codes per iteration.
+	for ; i+4 <= n; i += 4 {
+		b := packed[i/4]
+		dst = append(dst, b&3, (b>>2)&3, (b>>4)&3, (b>>6)&3)
+	}
+	for ; i < n; i++ {
+		dst = append(dst, (packed[i/4]>>(uint(i%4)*2))&3)
+	}
+	return dst
 }

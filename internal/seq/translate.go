@@ -72,7 +72,7 @@ func Translate(s *Sequence, frame Frame) *Sequence {
 	if frame == 0 || frame > 3 || frame < -3 {
 		panic(fmt.Sprintf("seq: invalid frame %d", frame))
 	}
-	src := s.Data
+	src := s.Letters()
 	if frame < 0 {
 		src = s.ReverseComplement().Data
 	}
